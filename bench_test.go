@@ -1,0 +1,221 @@
+package marchgen_test
+
+// One benchmark per experimental artifact of the paper:
+//
+//   - Table 1, row "March ABL"  -> BenchmarkGenerateList1
+//   - Table 1, row "March RABL" -> BenchmarkGenerateList1Aggressive
+//   - Table 1, row "March ABL1" -> BenchmarkGenerateList2
+//   - Table 1, CPU-time column baselines (fault simulation of the published
+//     tests) -> BenchmarkSimulate*
+//   - Figure 2 (memory model G0) -> BenchmarkFigure2G0
+//   - Figure 4 (pattern graph PG_CF) -> BenchmarkFigure4PatternGraph
+//
+// plus micro-benchmarks of the substrates (fault list enumeration, single
+// fault detection, parsing) that dominate those paths. The absolute times
+// land in EXPERIMENTS.md next to the paper's 2006-laptop numbers.
+
+import (
+	"io"
+	"testing"
+
+	"marchgen"
+)
+
+func benchGenerate(b *testing.B, faults []marchgen.Fault, opts marchgen.Options) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := marchgen.Generate(faults, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Report.Full() {
+			b.Fatalf("incomplete coverage: %s", res.Report.Summary())
+		}
+	}
+}
+
+// Table 1, row 1 (March ABL, Fault List #1, paper: 1.03 s on a 2006 laptop).
+func BenchmarkGenerateList1(b *testing.B) {
+	benchGenerate(b, marchgen.List1(), marchgen.Options{Name: "ABL-repro"})
+}
+
+// Table 1, row 2 (March RABL: the aggressive minimization profile,
+// paper: 1.35 s).
+func BenchmarkGenerateList1Aggressive(b *testing.B) {
+	benchGenerate(b, marchgen.List1(), marchgen.Options{Name: "RABL-repro", Aggressive: true})
+}
+
+// Table 1, row 3 (March ABL1, Fault List #2, paper: 0.98 s).
+func BenchmarkGenerateList2(b *testing.B) {
+	benchGenerate(b, marchgen.List2(), marchgen.Options{Name: "ABL1-repro"})
+}
+
+func benchSimulate(b *testing.B, name string, faults []marchgen.Fault) {
+	b.Helper()
+	m, ok := marchgen.MarchByName(name)
+	if !ok {
+		b.Fatalf("unknown march %q", name)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := marchgen.Simulate(m, faults)
+		if err := r.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Certification cost of the hand-made state of the art on Fault List #1
+// (the Section 6 fault-simulation step for the 41n baseline).
+func BenchmarkSimulateMarchSLList1(b *testing.B) {
+	benchSimulate(b, "March SL", marchgen.List1())
+}
+
+// Certification cost of the paper's published result on Fault List #1.
+func BenchmarkSimulateMarchABLList1(b *testing.B) {
+	benchSimulate(b, "March ABL", marchgen.List1())
+}
+
+// Certification cost on Fault List #2.
+func BenchmarkSimulateMarchLF1List2(b *testing.B) {
+	benchSimulate(b, "March LF1", marchgen.List2())
+}
+
+// Figure 2: building the fault-free 2-cell memory model G0 and rendering it.
+func BenchmarkFigure2G0(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := marchgen.PatternDOT(io.Discard, 2, nil, "G0"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Figure 4: building and rendering the pattern graph of the linked disturb
+// coupling fault of eq. (12).
+func BenchmarkFigure4PatternGraph(b *testing.B) {
+	lf, err := marchgen.LinkFaults(marchgen.LF2aa, "<0w1;0/1/->", "<1w0;1/0/->")
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := []marchgen.Fault{lf}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := marchgen.PatternDOT(io.Discard, 2, faults, "PGCF"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Enumerating Fault List #1 from the linking predicate (the input side of
+// every Table 1 row).
+func BenchmarkFaultListEnumeration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := len(marchgen.List1()); got != 594 {
+			b.Fatalf("List1 size %d", got)
+		}
+	}
+}
+
+// Single-fault detection: the unit of work inside both the repair loop and
+// the minimizer (a three-cell linked fault is the worst case).
+func BenchmarkDetectsFaultLF3(b *testing.B) {
+	lf, err := marchgen.LinkFaults(marchgen.LF3, "<0w1;0/1/->", "<0w1;1/0/->")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, _ := marchgen.MarchByName("March SL")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		det, err := marchgen.Detects(m, lf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !det {
+			b.Fatal("March SL must detect the LF3")
+		}
+	}
+}
+
+// Dynamic-fault extension: generation for the 66 two-operation dynamic
+// faults (the ETS 2005 companion scope).
+func BenchmarkGenerateDynamic(b *testing.B) {
+	benchGenerate(b, marchgen.DynamicFaults(), marchgen.Options{Name: "DYN"})
+}
+
+// Certification of March RAW against the dynamic list (26n × 66 faults).
+func BenchmarkSimulateMarchRAWDynamic(b *testing.B) {
+	m, ok := marchgen.MarchByName("March RAW")
+	if !ok {
+		b.Fatal("March RAW missing")
+	}
+	faults := marchgen.DynamicFaults()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := marchgen.Simulate(m, faults)
+		if err := r.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation: the minimization phase (DESIGN.md design choice). The custom
+// "ops/cell" metric reports the length of the produced test, so the bench
+// output shows both the time saved and the length cost of skipping it.
+func BenchmarkAblationNoMinimizeList1(b *testing.B) {
+	b.ReportAllocs()
+	var length int
+	for i := 0; i < b.N; i++ {
+		res, err := marchgen.Generate(marchgen.List1(), marchgen.Options{Name: "ABLATE", SkipMinimize: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Report.Full() {
+			b.Fatal("incomplete coverage")
+		}
+		length = res.Test.Length()
+	}
+	b.ReportMetric(float64(length), "ops/cell")
+}
+
+// Ablation: the order-constrained profile (the Section 7 extension) on
+// Fault List #2.
+func BenchmarkAblationUpOnlyList2(b *testing.B) {
+	b.ReportAllocs()
+	var length int
+	for i := 0; i < b.N; i++ {
+		res, err := marchgen.Generate(marchgen.List2(), marchgen.Options{Name: "UP", Orders: marchgen.OrderUpOnly})
+		if err != nil {
+			b.Fatal(err)
+		}
+		length = res.Test.Length()
+	}
+	b.ReportMetric(float64(length), "ops/cell")
+}
+
+// Baseline for the ablations: the default profile, with the length metric.
+func BenchmarkAblationDefaultList1(b *testing.B) {
+	b.ReportAllocs()
+	var length int
+	for i := 0; i < b.N; i++ {
+		res, err := marchgen.Generate(marchgen.List1(), marchgen.Options{Name: "DEF"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		length = res.Test.Length()
+	}
+	b.ReportMetric(float64(length), "ops/cell")
+}
+
+// Parsing march notation (tooling hot path).
+func BenchmarkParseMarch(b *testing.B) {
+	spec := "c(w0) ^(r0,r0,w1,w1,r1,r1,w0,w0,r0,w1) ^(r1,r1,w0,w0,r0,r0,w1,w1,r1,w0) v(r0,r0,w1,w1,r1,r1,w0,w0,r0,w1) v(r1,r1,w0,w0,r0,r0,w1,w1,r1,w0)"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := marchgen.ParseMarch("March SL", spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

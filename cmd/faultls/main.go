@@ -1,0 +1,98 @@
+// Command faultls explores the fault model space: the static fault
+// primitive catalog, the linked fault taxonomy, and the paper's fault lists.
+//
+// Usage:
+//
+//	faultls -classes              # the functional fault model classes
+//	faultls -class CFds           # the primitives of one class
+//	faultls -list list2           # the faults of a list
+//	faultls -list list1 -summary  # per-kind counts only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"marchgen/internal/defect"
+	"marchgen/internal/faultlist"
+	"marchgen/internal/fp"
+	"marchgen/internal/linked"
+)
+
+func main() {
+	var (
+		classes = flag.Bool("classes", false, "list the functional fault model classes")
+		class   = flag.String("class", "", "list the fault primitives of one class (e.g. TF, CFds)")
+		list    = flag.String("list", "", "list the faults of a fault list (list1, list2, simple, ...)")
+		summary = flag.Bool("summary", false, "with -list: print per-kind counts only")
+		defects = flag.Bool("defects", false, "list the physical defect classes and their fault mappings")
+	)
+	flag.Parse()
+
+	switch {
+	case *defects:
+		for _, k := range defect.Kinds() {
+			d := defect.Defect{Kind: k}
+			fmt.Printf("%s:\n", d)
+			for _, f := range d.FaultPrimitives() {
+				fmt.Printf("  %s\n", f.ID())
+			}
+		}
+
+	case *classes:
+		fmt.Println("single-cell static fault models:")
+		for _, c := range fp.Classes() {
+			if c.IsCoupling() {
+				continue
+			}
+			fmt.Printf("  %-5s %d primitives, e.g. %s\n", c, len(fp.ByClass(c)), fp.ByClass(c)[0])
+		}
+		fmt.Println("two-cell (coupling) static fault models:")
+		for _, c := range fp.Classes() {
+			if !c.IsCoupling() {
+				continue
+			}
+			fmt.Printf("  %-5s %d primitives, e.g. %s\n", c, len(fp.ByClass(c)), fp.ByClass(c)[0])
+		}
+
+	case *class != "":
+		c, err := fp.ParseClass(*class)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "faultls:", err)
+			os.Exit(2)
+		}
+		for _, f := range fp.ByClass(c) {
+			fmt.Println(f.ID())
+		}
+
+	case *list != "":
+		faults, ok := faultlist.ByName(*list)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "faultls: unknown fault list %q (known: %v)\n", *list, faultlist.Names())
+			os.Exit(2)
+		}
+		if *summary {
+			counts := map[linked.Kind]int{}
+			for _, f := range faults {
+				counts[f.Kind]++
+			}
+			total := 0
+			for _, k := range []linked.Kind{linked.Simple, linked.LF1, linked.LF2aa, linked.LF2av, linked.LF2va, linked.LF3} {
+				if counts[k] > 0 {
+					fmt.Printf("  %-6s %d\n", k, counts[k])
+					total += counts[k]
+				}
+			}
+			fmt.Printf("  total  %d\n", total)
+			return
+		}
+		for _, f := range faults {
+			fmt.Println(f.ID())
+		}
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,86 @@
+// Command marchgen generates a march test for a target fault list and
+// certifies it with the fault simulator — the end-to-end flow of the paper.
+//
+// Usage:
+//
+//	marchgen -list list2
+//	marchgen -list list1 -aggressive -name "March MINE"
+//	marchgen -list list1 -kinds        # per-kind coverage breakdown
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"marchgen"
+)
+
+func main() {
+	var (
+		listName   = flag.String("list", "list2", "target fault list (list1, list2, simple, simple1, simple2, realistic1, realistic2, dynamic, dynamic1, dynamic2)")
+		name       = flag.String("name", "March GEN", "name for the generated test")
+		aggressive = flag.Bool("aggressive", false, "enable the deeper minimization passes (the March RABL profile)")
+		orders     = flag.String("orders", "free", "address-order constraint: free, up (all-increasing) or down (all-decreasing)")
+		kinds      = flag.Bool("kinds", false, "print per-kind coverage breakdown")
+		ascii      = flag.Bool("ascii", false, "print the test with ASCII order markers instead of arrows")
+		asJSON     = flag.Bool("json", false, "emit the generated test and its certification report as JSON")
+	)
+	flag.Parse()
+
+	faults, err := marchgen.FaultListByName(*listName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marchgen:", err)
+		os.Exit(2)
+	}
+
+	var constraint marchgen.OrderConstraint
+	switch *orders {
+	case "free":
+		constraint = marchgen.OrderFree
+	case "up":
+		constraint = marchgen.OrderUpOnly
+	case "down":
+		constraint = marchgen.OrderDownOnly
+	default:
+		fmt.Fprintf(os.Stderr, "marchgen: invalid -orders %q (want free, up or down)\n", *orders)
+		os.Exit(2)
+	}
+
+	res, err := marchgen.Generate(faults, marchgen.Options{Name: *name, Aggressive: *aggressive, Orders: constraint})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marchgen:", err)
+		os.Exit(1)
+	}
+
+	if *asJSON {
+		out := struct {
+			Test    marchgen.March  `json:"test"`
+			Report  marchgen.Report `json:"report"`
+			Seconds float64         `json:"generation_seconds"`
+		}{res.Test, res.Report, res.Stats.Duration.Seconds()}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "marchgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	rendered := res.Test.String()
+	if *ascii {
+		rendered = res.Test.ASCII()
+	}
+	fmt.Printf("%s (%s, fault list %s)\n", res.Test.Name, res.Test.Complexity(), *listName)
+	fmt.Printf("  %s\n", rendered)
+	fmt.Printf("coverage: %d/%d faults (%.1f%%)\n", res.Report.Detected(), res.Report.Total(), res.Report.Coverage())
+	if *kinds {
+		for _, k := range res.Report.ByKind() {
+			fmt.Printf("  %s\n", k)
+		}
+	}
+	fmt.Printf("generation: %.3f s, %d candidate simulations, %d ops before minimization\n",
+		res.Stats.Duration.Seconds(), res.Stats.Simulations, res.Stats.LengthBeforeMinimize)
+}

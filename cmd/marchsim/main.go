@@ -1,0 +1,118 @@
+// Command marchsim fault-simulates a march test against a fault list: the
+// standalone interface to the memory fault simulator (the paper's reference
+// [13]).
+//
+// Usage:
+//
+//	marchsim -march "March SL" -list list1
+//	marchsim -spec "c(w0) ^(r0,w1) v(r1,w0)" -list simple -missed 10
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"marchgen"
+)
+
+func main() {
+	var (
+		marchName = flag.String("march", "", "library march test to simulate (see -tests)")
+		spec      = flag.String("spec", "", "march test in notation form, e.g. \"c(w0) ^(r0,w1) v(r1,w0)\"")
+		listName  = flag.String("list", "list1", "fault list (list1, list2, simple, simple1, simple2, realistic1, realistic2, dynamic, dynamic1, dynamic2)")
+		missed    = flag.Int("missed", 5, "print up to this many missed faults with witnesses")
+		listTests = flag.Bool("tests", false, "list the library march tests and exit")
+		asJSON    = flag.Bool("json", false, "emit the full report as JSON")
+		bistCells = flag.Int("bist", 0, "also print the BIST cost estimate for a memory of this many cells")
+		trace     = flag.Bool("trace", false, "for each missed fault printed, also replay its witness scenario step by step")
+	)
+	flag.Parse()
+
+	if *listTests {
+		for _, t := range marchgen.Library() {
+			note := ""
+			if t.Reconstructed {
+				note = "  [reconstructed sequence]"
+			}
+			fmt.Printf("%-16s %4s  %s%s\n", t.Name, t.Complexity(), t.Source, note)
+		}
+		return
+	}
+
+	var (
+		test marchgen.March
+		err  error
+	)
+	switch {
+	case *spec != "":
+		name := *marchName
+		if name == "" {
+			name = "custom"
+		}
+		test, err = marchgen.ParseMarch(name, *spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "marchsim:", err)
+			os.Exit(2)
+		}
+	case *marchName != "":
+		var ok bool
+		test, ok = marchgen.MarchByName(*marchName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "marchsim: unknown march test %q (use -tests to list)\n", *marchName)
+			os.Exit(2)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "marchsim: need -march or -spec")
+		os.Exit(2)
+	}
+
+	if err := test.CheckConsistency(); err != nil {
+		fmt.Fprintln(os.Stderr, "marchsim: inconsistent march test:", err)
+		os.Exit(2)
+	}
+
+	faults, err := marchgen.FaultListByName(*listName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marchsim:", err)
+		os.Exit(2)
+	}
+
+	r := marchgen.Simulate(test, faults)
+	if err := r.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "marchsim:", err)
+		os.Exit(1)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r); err != nil {
+			fmt.Fprintln(os.Stderr, "marchsim:", err)
+			os.Exit(1)
+		}
+		if !r.Full() {
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Println(r.Summary())
+	if *bistCells > 0 {
+		fmt.Printf("BIST estimate (%d cells): %s\n", *bistCells, marchgen.EstimateBIST(test, *bistCells, 1000))
+	}
+	for i, m := range r.Missed() {
+		if i >= *missed {
+			fmt.Printf("  ... and %d more missed faults\n", len(r.Missed())-i)
+			break
+		}
+		fmt.Printf("  missed %s  (undetected at %s)\n", m.Fault.ID(), m.Witness)
+		if *trace && m.Witness != nil {
+			if err := marchgen.TraceWitness(os.Stdout, test, m.Fault, *m.Witness); err != nil {
+				fmt.Fprintln(os.Stderr, "marchsim: trace:", err)
+			}
+		}
+	}
+	if !r.Full() {
+		os.Exit(1)
+	}
+}

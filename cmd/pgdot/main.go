@@ -1,0 +1,89 @@
+// Command pgdot renders the memory model and pattern graphs of Section 4 in
+// Graphviz DOT format, regenerating the paper's figures:
+//
+//	pgdot -n 2                                        # Figure 2 (G0)
+//	pgdot -figure4                                    # Figure 4 (PG_CF)
+//	pgdot -n 2 -lf "LF2aa|<0w1;0/1/->|<1w0;1/0/->"    # custom pattern graph
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"marchgen"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 2, "memory cells of the model (2^n states)")
+		figure4 = flag.Bool("figure4", false, "render Figure 4: the pattern graph of the linked disturb coupling fault of eq. 12")
+		lfSpec  = flag.String("lf", "", "linked fault as \"KIND|<FP1>|<FP2>\" with KIND in LF1, LF2aa, LF2av, LF2va, LF3")
+		fpSpec  = flag.String("fp", "", "simple fault primitive in <S/F/R> notation")
+		out     = flag.String("o", "", "output file (default stdout)")
+		title   = flag.String("title", "", "graph title")
+	)
+	flag.Parse()
+
+	var faults []marchgen.Fault
+	name := "G0"
+	switch {
+	case *figure4:
+		f, err := marchgen.LinkFaults(marchgen.LF2aa, "<0w1;0/1/->", "<1w0;1/0/->")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pgdot:", err)
+			os.Exit(1)
+		}
+		faults = append(faults, f)
+		name = "PGCF"
+	case *lfSpec != "":
+		parts := strings.Split(*lfSpec, "|")
+		if len(parts) != 3 {
+			fmt.Fprintln(os.Stderr, "pgdot: -lf wants \"KIND|<FP1>|<FP2>\"")
+			os.Exit(2)
+		}
+		kinds := map[string]marchgen.FaultKind{
+			"LF1": marchgen.LF1, "LF2aa": marchgen.LF2aa, "LF2av": marchgen.LF2av,
+			"LF2va": marchgen.LF2va, "LF3": marchgen.LF3,
+		}
+		kind, ok := kinds[parts[0]]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "pgdot: unknown kind %q\n", parts[0])
+			os.Exit(2)
+		}
+		f, err := marchgen.LinkFaults(kind, parts[1], parts[2])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pgdot:", err)
+			os.Exit(2)
+		}
+		faults = append(faults, f)
+		name = "PG"
+	case *fpSpec != "":
+		f, err := marchgen.SimpleFault(*fpSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pgdot:", err)
+			os.Exit(2)
+		}
+		faults = append(faults, f)
+		name = "PG"
+	}
+	if *title != "" {
+		name = *title
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pgdot:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := marchgen.PatternDOT(w, *n, faults, name); err != nil {
+		fmt.Fprintln(os.Stderr, "pgdot:", err)
+		os.Exit(1)
+	}
+}

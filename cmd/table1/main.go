@@ -1,0 +1,101 @@
+// Command table1 regenerates the paper's Table 1: it runs the generator
+// against Fault Lists #1 and #2, measures generation time and test length,
+// and compares against the published baselines (the 43n test of [11], the
+// 41n March SL of [10] and the 11n March LF1 of [16]). It also reports the
+// simulated coverage of every published test on the reproduction's fault
+// lists, which is the data behind EXPERIMENTS.md.
+//
+// Usage:
+//
+//	table1            # full reproduction (three generated rows + baselines)
+//	table1 -quick     # skip the aggressive (RABL-profile) row
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"marchgen"
+	"marchgen/internal/faultlist"
+	"marchgen/internal/march"
+	"marchgen/internal/report"
+	"marchgen/internal/sim"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "skip the aggressive (March RABL profile) row")
+	flag.Parse()
+
+	list1 := faultlist.List1()
+	list2 := faultlist.List2()
+
+	type genRow struct {
+		name       string
+		faults     []marchgen.Fault
+		listLabel  string
+		aggressive bool
+		vsLF1      bool
+	}
+	rows := []genRow{
+		{"ABL-repro", list1, "#1", false, false},
+		{"RABL-repro", list1, "#1", true, false},
+		{"ABL1-repro", list2, "#2", false, true},
+	}
+	if *quick {
+		rows = append(rows[:1], rows[2:]...)
+	}
+
+	var t1 []report.Table1Row
+	for _, r := range rows {
+		res, err := marchgen.Generate(r.faults, marchgen.Options{Name: "March " + r.name, Aggressive: r.aggressive})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "table1:", err)
+			os.Exit(1)
+		}
+		row := report.Table1Row{
+			Algorithm:  r.name,
+			MarchTest:  res.Test.String(),
+			FaultList:  r.listLabel,
+			CPUSeconds: res.Stats.Duration.Seconds(),
+			Length:     res.Test.Length(),
+			Imp43:      math.NaN(),
+			ImpSL:      math.NaN(),
+			ImpLF1:     math.NaN(),
+			Coverage:   fmt.Sprintf("%d/%d", res.Report.Detected(), res.Report.Total()),
+		}
+		if r.vsLF1 {
+			row.ImpLF1 = report.Improvement(march.MarchLF1.Length(), res.Test.Length())
+		} else {
+			row.Imp43 = report.Improvement(march.March43N.Length(), res.Test.Length())
+			row.ImpSL = report.Improvement(march.MarchSL.Length(), res.Test.Length())
+		}
+		t1 = append(t1, row)
+		fmt.Printf("%-11s => %s\n", r.name, res.Test)
+	}
+	fmt.Println()
+	if err := report.Table1(t1).Render(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "table1:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println()
+	fmt.Println("Published tests on the reproduction's fault lists (coverage check):")
+	cov := &report.Table{Header: []string{"March Test", "O(n)", "List #1", "List #2", "Simple"}}
+	cfg := sim.DefaultConfig()
+	simple := faultlist.SimpleStatic()
+	for _, m := range []marchgen.March{march.MarchSL, march.MarchLF1, march.March43N, march.MarchABL, march.MarchRABL, march.MarchABL1, march.MarchCMinus, march.MarchSS} {
+		r1 := sim.Simulate(m, list1, cfg)
+		r2 := sim.Simulate(m, list2, cfg)
+		rs := sim.Simulate(m, simple, cfg)
+		cov.AddRow(m.Name, m.Complexity(),
+			fmt.Sprintf("%d/%d", r1.Detected(), r1.Total()),
+			fmt.Sprintf("%d/%d", r2.Detected(), r2.Total()),
+			fmt.Sprintf("%d/%d", rs.Detected(), rs.Total()))
+	}
+	if err := cov.Render(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "table1:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,80 @@
+package marchgen_test
+
+import (
+	"fmt"
+	"log"
+
+	"marchgen"
+)
+
+// Generate a certified march test for the paper's Fault List #2.
+func ExampleGenerate() {
+	res, err := marchgen.Generate(marchgen.List2(), marchgen.Options{Name: "March EX"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Test.ASCII())
+	fmt.Printf("%d/%d detected\n", res.Report.Detected(), res.Report.Total())
+	// Output:
+	// c(w0) ^(r0,r0,w1,w1,r1,r1)
+	// 18/18 detected
+}
+
+// Parse and inspect a march test in conventional notation.
+func ExampleParseMarch() {
+	m, err := marchgen.ParseMarch("MATS+", "c(w0) ^(r0,w1) v(r1,w0)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(m.Complexity())
+	fmt.Println(m)
+	// Output:
+	// 5n
+	// ⇕(w0) ⇑(r0,w1) ⇓(r1,w0)
+}
+
+// Parse a fault primitive and build a linked fault from the paper's
+// eq. (12).
+func ExampleLinkFaults() {
+	lf, err := marchgen.LinkFaults(marchgen.LF2aa, "<0w1;0/1/->", "<1w0;1/0/->")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(lf.ID())
+	// Output:
+	// LF2aa{CFds<0w1;0/1/->(a0,v1) -> CFds<1w0;1/0/->(a0,v1)}
+}
+
+// Simulate a published test against the single-cell linked faults.
+func ExampleSimulate() {
+	sl, _ := marchgen.MarchByName("March SL")
+	r := marchgen.Simulate(sl, marchgen.List2())
+	fmt.Printf("%d/%d\n", r.Detected(), r.Total())
+	// Output:
+	// 18/18
+}
+
+// Check whether one march test detects one fault.
+func ExampleDetects() {
+	mc, _ := marchgen.MarchByName("March C-")
+	lf, err := marchgen.LinkFaults(marchgen.LF3, "<0w1;0/1/->", "<0w1;1/0/->")
+	if err != nil {
+		log.Fatal(err)
+	}
+	det, err := marchgen.Detects(mc, lf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(det)
+	// Output:
+	// false
+}
+
+// Estimate the BIST implementation cost of a march test.
+func ExampleEstimateBIST() {
+	sl, _ := marchgen.MarchByName("March SL")
+	c := marchgen.EstimateBIST(sl, 1024, 0)
+	fmt.Printf("cycles=%d singleOrder=%v\n", c.Cycles, c.SingleOrder)
+	// Output:
+	// cycles=41984 singleOrder=false
+}

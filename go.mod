@@ -1,0 +1,3 @@
+module marchgen
+
+go 1.22

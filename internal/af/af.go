@@ -1,0 +1,214 @@
+// Package af models address decoder faults (AFs) — the classic functional
+// fault class that motivated MATS+ — and simulates march tests against
+// them. Unlike cell faults, AFs corrupt the address mapping rather than
+// stored values:
+//
+//	AF1: an address accesses no cell (writes are lost; reads return the
+//	     floating bitline value, modeled as the last value read or written
+//	     through the decoder);
+//	AF2: an address accesses a wrong cell instead of its own;
+//	AF3: an address additionally accesses a second cell;
+//	AF4: two addresses access one shared cell (the mirror of AF3).
+//
+// The classic result — a march test detects all AFs iff it contains the
+// MATS+ pattern ⇑(r0,...,w1) ⇓(r1,...,w0) (ascending sequences ending in
+// w~x after rx, and descending likewise) — is reproduced by this package's
+// tests against the march library.
+package af
+
+import (
+	"fmt"
+
+	"marchgen/internal/fp"
+	"marchgen/internal/march"
+)
+
+// Kind is the decoder fault class.
+type Kind uint8
+
+// Address decoder fault kinds.
+const (
+	AF1 Kind = iota // address A accesses no cell
+	AF2             // address A accesses cell B instead of cell A
+	AF3             // address A accesses cells A and B
+	AF4             // addresses A and B both access cell A
+)
+
+var kindNames = [...]string{"AF1", "AF2", "AF3", "AF4"}
+
+// String returns the class name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Fault is a concrete decoder fault: the affected address A and, for the
+// two-address kinds, the partner cell/address B.
+type Fault struct {
+	Kind Kind
+	A, B int
+}
+
+// ID renders "AF3{2+3}" style identifiers.
+func (f Fault) ID() string {
+	switch f.Kind {
+	case AF1:
+		return fmt.Sprintf("AF1{%d}", f.A)
+	case AF2:
+		return fmt.Sprintf("AF2{%d->%d}", f.A, f.B)
+	case AF3:
+		return fmt.Sprintf("AF3{%d+%d}", f.A, f.B)
+	case AF4:
+		return fmt.Sprintf("AF4{%d&%d}", f.A, f.B)
+	}
+	return fmt.Sprintf("AF?{%d,%d}", f.A, f.B)
+}
+
+// Validate checks the fault against an n-cell memory.
+func (f Fault) Validate(n int) error {
+	if f.A < 0 || f.A >= n {
+		return fmt.Errorf("af: %s: address A out of range [0,%d)", f.ID(), n)
+	}
+	switch f.Kind {
+	case AF1:
+		return nil
+	case AF2, AF3, AF4:
+		if f.B < 0 || f.B >= n {
+			return fmt.Errorf("af: %s: address B out of range [0,%d)", f.ID(), n)
+		}
+		if f.A == f.B {
+			return fmt.Errorf("af: %s: A and B must differ", f.ID())
+		}
+		return nil
+	}
+	return fmt.Errorf("af: unknown kind %d", f.Kind)
+}
+
+// All enumerates every decoder fault on an n-cell memory: n AF1s plus
+// n(n-1) each of AF2/AF3/AF4.
+func All(n int) []Fault {
+	var out []Fault
+	for a := 0; a < n; a++ {
+		out = append(out, Fault{Kind: AF1, A: a})
+		for b := 0; b < n; b++ {
+			if a == b {
+				continue
+			}
+			out = append(out,
+				Fault{Kind: AF2, A: a, B: b},
+				Fault{Kind: AF3, A: a, B: b},
+				Fault{Kind: AF4, A: a, B: b},
+			)
+		}
+	}
+	return out
+}
+
+// targets returns the cells an access to addr reaches on the faulty
+// machine. Empty for a floating access (AF1).
+func (f Fault) targets(addr int) []int {
+	switch f.Kind {
+	case AF1:
+		if addr == f.A {
+			return nil
+		}
+	case AF2:
+		if addr == f.A {
+			return []int{f.B}
+		}
+	case AF3:
+		if addr == f.A {
+			return []int{f.A, f.B}
+		}
+	case AF4:
+		if addr == f.A || addr == f.B {
+			return []int{f.A}
+		}
+	}
+	return []int{addr}
+}
+
+// Detects reports whether the march test detects the decoder fault on an
+// n-cell memory, for every uniform initial value: some read must return a
+// value different from the fault-free machine's. A floating read (AF1)
+// returns the retained bus value: the last value any read or write moved
+// through the decoder, the conventional model for open decoder lines.
+func Detects(t march.Test, f Fault, n int) (bool, error) {
+	if err := t.Validate(); err != nil {
+		return false, err
+	}
+	if err := f.Validate(n); err != nil {
+		return false, err
+	}
+	for _, init := range []fp.Value{fp.V0, fp.V1} {
+		if detected, err := run(t, f, n, init); err != nil {
+			return false, err
+		} else if !detected {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func run(t march.Test, f Fault, n int, init fp.Value) (bool, error) {
+	good := make([]fp.Value, n)
+	faulty := make([]fp.Value, n)
+	for i := range good {
+		good[i] = init
+		faulty[i] = init
+	}
+	bus := init // retained bitline value for floating accesses
+	for _, e := range t.Elems {
+		for _, addr := range e.Order.Addresses(n) {
+			for _, op := range e.Ops {
+				switch op.Kind {
+				case fp.OpWrite:
+					good[addr] = op.Data
+					for _, c := range f.targets(addr) {
+						faulty[c] = op.Data
+					}
+					bus = op.Data
+				case fp.OpRead:
+					retGood := good[addr]
+					var retFaulty fp.Value
+					if tg := f.targets(addr); len(tg) == 0 {
+						retFaulty = bus // floating access
+					} else {
+						// A multi-cell read wired-ANDs the bitlines; with
+						// our AF3/AF4 shapes both cells hold the same value
+						// unless the fault already diverged, in which case
+						// the AND biases toward 0 (the conventional model).
+						retFaulty = fp.V1
+						for _, c := range tg {
+							if faulty[c] == fp.V0 {
+								retFaulty = fp.V0
+							}
+						}
+						bus = retFaulty
+					}
+					if retFaulty != retGood {
+						return true, nil
+					}
+				}
+			}
+		}
+	}
+	return false, nil
+}
+
+// Coverage counts detected faults.
+func Coverage(t march.Test, faults []Fault, n int) (int, error) {
+	det := 0
+	for _, f := range faults {
+		d, err := Detects(t, f, n)
+		if err != nil {
+			return det, err
+		}
+		if d {
+			det++
+		}
+	}
+	return det, nil
+}

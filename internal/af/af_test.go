@@ -1,0 +1,174 @@
+package af
+
+import (
+	"testing"
+
+	"marchgen/internal/march"
+)
+
+func TestAllEnumeration(t *testing.T) {
+	faults := All(4)
+	// 4 AF1 + 12 each of AF2/AF3/AF4.
+	if len(faults) != 40 {
+		t.Fatalf("%d faults, want 40", len(faults))
+	}
+	counts := map[Kind]int{}
+	seen := map[string]bool{}
+	for _, f := range faults {
+		if err := f.Validate(4); err != nil {
+			t.Errorf("%s: %v", f.ID(), err)
+		}
+		counts[f.Kind]++
+		if seen[f.ID()] {
+			t.Errorf("duplicate %s", f.ID())
+		}
+		seen[f.ID()] = true
+	}
+	if counts[AF1] != 4 || counts[AF2] != 12 || counts[AF3] != 12 || counts[AF4] != 12 {
+		t.Errorf("kind counts: %v", counts)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if (Fault{Kind: AF1, A: 4}).Validate(4) == nil {
+		t.Error("A out of range must fail")
+	}
+	if (Fault{Kind: AF2, A: 0, B: 0}).Validate(4) == nil {
+		t.Error("A == B must fail")
+	}
+	if (Fault{Kind: AF3, A: 0, B: 9}).Validate(4) == nil {
+		t.Error("B out of range must fail")
+	}
+	if (Fault{Kind: Kind(9), A: 0}).Validate(4) == nil {
+		t.Error("unknown kind must fail")
+	}
+}
+
+func TestTargets(t *testing.T) {
+	af1 := Fault{Kind: AF1, A: 1}
+	if got := af1.targets(1); len(got) != 0 {
+		t.Errorf("AF1 targets = %v, want none", got)
+	}
+	if got := af1.targets(2); len(got) != 1 || got[0] != 2 {
+		t.Errorf("unaffected address targets = %v", got)
+	}
+	af2 := Fault{Kind: AF2, A: 1, B: 3}
+	if got := af2.targets(1); len(got) != 1 || got[0] != 3 {
+		t.Errorf("AF2 targets = %v, want [3]", got)
+	}
+	af3 := Fault{Kind: AF3, A: 1, B: 3}
+	if got := af3.targets(1); len(got) != 2 {
+		t.Errorf("AF3 targets = %v, want two cells", got)
+	}
+	af4 := Fault{Kind: AF4, A: 1, B: 3}
+	if got := af4.targets(3); len(got) != 1 || got[0] != 1 {
+		t.Errorf("AF4 targets(B) = %v, want [A]", got)
+	}
+}
+
+// The classic result: MATS+ (5n) detects all address decoder faults — it
+// is the minimal test that does.
+func TestMATSPlusDetectsAllAFs(t *testing.T) {
+	faults := All(4)
+	got, err := Coverage(march.MATSPlus, faults, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != len(faults) {
+		t.Errorf("MATS+ detects %d/%d AFs, literature says all", got, len(faults))
+	}
+}
+
+// Coverage anchors across the library (pinned measurements): every test
+// with ascending and descending read-then-complement-write sweeps covers
+// all AFs; the all-⇕ March ABL1 covers none, and the all-⇑ March LF1
+// misses one — the textbook reason AF tests need both address orders.
+func TestLibraryAFCoverageAnchors(t *testing.T) {
+	faults := All(4)
+	full := []march.Test{
+		march.MATSPlus, march.MarchX, march.MarchY, march.MarchCMinus,
+		march.MarchA, march.MarchB, march.MarchU, march.MarchLR,
+		march.MarchLA, march.MarchSS, march.MarchRAW, march.PMOVI,
+		march.MarchSL, march.March43N, march.MarchABL, march.MarchRABL,
+	}
+	for _, m := range full {
+		got, err := Coverage(m, faults, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != len(faults) {
+			t.Errorf("%s: %d/%d AFs, previously measured full", m.Name, got, len(faults))
+		}
+	}
+	got, err := Coverage(march.MarchABL1, faults, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("March ABL1 (all-⇕): %d/%d AFs, previously measured 0", got, len(faults))
+	}
+	got, err = Coverage(march.MarchLF1, faults, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 39 {
+		t.Errorf("March LF1 (all-⇑): %d/%d AFs, previously measured 39", got, len(faults))
+	}
+}
+
+// An AF1 with the floating-read model is caught by the first read after a
+// complementary write elsewhere keeps the bus value distinct.
+func TestAF1FloatingRead(t *testing.T) {
+	f := Fault{Kind: AF1, A: 2}
+	det, err := Detects(march.MATSPlus, f, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det {
+		t.Error("MATS+ must detect a floating address")
+	}
+	// A test that only ever writes and reads the same value cannot: the
+	// bus always retains the expected value.
+	blind := march.MustParse("blind", "c(w0) c(r0)")
+	det, err = Detects(blind, f, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det {
+		t.Error("single-value test must miss the floating address")
+	}
+}
+
+// Detection requires both initial values: a fault visible only from one
+// power-up state is not covered.
+func TestDetectsBothInits(t *testing.T) {
+	f := Fault{Kind: AF2, A: 0, B: 1}
+	onlyRead := march.MustParse("ro", "c(r0)") // inconsistent expectation aside, reads only
+	if err := onlyRead.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	det, err := Detects(onlyRead, f, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det {
+		t.Error("a read-only sweep cannot expose a wrong-cell mapping")
+	}
+}
+
+func TestIDs(t *testing.T) {
+	cases := map[string]Fault{
+		"AF1{2}":    {Kind: AF1, A: 2},
+		"AF2{1->3}": {Kind: AF2, A: 1, B: 3},
+		"AF3{1+3}":  {Kind: AF3, A: 1, B: 3},
+		"AF4{1&3}":  {Kind: AF4, A: 1, B: 3},
+	}
+	for want, f := range cases {
+		if f.ID() != want {
+			t.Errorf("ID = %q, want %q", f.ID(), want)
+		}
+	}
+	if AF3.String() != "AF3" {
+		t.Errorf("Kind.String = %q", AF3.String())
+	}
+}

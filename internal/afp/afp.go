@@ -1,0 +1,326 @@
+// Package afp implements the Addressed Fault Primitive of Definition 4 of
+// the paper — an instantiation of a fault primitive that makes the involved
+// addresses and the faulty/fault-free final memory states explicit —
+// together with the Test Pattern of Definition 5 and the linked-AFP chaining
+// of Definition 7.
+//
+//	AFP = (I, Es, Fv, Gv)    TP = (I, E, O)
+//
+// States use the paper's LSB-first convention: the first character of a
+// state string is the cell with the lowest address.
+package afp
+
+import (
+	"fmt"
+	"strings"
+
+	"marchgen/internal/automaton"
+	"marchgen/internal/fp"
+	"marchgen/internal/linked"
+)
+
+// Assignment maps the roles of a fault primitive to memory addresses of the
+// model. A is -1 for single-cell primitives.
+type Assignment struct {
+	A int
+	V int
+}
+
+// AFP is an Addressed Fault Primitive on an n-cell memory model.
+//
+// Beyond the (I, Es, Fv, Gv) quadruple of Definition 4 it records the victim
+// address and the faulty read result R of the underlying primitive (the
+// original definition drops R, which loses incorrect-read faults; carrying
+// it is a conservative extension documented in DESIGN.md).
+type AFP struct {
+	// Cells is the model size n.
+	Cells int
+	// I is the initial memory state before applying the AFP.
+	I automaton.State
+	// Es is the sensitizing operation sequence (empty for state faults).
+	Es []automaton.Op
+	// Fv is the faulty final memory state.
+	Fv automaton.State
+	// Gv is the fault-free (expected) final memory state.
+	Gv automaton.State
+	// Victim is the address of the victim cell.
+	Victim int
+	// R is the value returned by a faulty sensitizing read on the victim
+	// (VX when the sensitization contains no victim read).
+	R fp.Value
+}
+
+// String renders "(00, w1i, 11, 10)" in the style of the paper's examples.
+func (a AFP) String() string {
+	ops := make([]string, len(a.Es))
+	for i, op := range a.Es {
+		ops[i] = op.String()
+	}
+	es := strings.Join(ops, " ")
+	if es == "" {
+		es = "ε"
+	}
+	return fmt.Sprintf("(%s, %s, %s, %s)",
+		a.I.Format(a.Cells), es, a.Fv.Format(a.Cells), a.Gv.Format(a.Cells))
+}
+
+// VictimFaulty returns V(Fv): the faulty value of the victim cell (the V
+// extraction function of Definition 7).
+func (a AFP) VictimFaulty() fp.Value { return a.Fv.Cell(a.Victim) }
+
+// VictimGood returns the fault-free final value of the victim cell.
+func (a AFP) VictimGood() fp.Value { return a.Gv.Cell(a.Victim) }
+
+// TP derives the Test Pattern of Definition 5: the initial state, the
+// sensitizing sequence, and the observing read on the victim expecting the
+// fault-free value ("read the content of the cell and verify it").
+func (a AFP) TP() TP {
+	return TP{
+		Cells:  a.Cells,
+		I:      a.I,
+		E:      append([]automaton.Op(nil), a.Es...),
+		O:      automaton.Op{Cell: a.Victim, Op: fp.R(a.VictimGood())},
+		Target: a.Fv,
+	}
+}
+
+// TP is a Test Pattern (Definition 5): initialization I, excitation E and
+// observation O. Target is the memory state reached by the faulty machine
+// after E (equal to the AFP's Fv); on the pattern graph the TP is a faulty
+// edge from I to Target (Section 4).
+type TP struct {
+	Cells  int
+	I      automaton.State
+	E      []automaton.Op
+	O      automaton.Op
+	Target automaton.State
+}
+
+// String renders "(00, w1i, r0j)" in the style of eq. (14).
+func (t TP) String() string {
+	ops := make([]string, len(t.E))
+	for i, op := range t.E {
+		ops[i] = op.String()
+	}
+	es := strings.Join(ops, " ")
+	if es == "" {
+		es = "ε"
+	}
+	return fmt.Sprintf("(%s, %s, %s)", t.I.Format(t.Cells), es, t.O)
+}
+
+// Ops returns the excitation followed by the observation: the operation
+// sequence a walk must take when traversing the TP's faulty edge.
+func (t TP) Ops() []automaton.Op {
+	return append(append([]automaton.Op(nil), t.E...), t.O)
+}
+
+// checkAssignment validates an assignment against the primitive's shape.
+func checkAssignment(f fp.FP, n int, as Assignment) error {
+	if as.V < 0 || as.V >= n {
+		return fmt.Errorf("afp: victim address %d out of range [0,%d)", as.V, n)
+	}
+	if f.Cells == 1 {
+		if as.A != -1 {
+			return fmt.Errorf("afp: single-cell primitive %v cannot have an aggressor address", f)
+		}
+		return nil
+	}
+	if as.A < 0 || as.A >= n {
+		return fmt.Errorf("afp: aggressor address %d out of range [0,%d)", as.A, n)
+	}
+	if as.A == as.V {
+		return fmt.Errorf("afp: aggressor and victim must be distinct addresses")
+	}
+	return nil
+}
+
+// sensOps builds the addressed sensitizing operation sequence of an
+// op-triggered primitive under an assignment (one operation for static
+// primitives, two for dynamic ones).
+func sensOps(f fp.FP, as Assignment) []automaton.Op {
+	cell := as.V
+	if f.OpRole == fp.RoleAggressor {
+		cell = as.A
+	}
+	addr := func(op fp.Op) automaton.Op {
+		if op.Kind == fp.OpWait {
+			return automaton.WaitOp
+		}
+		return automaton.Op{Cell: cell, Op: op}
+	}
+	ops := []automaton.Op{addr(f.Op)}
+	if f.IsDynamic() {
+		ops = append(ops, addr(f.Op2))
+	}
+	return ops
+}
+
+// instantiateAt builds the AFP for one fully specified initial state.
+func instantiateAt(f fp.FP, n int, as Assignment, init automaton.State) (AFP, error) {
+	m, err := automaton.New(n)
+	if err != nil {
+		return AFP{}, err
+	}
+	a := AFP{Cells: n, I: init, Victim: as.V, R: fp.VX}
+	if f.Trigger == fp.TrigOp {
+		a.Es = sensOps(f, as)
+		gv := init
+		for _, op := range a.Es {
+			gv, err = m.Delta(gv, op)
+			if err != nil {
+				return AFP{}, err
+			}
+		}
+		a.Gv = gv
+		last := f.Op
+		if f.IsDynamic() {
+			last = f.Op2
+		}
+		if f.OpRole == fp.RoleVictim && last.Kind == fp.OpRead {
+			a.R = f.R
+		}
+	} else {
+		a.Gv = init // state faults have an empty sensitizing sequence
+	}
+	a.Fv = a.Gv.WithCell(as.V, f.F)
+	return a, nil
+}
+
+// Instantiate enumerates the AFPs of a fault primitive under one role
+// assignment on an n-cell model: one AFP per combination of values of the
+// cells the primitive does not constrain (Definition 4's example enumerates
+// exactly these instantiations).
+func Instantiate(f fp.FP, n int, as Assignment) ([]AFP, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkAssignment(f, n, as); err != nil {
+		return nil, err
+	}
+	constrained := map[int]fp.Value{}
+	if f.VInit.IsBinary() {
+		constrained[as.V] = f.VInit
+	}
+	var free []int
+	for c := 0; c < n; c++ {
+		if _, ok := constrained[c]; ok {
+			continue
+		}
+		if c == as.A && f.AInit.IsBinary() {
+			constrained[c] = f.AInit
+			continue
+		}
+		free = append(free, c) // unconstrained f-cell or bystander
+	}
+
+	var out []AFP
+	for bits := 0; bits < 1<<len(free); bits++ {
+		var init automaton.State
+		for cell, v := range constrained {
+			init = init.WithCell(cell, v)
+		}
+		for i, cell := range free {
+			init = init.WithCell(cell, fp.ValueOf(uint8(bits>>i)&1))
+		}
+		a, err := instantiateAt(f, n, as, init)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// InstantiateAll enumerates the AFPs of a primitive over every role
+// assignment on the model.
+func InstantiateAll(f fp.FP, n int) ([]AFP, error) {
+	var out []AFP
+	if f.Cells == 1 {
+		for v := 0; v < n; v++ {
+			afps, err := Instantiate(f, n, Assignment{A: -1, V: v})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, afps...)
+		}
+		return out, nil
+	}
+	for a := 0; a < n; a++ {
+		for v := 0; v < n; v++ {
+			if a == v {
+				continue
+			}
+			afps, err := Instantiate(f, n, Assignment{A: a, V: v})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, afps...)
+		}
+	}
+	return out, nil
+}
+
+// ChainPair is a linked AFP pair "AFP1 → AFP2" satisfying Definition 7:
+// the initial state of the second equals the faulty state reached by the
+// first, and the second masks the first (V(Fv2) = NOT V(Fv1)).
+type ChainPair struct {
+	First, Second AFP
+}
+
+// String renders "AFP1 -> AFP2".
+func (c ChainPair) String() string {
+	return c.First.String() + " -> " + c.Second.String()
+}
+
+// Chain instantiates a linked fault on an n-cell model under a placement
+// (fault cell index → memory address) and returns every Definition-7
+// compliant AFP pair (one per admissible bystander configuration).
+func Chain(fault linked.Fault, n int, placement []int) ([]ChainPair, error) {
+	if err := fault.Validate(); err != nil {
+		return nil, err
+	}
+	if !fault.Kind.IsLinked() {
+		return nil, fmt.Errorf("afp: %s is not a linked fault", fault.ID())
+	}
+	if len(placement) != fault.Cells {
+		return nil, fmt.Errorf("afp: placement has %d addresses, fault involves %d cells", len(placement), fault.Cells)
+	}
+	asgn := func(b linked.Binding) Assignment {
+		a := -1
+		if b.A >= 0 {
+			a = placement[b.A]
+		}
+		return Assignment{A: a, V: placement[b.V]}
+	}
+
+	firsts, err := Instantiate(fault.FP1().FP, n, asgn(fault.FP1()))
+	if err != nil {
+		return nil, err
+	}
+	f2 := fault.FP2()
+	var pairs []ChainPair
+	for _, a1 := range firsts {
+		// Definition 7: I2 = Fv1. Instantiate FP2 exactly at that state and
+		// keep the pair only if the state satisfies FP2's sensitizing
+		// conditions.
+		if f2.FP.VInit.IsBinary() && a1.Fv.Cell(placement[f2.V]) != f2.FP.VInit {
+			continue
+		}
+		if f2.A >= 0 && f2.FP.AInit.IsBinary() && a1.Fv.Cell(placement[f2.A]) != f2.FP.AInit {
+			continue
+		}
+		a2, err := instantiateAt(f2.FP, n, asgn(f2), a1.Fv)
+		if err != nil {
+			return nil, err
+		}
+		if a2.VictimFaulty() != a1.VictimFaulty().Not() {
+			continue // FP2 does not mask FP1 in this configuration
+		}
+		pairs = append(pairs, ChainPair{First: a1, Second: a2})
+	}
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("afp: %s has no Definition-7 chain on %d cells at placement %v", fault.ID(), n, placement)
+	}
+	return pairs, nil
+}

@@ -1,0 +1,276 @@
+package afp
+
+import (
+	"strings"
+	"testing"
+
+	"marchgen/internal/automaton"
+	"marchgen/internal/fp"
+	"marchgen/internal/linked"
+)
+
+func state(t *testing.T, s string) automaton.State {
+	t.Helper()
+	st, _, err := automaton.ParseState(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// The worked example of Definition 4: FP <0w1;0/1/-> on a 2-cell memory
+// yields AFP1 = (00, w1 on cell 0, 11, 10) and AFP2 = (00, w1 on cell 1, 11,
+// 01) — one per role assignment.
+func TestDefinition4Example(t *testing.T) {
+	f := fp.MustParseFP("<0w1;0/1/->")
+
+	afps1, err := Instantiate(f, 2, Assignment{A: 0, V: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(afps1) != 1 {
+		t.Fatalf("assignment (a=0,v=1): %d AFPs, want 1 (both cells constrained)", len(afps1))
+	}
+	a1 := afps1[0]
+	if a1.I != state(t, "00") || a1.Fv != state(t, "11") || a1.Gv != state(t, "10") {
+		t.Errorf("AFP1 = %s, want (00, w1i, 11, 10)", a1)
+	}
+	if len(a1.Es) != 1 || a1.Es[0].String() != "w1i" {
+		t.Errorf("AFP1 sensitizing ops = %v", a1.Es)
+	}
+
+	afps2, err := Instantiate(f, 2, Assignment{A: 1, V: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2 := afps2[0]
+	if a2.I != state(t, "00") || a2.Fv != state(t, "11") || a2.Gv != state(t, "01") {
+		t.Errorf("AFP2 = %s, want (00, w1j, 11, 01)", a2)
+	}
+}
+
+// The test patterns of Definition 5's example: TP1 = (00, w1 on cell 0,
+// read cell 1 expecting 0) and TP2 = (00, w1 on cell 1, read cell 0
+// expecting 0).
+func TestDefinition5Example(t *testing.T) {
+	f := fp.MustParseFP("<0w1;0/1/->")
+	afps, err := Instantiate(f, 2, Assignment{A: 0, V: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := afps[0].TP()
+	if tp.I != state(t, "00") {
+		t.Errorf("TP1 initial state %s", tp.I.Format(2))
+	}
+	if tp.O.Cell != 1 || tp.O.Op != fp.R0 {
+		t.Errorf("TP1 observation %v, want r0 on cell 1", tp.O)
+	}
+	if tp.Target != state(t, "11") {
+		t.Errorf("TP1 target %s, want 11", tp.Target.Format(2))
+	}
+	ops := tp.Ops()
+	if len(ops) != 2 || ops[0].String() != "w1i" || ops[1].String() != "r0j" {
+		t.Errorf("TP1 ops = %v", ops)
+	}
+}
+
+// The chained AFPs of eq. (13): (00, w1i, 11, 10) → (11, w0i, 00, 01) for
+// the linked fault of eq. (12) placed with aggressor=cell0, victim=cell1.
+func TestDefinition7ChainEq13(t *testing.T) {
+	lf, err := linked.NewLF2aa(fp.MustParseFP("<0w1;0/1/->"), fp.MustParseFP("<1w0;1/0/->"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := Chain(lf, 2, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 {
+		t.Fatalf("%d chains, want 1", len(pairs))
+	}
+	p := pairs[0]
+	if p.First.I != state(t, "00") || p.First.Fv != state(t, "11") || p.First.Gv != state(t, "10") {
+		t.Errorf("AFP1 = %s", p.First)
+	}
+	if p.Second.I != state(t, "11") || p.Second.Fv != state(t, "00") || p.Second.Gv != state(t, "01") {
+		t.Errorf("AFP2 = %s", p.Second)
+	}
+	// Definition 7's two conditions.
+	if p.Second.I != p.First.Fv {
+		t.Error("I2 != Fv1")
+	}
+	if p.Second.VictimFaulty() != p.First.VictimFaulty().Not() {
+		t.Error("V(Fv2) != NOT V(Fv1)")
+	}
+	// eq. (14): the TPs are (00, w1i, r0j) → (11, w0i, r1j).
+	tp1, tp2 := p.First.TP(), p.Second.TP()
+	if tp1.String() != "(00, w1i, r0j)" {
+		t.Errorf("TP1 = %s, want (00, w1i, r0j)", tp1)
+	}
+	if tp2.String() != "(11, w0i, r1j)" {
+		t.Errorf("TP2 = %s, want (11, w0i, r1j)", tp2)
+	}
+}
+
+func TestInstantiateEnumeratesFreeCells(t *testing.T) {
+	// A single-cell TF on a 2-cell model leaves the bystander free: two
+	// AFPs.
+	f := fp.MustParseFP("<0w1/0/->")
+	afps, err := Instantiate(f, 2, Assignment{A: -1, V: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(afps) != 2 {
+		t.Fatalf("%d AFPs, want 2 (free bystander)", len(afps))
+	}
+	seen := map[automaton.State]bool{}
+	for _, a := range afps {
+		seen[a.I] = true
+		if a.I.Cell(0) != fp.V0 {
+			t.Errorf("victim initial state must be 0, got %s", a.I.Format(2))
+		}
+		if a.Gv.Cell(0) != fp.V1 || a.Fv.Cell(0) != fp.V0 {
+			t.Errorf("TF: Gv victim must be 1, Fv victim 0: %s", a)
+		}
+		if a.I.Cell(1) != a.Gv.Cell(1) {
+			t.Errorf("bystander must be untouched: %s", a)
+		}
+	}
+	if len(seen) != 2 {
+		t.Error("the two AFPs must differ in the bystander value")
+	}
+}
+
+func TestInstantiateAllCounts(t *testing.T) {
+	// Single-cell FP on 2 cells: 2 victims × 2 bystander values.
+	single := fp.MustParseFP("<0w1/0/->")
+	afps, err := InstantiateAll(single, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(afps) != 4 {
+		t.Errorf("single-cell: %d AFPs, want 4", len(afps))
+	}
+	// Coupling FP on 2 cells: 2 ordered assignments, fully constrained.
+	coupling := fp.MustParseFP("<0w1;0/1/->")
+	afps, err = InstantiateAll(coupling, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(afps) != 2 {
+		t.Errorf("coupling: %d AFPs, want 2", len(afps))
+	}
+	// Coupling FP on 3 cells: 6 ordered assignments × 2 bystander values.
+	afps, err = InstantiateAll(coupling, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(afps) != 12 {
+		t.Errorf("coupling on 3 cells: %d AFPs, want 12", len(afps))
+	}
+}
+
+func TestInstantiateStateFault(t *testing.T) {
+	sf := fp.MustParseFP("<1/0/->")
+	afps, err := Instantiate(sf, 1, Assignment{A: -1, V: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(afps) != 1 {
+		t.Fatalf("%d AFPs, want 1", len(afps))
+	}
+	a := afps[0]
+	if len(a.Es) != 0 {
+		t.Errorf("state fault must have an empty sensitizing sequence, got %v", a.Es)
+	}
+	if a.Gv != a.I {
+		t.Error("state fault Gv must equal I")
+	}
+	if a.VictimFaulty() != fp.V0 || a.VictimGood() != fp.V1 {
+		t.Errorf("SF1: Fv/Gv victims = %v/%v", a.VictimFaulty(), a.VictimGood())
+	}
+	if !strings.Contains(a.String(), "ε") {
+		t.Errorf("empty sequence must render ε: %s", a)
+	}
+}
+
+func TestInstantiateReadFaultCarriesR(t *testing.T) {
+	rdf := fp.MustParseFP("<0r0/1/1>")
+	afps, err := Instantiate(rdf, 1, Assignment{A: -1, V: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if afps[0].R != fp.V1 {
+		t.Errorf("RDF AFP must carry R=1, got %v", afps[0].R)
+	}
+	cfds := fp.MustParseFP("<0r0;0/1/->") // read on the aggressor: no victim R
+	afps, err = Instantiate(cfds, 2, Assignment{A: 0, V: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if afps[0].R != fp.VX {
+		t.Errorf("aggressor-read AFP must carry R='-', got %v", afps[0].R)
+	}
+}
+
+func TestAssignmentValidation(t *testing.T) {
+	single := fp.MustParseFP("<0w1/0/->")
+	coupling := fp.MustParseFP("<0w1;0/1/->")
+	cases := []struct {
+		f  fp.FP
+		n  int
+		as Assignment
+	}{
+		{single, 2, Assignment{A: 1, V: 0}},  // single-cell with aggressor
+		{single, 2, Assignment{A: -1, V: 2}}, // victim out of range
+		{coupling, 2, Assignment{A: -1, V: 0}},
+		{coupling, 2, Assignment{A: 1, V: 1}}, // same cell
+		{coupling, 2, Assignment{A: 2, V: 0}}, // aggressor out of range
+	}
+	for _, c := range cases {
+		if _, err := Instantiate(c.f, c.n, c.as); err == nil {
+			t.Errorf("Instantiate(%v, n=%d, %+v) accepted", c.f, c.n, c.as)
+		}
+	}
+}
+
+func TestChainRejections(t *testing.T) {
+	simple, err := linked.NewSimple(fp.MustParseFP("<0w1/0/->"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Chain(simple, 2, []int{0}); err == nil {
+		t.Error("Chain must reject simple faults")
+	}
+	lf, err := linked.NewLF2aa(fp.MustParseFP("<0w1;0/1/->"), fp.MustParseFP("<1w0;1/0/->"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Chain(lf, 2, []int{0}); err == nil {
+		t.Error("Chain must reject placements of the wrong size")
+	}
+}
+
+// Every chain produced for the LF1 pairs keeps Definition 7 on every
+// bystander configuration.
+func TestChainInvariants(t *testing.T) {
+	lf, err := linked.NewLF1(fp.MustParseFP("<0w1/0/->"), fp.MustParseFP("<0r0/1/1>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := Chain(lf, 2, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 2 { // free bystander enumerated
+		t.Fatalf("%d chains, want 2", len(pairs))
+	}
+	for _, p := range pairs {
+		if p.Second.I != p.First.Fv {
+			t.Errorf("%s: I2 != Fv1", p)
+		}
+		if p.Second.VictimFaulty() != p.First.VictimFaulty().Not() {
+			t.Errorf("%s: V(Fv2) != NOT V(Fv1)", p)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+// Package automaton implements the memory model of Section 4 of the paper:
+// an n one-bit-cell memory represented as a deterministic Mealy automaton
+//
+//	M = (Q, X, Y, δ, λ)                                           (eq. 9)
+//
+// where Q is the set of memory states, X the operation alphabet of
+// Definition 2, Y = {0, 1, -} the output alphabet, δ the state transition
+// function and λ the output function. The labeled digraph view of the same
+// model (eq. 10, Figure 2) lives in package graph.
+package automaton
+
+import (
+	"fmt"
+	"strings"
+
+	"marchgen/internal/fp"
+)
+
+// MaxCells bounds the model size; the state space is 2^n and the paper's
+// pattern graphs use n = max(#f-cells) which is at most 3 for static linked
+// faults.
+const MaxCells = 16
+
+// State is a memory state: bit c holds the value of cell c. States are the
+// vertices Q of the model.
+type State uint32
+
+// StateFromValues packs a per-cell value vector (index = cell = address)
+// into a State. All values must be binary.
+func StateFromValues(vals []fp.Value) (State, error) {
+	if len(vals) > MaxCells {
+		return 0, fmt.Errorf("automaton: %d cells exceeds the %d-cell limit", len(vals), MaxCells)
+	}
+	var s State
+	for c, v := range vals {
+		if !v.IsBinary() {
+			return 0, fmt.Errorf("automaton: cell %d has non-binary value %s", c, v)
+		}
+		if v == fp.V1 {
+			s |= 1 << c
+		}
+	}
+	return s, nil
+}
+
+// Values unpacks the state into a per-cell value vector of length n.
+func (s State) Values(n int) []fp.Value {
+	vals := make([]fp.Value, n)
+	for c := 0; c < n; c++ {
+		vals[c] = fp.ValueOf(uint8(s>>c) & 1)
+	}
+	return vals
+}
+
+// Cell returns the value of one cell.
+func (s State) Cell(c int) fp.Value {
+	return fp.ValueOf(uint8(s>>c) & 1)
+}
+
+// WithCell returns the state with cell c set to v.
+func (s State) WithCell(c int, v fp.Value) State {
+	if v == fp.V1 {
+		return s | 1<<c
+	}
+	return s &^ (1 << c)
+}
+
+// Format renders the state in the paper's convention: the first character is
+// the least significant bit, i.e. the cell with the lowest address
+// (Definition 4). State 0b10 on two cells renders "01".
+func (s State) Format(n int) string {
+	var b strings.Builder
+	for c := 0; c < n; c++ {
+		b.WriteString(s.Cell(c).String())
+	}
+	return b.String()
+}
+
+// ParseState parses the paper's state notation (LSB first).
+func ParseState(str string) (State, int, error) {
+	vals := make([]fp.Value, 0, len(str))
+	for i := 0; i < len(str); i++ {
+		v, err := fp.ParseValue(str[i : i+1])
+		if err != nil || !v.IsBinary() {
+			return 0, 0, fmt.Errorf("automaton: invalid state %q", str)
+		}
+		vals = append(vals, v)
+	}
+	s, err := StateFromValues(vals)
+	return s, len(vals), err
+}
+
+// Op is an addressed memory operation, an element of the input alphabet X:
+// an operation of Definition 2 applied to a specific cell. The wait
+// operation has no cell (Cell = -1).
+type Op struct {
+	Cell int
+	Op   fp.Op
+}
+
+// WaitOp is the addressed wait operation.
+var WaitOp = Op{Cell: -1, Op: fp.Wait}
+
+// cellName renders cell indices in the paper's convention: the 2-cell model
+// of Figure 2 calls the cells i and j (i < j); larger models continue with
+// k, l, ...
+func cellName(c int) string {
+	if c >= 0 && c < 8 {
+		return string(rune('i' + c))
+	}
+	return fmt.Sprintf("c%d", c)
+}
+
+// String renders "w1i", "rj", "t" as in the labels of Figure 2.
+func (o Op) String() string {
+	if o.Op.Kind == fp.OpWait {
+		return "t"
+	}
+	switch o.Op.Kind {
+	case fp.OpWrite:
+		return "w" + o.Op.Data.String() + cellName(o.Cell)
+	case fp.OpRead:
+		if o.Op.Data == fp.VX {
+			return "r" + cellName(o.Cell)
+		}
+		return "r" + o.Op.Data.String() + cellName(o.Cell)
+	}
+	return fmt.Sprintf("op(%v,%d)", o.Op, o.Cell)
+}
+
+// Machine is the Mealy automaton of an n-cell fault-free memory.
+type Machine struct {
+	n int
+}
+
+// New builds the model of an n-cell memory.
+func New(n int) (Machine, error) {
+	if n < 1 || n > MaxCells {
+		return Machine{}, fmt.Errorf("automaton: cell count %d out of range [1,%d]", n, MaxCells)
+	}
+	return Machine{n: n}, nil
+}
+
+// MustNew is like New but panics on error.
+func MustNew(n int) Machine {
+	m, err := New(n)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Cells returns the number of cells n.
+func (m Machine) Cells() int { return m.n }
+
+// NumStates returns |Q| = 2^n.
+func (m Machine) NumStates() int { return 1 << m.n }
+
+// Delta is the state transition function δ: Q × X → Q. Reads and waits do
+// not change the fault-free state; a write sets the addressed cell.
+func (m Machine) Delta(s State, op Op) (State, error) {
+	if err := m.checkOp(op); err != nil {
+		return s, err
+	}
+	if op.Op.Kind == fp.OpWrite {
+		return s.WithCell(op.Cell, op.Op.Data), nil
+	}
+	return s, nil
+}
+
+// Lambda is the output function λ: Q × X → Y. A read outputs the addressed
+// cell's value; writes and waits output '-'.
+func (m Machine) Lambda(s State, op Op) (fp.Value, error) {
+	if err := m.checkOp(op); err != nil {
+		return fp.VX, err
+	}
+	if op.Op.Kind == fp.OpRead {
+		return s.Cell(op.Cell), nil
+	}
+	return fp.VX, nil
+}
+
+func (m Machine) checkOp(op Op) error {
+	switch op.Op.Kind {
+	case fp.OpWait:
+		if op.Cell != -1 {
+			return fmt.Errorf("automaton: wait must not address a cell, got %d", op.Cell)
+		}
+		return nil
+	case fp.OpWrite, fp.OpRead:
+		if op.Cell < 0 || op.Cell >= m.n {
+			return fmt.Errorf("automaton: cell %d out of range [0,%d)", op.Cell, m.n)
+		}
+		if op.Op.Kind == fp.OpWrite && !op.Op.Data.IsBinary() {
+			return fmt.Errorf("automaton: write without a binary value")
+		}
+		return nil
+	}
+	return fmt.Errorf("automaton: invalid operation %v", op.Op)
+}
+
+// Alphabet enumerates the input alphabet X for the model: w0/w1/r on every
+// cell, plus the wait operation (Definition 2).
+func (m Machine) Alphabet() []Op {
+	var ops []Op
+	for c := 0; c < m.n; c++ {
+		ops = append(ops,
+			Op{Cell: c, Op: fp.W0},
+			Op{Cell: c, Op: fp.W1},
+			Op{Cell: c, Op: fp.RX},
+		)
+	}
+	ops = append(ops, WaitOp)
+	return ops
+}
+
+// Run applies an operation sequence from a starting state, returning the
+// final state and the read outputs in order.
+func (m Machine) Run(s State, ops []Op) (State, []fp.Value, error) {
+	var outs []fp.Value
+	for _, op := range ops {
+		out, err := m.Lambda(s, op)
+		if err != nil {
+			return s, outs, err
+		}
+		if op.Op.Kind == fp.OpRead {
+			outs = append(outs, out)
+		}
+		s, err = m.Delta(s, op)
+		if err != nil {
+			return s, outs, err
+		}
+	}
+	return s, outs, nil
+}

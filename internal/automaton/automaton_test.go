@@ -1,0 +1,229 @@
+package automaton
+
+import (
+	"testing"
+	"testing/quick"
+
+	"marchgen/internal/fp"
+)
+
+func TestNewBounds(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("New(0) must fail")
+	}
+	if _, err := New(MaxCells + 1); err == nil {
+		t.Error("New beyond MaxCells must fail")
+	}
+	m, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cells() != 3 || m.NumStates() != 8 {
+		t.Errorf("Cells=%d NumStates=%d", m.Cells(), m.NumStates())
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew(0) did not panic")
+		}
+	}()
+	MustNew(0)
+}
+
+func TestStateFormatLSBFirst(t *testing.T) {
+	// Definition 4: the first value is the cell with the lowest address.
+	s := State(0).WithCell(0, fp.V1) // cell 0 = 1, cell 1 = 0
+	if got := s.Format(2); got != "10" {
+		t.Errorf("Format = %q, want \"10\" (LSB first)", got)
+	}
+	s2, n, err := ParseState("01")
+	if err != nil || n != 2 {
+		t.Fatalf("ParseState: %v n=%d", err, n)
+	}
+	if s2.Cell(0) != fp.V0 || s2.Cell(1) != fp.V1 {
+		t.Errorf("ParseState(\"01\") = cells %v %v", s2.Cell(0), s2.Cell(1))
+	}
+	if _, _, err := ParseState("0x1"); err == nil {
+		t.Error("ParseState must reject non-binary characters")
+	}
+	if _, _, err := ParseState("0-1"); err == nil {
+		t.Error("ParseState must reject don't-care values")
+	}
+}
+
+func TestStateValuesRoundTrip(t *testing.T) {
+	f := func(raw uint8, nn uint8) bool {
+		n := int(nn%4) + 1
+		s := State(raw) & State((1<<n)-1)
+		got, err := StateFromValues(s.Values(n))
+		return err == nil && got == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStateFromValuesErrors(t *testing.T) {
+	if _, err := StateFromValues([]fp.Value{fp.V0, fp.VX}); err == nil {
+		t.Error("non-binary value must be rejected")
+	}
+	vals := make([]fp.Value, MaxCells+1)
+	if _, err := StateFromValues(vals); err == nil {
+		t.Error("too many cells must be rejected")
+	}
+}
+
+func TestWithCell(t *testing.T) {
+	var s State
+	s = s.WithCell(2, fp.V1)
+	if s.Cell(2) != fp.V1 || s.Cell(0) != fp.V0 {
+		t.Errorf("WithCell set wrong bit: %b", s)
+	}
+	s = s.WithCell(2, fp.V0)
+	if s != 0 {
+		t.Errorf("WithCell clear failed: %b", s)
+	}
+}
+
+func TestDeltaLambda(t *testing.T) {
+	m := MustNew(2)
+	s, _, _ := ParseState("00")
+
+	// Writes set the addressed cell and output '-'.
+	s1, err := m.Delta(s, Op{Cell: 0, Op: fp.W1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Format(2) != "10" {
+		t.Errorf("after w1i: %s", s1.Format(2))
+	}
+	out, err := m.Lambda(s, Op{Cell: 0, Op: fp.W1})
+	if err != nil || out != fp.VX {
+		t.Errorf("λ(write) = %v, %v", out, err)
+	}
+
+	// Reads output the cell value and keep the state.
+	out, err = m.Lambda(s1, Op{Cell: 0, Op: fp.RX})
+	if err != nil || out != fp.V1 {
+		t.Errorf("λ(ri) = %v, %v", out, err)
+	}
+	s2, err := m.Delta(s1, Op{Cell: 0, Op: fp.RX})
+	if err != nil || s2 != s1 {
+		t.Errorf("δ(read) changed state: %v, %v", s2, err)
+	}
+
+	// Wait keeps the state and outputs '-'.
+	s3, err := m.Delta(s1, WaitOp)
+	if err != nil || s3 != s1 {
+		t.Errorf("δ(t) = %v, %v", s3, err)
+	}
+	out, err = m.Lambda(s1, WaitOp)
+	if err != nil || out != fp.VX {
+		t.Errorf("λ(t) = %v, %v", out, err)
+	}
+}
+
+func TestOpValidation(t *testing.T) {
+	m := MustNew(2)
+	bad := []Op{
+		{Cell: 2, Op: fp.W0},                                // out of range
+		{Cell: -1, Op: fp.R0},                               // read without a cell
+		{Cell: 0, Op: fp.Op{Kind: fp.OpWrite, Data: fp.VX}}, // write without a value
+		{Cell: 0, Op: fp.Wait},                              // wait must not address a cell
+		{Cell: 0, Op: fp.Op{}},                              // no operation
+	}
+	for _, op := range bad {
+		if _, err := m.Delta(0, op); err == nil {
+			t.Errorf("Delta accepted invalid op %+v", op)
+		}
+		if _, err := m.Lambda(0, op); err == nil {
+			t.Errorf("Lambda accepted invalid op %+v", op)
+		}
+	}
+}
+
+func TestAlphabet(t *testing.T) {
+	m := MustNew(2)
+	a := m.Alphabet()
+	// 3 ops per cell (w0, w1, r) plus the wait operation.
+	if len(a) != 7 {
+		t.Fatalf("alphabet size %d, want 7", len(a))
+	}
+	want := map[string]bool{"w0i": true, "w1i": true, "ri": true, "w0j": true, "w1j": true, "rj": true, "t": true}
+	for _, op := range a {
+		if !want[op.String()] {
+			t.Errorf("unexpected alphabet member %q", op)
+		}
+		delete(want, op.String())
+	}
+	if len(want) != 0 {
+		t.Errorf("alphabet missing %v", want)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want string
+	}{
+		{Op{Cell: 0, Op: fp.W1}, "w1i"},
+		{Op{Cell: 1, Op: fp.W0}, "w0j"},
+		{Op{Cell: 0, Op: fp.RX}, "ri"},
+		{Op{Cell: 1, Op: fp.R0}, "r0j"},
+		{Op{Cell: 2, Op: fp.R1}, "r1k"},
+		{WaitOp, "t"},
+		{Op{Cell: 9, Op: fp.W1}, "w1c9"},
+	}
+	for _, c := range cases {
+		if got := c.op.String(); got != c.want {
+			t.Errorf("%+v.String() = %q, want %q", c.op, got, c.want)
+		}
+	}
+}
+
+func TestRun(t *testing.T) {
+	m := MustNew(2)
+	s, outs, err := m.Run(0, []Op{
+		{Cell: 0, Op: fp.W1},
+		{Cell: 0, Op: fp.RX},
+		{Cell: 1, Op: fp.RX},
+		{Cell: 1, Op: fp.W1},
+		WaitOp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Format(2) != "11" {
+		t.Errorf("final state %s, want 11", s.Format(2))
+	}
+	if len(outs) != 2 || outs[0] != fp.V1 || outs[1] != fp.V0 {
+		t.Errorf("read outputs %v, want [1 0]", outs)
+	}
+	if _, _, err := m.Run(0, []Op{{Cell: 5, Op: fp.W0}}); err == nil {
+		t.Error("Run must propagate operation errors")
+	}
+}
+
+// Property: δ is total and closed over the alphabet — from any state, any
+// alphabet operation yields a valid state and a read never changes it.
+func TestDeltaClosedQuick(t *testing.T) {
+	m := MustNew(3)
+	alpha := m.Alphabet()
+	f := func(raw uint8, opIdx uint8) bool {
+		s := State(raw % 8)
+		op := alpha[int(opIdx)%len(alpha)]
+		to, err := m.Delta(s, op)
+		if err != nil || int(to) >= m.NumStates() {
+			return false
+		}
+		if op.Op.Kind != fp.OpWrite && to != s {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,82 @@
+// Package bist estimates the implementation cost of a march test in a
+// memory BIST (built-in self-test) controller. It quantifies the motivation
+// behind the paper's Section 7 future work: march tests whose elements all
+// use one address order need a single up- (or down-) counting address
+// generator and a simpler sequencer, so — at equal fault coverage — they
+// are cheaper to implement than tests that keep reversing direction.
+package bist
+
+import (
+	"fmt"
+
+	"marchgen/internal/fp"
+	"marchgen/internal/march"
+)
+
+// Cost summarizes the test-time and controller-complexity drivers of a
+// march test.
+type Cost struct {
+	// Cycles is the test application time in memory cycles for an n-cell
+	// array: one cycle per read/write per cell, plus DelayCycles per delay
+	// phase.
+	Cycles int64
+	// Elements is the number of march elements (sequencer macro-states).
+	Elements int
+	// MaxElementOps is the longest element (micro-program depth).
+	MaxElementOps int
+	// OrderSwitches counts direction reversals between consecutive
+	// elements with fixed address orders (⇕ elements adapt to either
+	// neighbor and never force a reversal).
+	OrderSwitches int
+	// SingleOrder reports whether the test can be applied with a single
+	// address-counter direction (every element ⇕, or all fixed orders
+	// equal) — the property the Section 7 extension generates for.
+	SingleOrder bool
+	// UniqueElementShapes is the number of distinct operation sequences
+	// across elements (reusable micro-programs).
+	UniqueElementShapes int
+}
+
+// String renders a one-line summary.
+func (c Cost) String() string {
+	return fmt.Sprintf("cycles=%d elements=%d maxOps=%d switches=%d singleOrder=%v shapes=%d",
+		c.Cycles, c.Elements, c.MaxElementOps, c.OrderSwitches, c.SingleOrder, c.UniqueElementShapes)
+}
+
+// Estimate computes the cost of applying the test to an n-cell memory,
+// charging delayCycles cycles per wait operation.
+func Estimate(t march.Test, n int, delayCycles int64) Cost {
+	c := Cost{Elements: len(t.Elems)}
+	shapes := map[string]bool{}
+	lastFixed := march.Any
+	for _, e := range t.Elems {
+		ops := 0
+		for _, op := range e.Ops {
+			if op.Kind == fp.OpWait {
+				c.Cycles += delayCycles
+				continue
+			}
+			ops++
+		}
+		c.Cycles += int64(ops) * int64(n)
+		if len(e.Ops) > c.MaxElementOps {
+			c.MaxElementOps = len(e.Ops)
+		}
+		shapes[fp.FormatOps(e.Ops)] = true
+		if e.Order != march.Any {
+			if lastFixed != march.Any && e.Order != lastFixed {
+				c.OrderSwitches++
+			}
+			lastFixed = e.Order
+		}
+	}
+	c.SingleOrder = c.OrderSwitches == 0
+	c.UniqueElementShapes = len(shapes)
+	return c
+}
+
+// Compare returns the cycle and order-switch deltas of b relative to a
+// (negative = b is cheaper), for reporting order-constraint trade-offs.
+func Compare(a, b Cost) (cycleDelta int64, switchDelta int) {
+	return b.Cycles - a.Cycles, b.OrderSwitches - a.OrderSwitches
+}

@@ -1,0 +1,98 @@
+package bist
+
+import (
+	"strings"
+	"testing"
+
+	"marchgen/internal/march"
+)
+
+func TestEstimateMATSPlus(t *testing.T) {
+	// MATS+ = ⇕(w0) ⇑(r0,w1) ⇓(r1,w0): 5 ops/cell.
+	c := Estimate(march.MATSPlus, 1024, 0)
+	if c.Cycles != 5*1024 {
+		t.Errorf("Cycles = %d, want %d", c.Cycles, 5*1024)
+	}
+	if c.Elements != 3 || c.MaxElementOps != 2 {
+		t.Errorf("Elements=%d MaxElementOps=%d", c.Elements, c.MaxElementOps)
+	}
+	// ⇑ then ⇓: one reversal.
+	if c.OrderSwitches != 1 || c.SingleOrder {
+		t.Errorf("OrderSwitches=%d SingleOrder=%v", c.OrderSwitches, c.SingleOrder)
+	}
+	// w0 / r0,w1 / r1,w0: three distinct shapes.
+	if c.UniqueElementShapes != 3 {
+		t.Errorf("UniqueElementShapes = %d", c.UniqueElementShapes)
+	}
+}
+
+func TestEstimateDelays(t *testing.T) {
+	// March G: 23 ops/cell + 2 delay phases.
+	const n, delay = 64, 1_000_000
+	c := Estimate(march.MarchG, n, delay)
+	if want := int64(23*n + 2*delay); c.Cycles != want {
+		t.Errorf("Cycles = %d, want %d", c.Cycles, want)
+	}
+}
+
+func TestSingleOrderDetection(t *testing.T) {
+	allUp := march.MustParse("up", "c(w0) ^(r0,w1) ^(r1,w0) c(r0)")
+	c := Estimate(allUp, 16, 0)
+	if !c.SingleOrder || c.OrderSwitches != 0 {
+		t.Errorf("all-up test: %+v", c)
+	}
+	allAny := march.MustParse("any", "c(w0) c(r0,w1) c(r1)")
+	if got := Estimate(allAny, 16, 0); !got.SingleOrder {
+		t.Errorf("all-⇕ test must be single order: %+v", got)
+	}
+	mixed := march.MustParse("mixed", "c(w0) ^(r0,w1) v(r1,w0) ^(r0)")
+	if got := Estimate(mixed, 16, 0); got.SingleOrder || got.OrderSwitches != 2 {
+		t.Errorf("mixed test: %+v", got)
+	}
+	// ⇕ between fixed orders does not absorb a reversal of direction...
+	sandwich := march.MustParse("sandwich", "^(w0) c(r0) v(r0,w1)")
+	if got := Estimate(sandwich, 16, 0); got.OrderSwitches != 1 {
+		t.Errorf("sandwich test: %+v", got)
+	}
+}
+
+// March SL reverses direction once; the paper's March ABL reverses twice.
+// The Section 7 motivation in numbers.
+func TestLibraryOrderSwitches(t *testing.T) {
+	cases := []struct {
+		test     march.Test
+		switches int
+	}{
+		{march.MarchSL, 1},
+		{march.MarchABL, 2},
+		{march.MarchABL1, 0},
+		{march.MarchCMinus, 1},
+	}
+	for _, c := range cases {
+		got := Estimate(c.test, 8, 0)
+		if got.OrderSwitches != c.switches {
+			t.Errorf("%s: %d order switches, want %d", c.test.Name, got.OrderSwitches, c.switches)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a := Estimate(march.MarchSL, 1024, 0)  // 41n
+	b := Estimate(march.MarchABL, 1024, 0) // 37n
+	cycles, switches := Compare(a, b)
+	if cycles != int64((37-41)*1024) {
+		t.Errorf("cycleDelta = %d", cycles)
+	}
+	if switches != 1 { // SL has 1 switch, ABL has 2
+		t.Errorf("switchDelta = %d", switches)
+	}
+}
+
+func TestCostString(t *testing.T) {
+	s := Estimate(march.MATSPlus, 4, 0).String()
+	for _, want := range []string{"cycles=20", "elements=3", "singleOrder=false"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Cost.String() missing %q: %s", want, s)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"marchgen/internal/fp"
+	"marchgen/internal/linked"
+	"marchgen/internal/march"
+	"marchgen/internal/sim"
+)
+
+// minimize is phase 3 of the generator: simulation-guided redundancy
+// elimination. A candidate transformation is accepted iff the result is
+// still a consistent march test with full coverage of the target list. The
+// passes run to a fixpoint:
+//
+//   - drop whole elements (scanning from the end, where repair appended);
+//   - drop single operations inside elements;
+//   - with Options.Aggressive: drop operation pairs within an element and
+//     merge adjacent elements with the same address order (the deeper search
+//     that produced the March RABL row of Table 1).
+//
+// The result is non-redundant in the paper's sense: no single operation can
+// be removed without losing coverage.
+func minimize(cand march.Test, faults []linked.Fault, cfg sim.Config, opts Options, st *Stats) (march.Test, error) {
+	acceptsWith := func(c sim.Config) func(march.Test) (bool, error) {
+		return func(t march.Test) (bool, error) {
+			if len(t.Elems) == 0 || t.Validate() != nil || t.CheckConsistency() != nil {
+				return false, nil
+			}
+			st.Simulations++
+			full, _, err := sim.FullCoverage(t, faults, c)
+			return full, err
+		}
+	}
+	accepts := acceptsWith(cfg)
+	// Order relaxation must be judged under the exhaustive configuration:
+	// with lazy ⇕ resolution, turning ⇓ into ⇕ silently becomes ⇑.
+	acceptsExhaustive := acceptsWith(opts.finalConfig())
+
+	for {
+		changed := false
+
+		// Element removal, end to start.
+		for i := len(cand.Elems) - 1; i >= 0; i-- {
+			trial := cand.Clone()
+			trial.Elems = append(trial.Elems[:i], trial.Elems[i+1:]...)
+			ok, err := accepts(trial)
+			if err != nil {
+				return cand, err
+			}
+			if ok {
+				cand = trial
+				changed = true
+			}
+		}
+
+		// Single-operation removal, end to start.
+		for i := len(cand.Elems) - 1; i >= 0; i-- {
+			for j := len(cand.Elems[i].Ops) - 1; j >= 0; j-- {
+				if len(cand.Elems[i].Ops) == 1 {
+					continue // whole-element removal handles this
+				}
+				trial := cand.Clone()
+				ops := trial.Elems[i].Ops
+				trial.Elems[i].Ops = append(ops[:j], ops[j+1:]...)
+				ok, err := accepts(trial)
+				if err != nil {
+					return cand, err
+				}
+				if ok {
+					cand = trial
+					changed = true
+				}
+			}
+		}
+
+		if opts.Aggressive {
+			aggr, aggrChanged, err := aggressivePass(cand, accepts, acceptsExhaustive)
+			if err != nil {
+				return cand, err
+			}
+			cand = aggr
+			changed = changed || aggrChanged
+		}
+
+		if !changed {
+			return cand, nil
+		}
+	}
+}
+
+// aggressivePass tries pairwise operation removal within an element and
+// merging adjacent elements with the same address order.
+func aggressivePass(cand march.Test, accepts, acceptsExhaustive func(march.Test) (bool, error)) (march.Test, bool, error) {
+	changed := false
+
+	// Pairwise removal within one element.
+	for i := len(cand.Elems) - 1; i >= 0; i-- {
+	pairScan:
+		for a := len(cand.Elems[i].Ops) - 1; a >= 1; a-- {
+			for b := a - 1; b >= 0; b-- {
+				if len(cand.Elems[i].Ops) <= 2 {
+					break pairScan
+				}
+				trial := cand.Clone()
+				ops := trial.Elems[i].Ops
+				ops = append(ops[:a], ops[a+1:]...)
+				ops = append(ops[:b], ops[b+1:]...)
+				trial.Elems[i].Ops = ops
+				ok, err := accepts(trial)
+				if err != nil {
+					return cand, changed, err
+				}
+				if ok {
+					cand = trial
+					changed = true
+					break pairScan
+				}
+			}
+		}
+	}
+
+	// Merge adjacent elements with the same order.
+	for i := len(cand.Elems) - 2; i >= 0; i-- {
+		if cand.Elems[i].Order != cand.Elems[i+1].Order {
+			continue
+		}
+		trial := cand.Clone()
+		merged := march.NewElement(trial.Elems[i].Order,
+			append(append([]fp.Op(nil), trial.Elems[i].Ops...), trial.Elems[i+1].Ops...)...)
+		trial.Elems = append(trial.Elems[:i], trial.Elems[i+1:]...)
+		trial.Elems[i] = merged
+		ok, err := accepts(trial)
+		if err != nil {
+			return cand, changed, err
+		}
+		if ok {
+			cand = trial
+			changed = true
+		}
+	}
+
+	// Relax fixed orders to ⇕ where coverage allows: shorter to implement in
+	// BIST hardware and closer to the paper's printed results (March ABL1 is
+	// all-⇕). Length is unchanged, so this runs last.
+	for i := range cand.Elems {
+		if cand.Elems[i].Order == march.Any {
+			continue
+		}
+		trial := cand.Clone()
+		trial.Elems[i].Order = march.Any
+		ok, err := acceptsExhaustive(trial)
+		if err != nil {
+			return cand, changed, err
+		}
+		if ok {
+			cand = trial
+			// Not flagged as "changed": the length did not improve, so the
+			// fixpoint loop must not spin on it.
+		}
+	}
+	return cand, changed, nil
+}
+
+// Certify re-validates an existing march test against a fault list under
+// the exhaustive configuration. It is exposed for the command-line tools
+// and experiments.
+func Certify(t march.Test, faults []linked.Fault) (sim.Report, error) {
+	r := sim.Simulate(t, faults, sim.DefaultConfig())
+	return r, r.Err()
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+
+	"marchgen/internal/faultlist"
+	"marchgen/internal/linked"
+	"marchgen/internal/march"
+)
+
+func TestOrderConstraintAllows(t *testing.T) {
+	cases := []struct {
+		c    OrderConstraint
+		o    march.AddrOrder
+		want bool
+	}{
+		{OrderFree, march.Up, true},
+		{OrderFree, march.Down, true},
+		{OrderFree, march.Any, true},
+		{OrderUpOnly, march.Up, true},
+		{OrderUpOnly, march.Down, false},
+		{OrderUpOnly, march.Any, true},
+		{OrderDownOnly, march.Down, true},
+		{OrderDownOnly, march.Up, false},
+		{OrderDownOnly, march.Any, true},
+	}
+	for _, c := range cases {
+		if got := c.c.Allows(c.o); got != c.want {
+			t.Errorf("constraint %d allows %v = %v, want %v", c.c, c.o, got, c.want)
+		}
+	}
+}
+
+// The Section 7 extension: generation under an all-increasing order
+// constraint still reaches full coverage, and every emitted element honors
+// the constraint.
+func TestGenerateUpOnlyList2(t *testing.T) {
+	res, err := Generate(faultlist.List2(), Options{Name: "GEN-UP", Orders: OrderUpOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.Full() {
+		t.Fatalf("incomplete coverage: %s", res.Report.Summary())
+	}
+	for i, e := range res.Test.Elems {
+		if !OrderUpOnly.Allows(e.Order) {
+			t.Errorf("element %d has order %v under OrderUpOnly", i, e.Order)
+		}
+	}
+}
+
+func TestGenerateDownOnlyList2(t *testing.T) {
+	res, err := Generate(faultlist.List2(), Options{Name: "GEN-DOWN", Orders: OrderDownOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.Full() {
+		t.Fatalf("incomplete coverage: %s", res.Report.Summary())
+	}
+	for i, e := range res.Test.Elems {
+		if !OrderDownOnly.Allows(e.Order) {
+			t.Errorf("element %d has order %v under OrderDownOnly", i, e.Order)
+		}
+	}
+}
+
+// A finding of the Section 7 extension (see EXPERIMENTS.md): Fault List #1
+// contains exactly two LF2aa pairs — opposite-transition disturb couplings
+// on the same aggressor — that no all-⇑ march test can detect. In an upward
+// sweep the victim is visited before the aggressor, so the element pattern
+// that sensitizes either primitive unavoidably lets its partner restore the
+// victim before any read reaches it. The generator must refuse rather than
+// silently under-cover.
+func TestGenerateUpOnlyList1RefusesUncoverable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second generation run")
+	}
+	_, err := Generate(faultlist.List1(), Options{Name: "GEN-UP-L1", Orders: OrderUpOnly})
+	if err == nil {
+		t.Fatal("up-only generation over the full List #1 must refuse (two uncoverable LF2aa pairs)")
+	}
+
+	// Remove the two uncoverable pairs; everything else must be coverable
+	// with all-increasing orders.
+	uncoverable := map[string]bool{
+		"LF2aa{CFds<0w1;0/1/->(a0,v1) -> CFds<1w0;1/0/->(a0,v1)}": true,
+		"LF2aa{CFds<1w0;1/0/->(a0,v1) -> CFds<0w1;0/1/->(a0,v1)}": true,
+	}
+	var coverable []linked.Fault
+	for _, f := range faultlist.List1() {
+		if !uncoverable[f.ID()] {
+			coverable = append(coverable, f)
+		}
+	}
+	if len(coverable) != len(faultlist.List1())-2 {
+		t.Fatalf("expected exactly 2 uncoverable pairs, filtered %d", len(faultlist.List1())-len(coverable))
+	}
+	res, err := Generate(coverable, Options{Name: "GEN-UP-L1", Orders: OrderUpOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.Full() {
+		t.Fatalf("incomplete coverage: %s", res.Report.Summary())
+	}
+	for i, e := range res.Test.Elems {
+		if !OrderUpOnly.Allows(e.Order) {
+			t.Errorf("element %d has order %v under OrderUpOnly", i, e.Order)
+		}
+	}
+	t.Logf("up-only List #1 test (minus 2 uncoverable): %s (%s)", res.Test, res.Test.Complexity())
+}

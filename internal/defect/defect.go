@@ -1,0 +1,185 @@
+// Package defect maps electrical defects in an SRAM cell array to the
+// functional fault models the rest of the repository works with. The
+// mapping follows the classic inductive fault analysis literature the paper
+// builds on — Dekker et al. ("A Realistic Fault Model and Test Algorithms
+// for Static Random Access Memories", its reference [2]) for shorts, opens
+// and bridges, and Al-Ars & van de Goor (references [4][5]) for the
+// resistive/dynamic behaviors.
+//
+// The package answers two questions a DFT engineer asks:
+//
+//   - which functional faults can this physical defect produce?
+//     (Defect.FaultPrimitives)
+//   - does this march test cover this defect, i.e. every functional fault
+//     it can produce? (Coverage)
+package defect
+
+import (
+	"fmt"
+
+	"marchgen/internal/fp"
+	"marchgen/internal/linked"
+)
+
+// Kind is a physical defect class in the cell array.
+type Kind uint8
+
+// Defect kinds.
+const (
+	// ShortToVdd shorts the cell node to the supply: the cell is stuck at
+	// 1 (state fault on 0).
+	ShortToVdd Kind = iota
+	// ShortToGnd shorts the cell node to ground: stuck at 0.
+	ShortToGnd
+	// PullUpOpen breaks a pull-up: the cell cannot hold 1 reliably and
+	// loses it over time (retention fault on 1) and under write stress
+	// (transition fault up).
+	PullUpOpen
+	// PullDownOpen breaks a pull-down: the mirror behaviors on 0.
+	PullDownOpen
+	// AccessOpen is a resistive open in the pass transistor: reads become
+	// weak and destructive or incorrect.
+	AccessOpen
+	// BridgeAnd is a wired-AND bridge between two cells: each side is
+	// pulled down by the other (state coupling towards 0).
+	BridgeAnd
+	// BridgeOr is a wired-OR bridge between two cells: pulled up by the
+	// other (state coupling towards 1).
+	BridgeOr
+	// BitlineCross is a bitline-to-bitline short: operations on one cell
+	// disturb the neighbor sharing the bitline pair (disturb coupling).
+	BitlineCross
+	// RetentionLeak is a high-impedance leakage path: the cell loses its
+	// value after a pause in both polarities.
+	RetentionLeak
+)
+
+var kindNames = [...]string{
+	"ShortToVdd", "ShortToGnd", "PullUpOpen", "PullDownOpen", "AccessOpen",
+	"BridgeAnd", "BridgeOr", "BitlineCross", "RetentionLeak",
+}
+
+// String returns the defect class name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Kinds lists every defect class.
+func Kinds() []Kind {
+	out := make([]Kind, len(kindNames))
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
+// Defect is a concrete defect instance.
+type Defect struct {
+	Kind Kind
+}
+
+// String returns the defect name.
+func (d Defect) String() string { return d.Kind.String() }
+
+// FaultPrimitives returns the functional fault primitives the defect can
+// manifest as, per the published defect-to-fault mapping.
+func (d Defect) FaultPrimitives() []fp.FP {
+	switch d.Kind {
+	case ShortToVdd:
+		// Cell cannot hold 0.
+		return []fp.FP{fp.MustParseFP("<0/1/->")}
+	case ShortToGnd:
+		return []fp.FP{fp.MustParseFP("<1/0/->")}
+	case PullUpOpen:
+		// Up transitions fail and a stored 1 leaks away.
+		return []fp.FP{
+			fp.MustParseFP("<0w1/0/->"),
+			fp.MustParseFP("<1t/0/->"),
+		}
+	case PullDownOpen:
+		return []fp.FP{
+			fp.MustParseFP("<1w0/1/->"),
+			fp.MustParseFP("<0t/1/->"),
+		}
+	case AccessOpen:
+		// Weak read path: destructive and incorrect reads in both
+		// polarities, including the deceptive variants.
+		return []fp.FP{
+			fp.MustParseFP("<0r0/1/1>"),
+			fp.MustParseFP("<1r1/0/0>"),
+			fp.MustParseFP("<0r0/1/0>"),
+			fp.MustParseFP("<1r1/0/1>"),
+			fp.MustParseFP("<0r0/0/1>"),
+			fp.MustParseFP("<1r1/1/0>"),
+		}
+	case BridgeAnd:
+		// Either side at 0 pulls the other down.
+		return []fp.FP{
+			fp.MustParseFP("<0;1/0/->"),
+		}
+	case BridgeOr:
+		return []fp.FP{
+			fp.MustParseFP("<1;0/1/->"),
+		}
+	case BitlineCross:
+		// Write and read activity on the aggressor disturbs the victim in
+		// both directions.
+		return []fp.FP{
+			fp.MustParseFP("<0w1;0/1/->"),
+			fp.MustParseFP("<0w1;1/0/->"),
+			fp.MustParseFP("<1w0;0/1/->"),
+			fp.MustParseFP("<1w0;1/0/->"),
+			fp.MustParseFP("<0r0;0/1/->"),
+			fp.MustParseFP("<0r0;1/0/->"),
+			fp.MustParseFP("<1r1;0/1/->"),
+			fp.MustParseFP("<1r1;1/0/->"),
+		}
+	case RetentionLeak:
+		return []fp.FP{
+			fp.MustParseFP("<0t/1/->"),
+			fp.MustParseFP("<1t/0/->"),
+		}
+	}
+	return nil
+}
+
+// Faults wraps the defect's fault primitives as simulator targets.
+func (d Defect) Faults() ([]linked.Fault, error) {
+	fps := d.FaultPrimitives()
+	if len(fps) == 0 {
+		return nil, fmt.Errorf("defect: unknown kind %v", d.Kind)
+	}
+	out := make([]linked.Fault, 0, len(fps))
+	for _, f := range fps {
+		ft, err := linked.NewSimple(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ft)
+	}
+	return out, nil
+}
+
+// AllFaults returns the union of the fault primitives of every defect class
+// (deduplicated), i.e. the defect-driven fault list.
+func AllFaults() []linked.Fault {
+	seen := map[string]bool{}
+	var out []linked.Fault
+	for _, k := range Kinds() {
+		faults, err := (Defect{Kind: k}).Faults()
+		if err != nil {
+			continue
+		}
+		for _, f := range faults {
+			if seen[f.ID()] {
+				continue
+			}
+			seen[f.ID()] = true
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package faultlist
+
+import (
+	"testing"
+
+	"marchgen/internal/linked"
+)
+
+// The enumeration counts follow analytically from the static FP catalog and
+// the linking predicate; they are pinned here and documented in
+// EXPERIMENTS.md. A change in any of these numbers means the fault space
+// changed and every coverage result must be re-examined.
+func TestEnumerationCounts(t *testing.T) {
+	cases := []struct {
+		name string
+		got  int
+		want int
+	}{
+		{"LF1s", len(LF1s()), 18},
+		{"LF2aas", len(LF2aas()), 144},
+		{"LF2avs", len(LF2avs()), 72},
+		{"LF2vas", len(LF2vas()), 72},
+		{"LF3s", len(LF3s()), 288},
+		{"List1", len(List1()), 594},
+		{"List2", len(List2()), 18},
+		{"SimpleSingleCell", len(SimpleSingleCell()), 12},
+		{"SimpleTwoCell", len(SimpleTwoCell()), 36},
+		{"SimpleStatic", len(SimpleStatic()), 48},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s: %d faults, want %d", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestRealisticCounts(t *testing.T) {
+	cases := []struct {
+		name string
+		got  int
+		want int
+	}{
+		{"realistic LF1s", len(Realistic(LF1s())), 6},
+		{"realistic LF2aas", len(Realistic(LF2aas())), 96},
+		{"realistic LF2avs", len(Realistic(LF2avs())), 24},
+		{"realistic LF2vas", len(Realistic(LF2vas())), 48},
+		{"realistic LF3s", len(Realistic(LF3s())), 192},
+		{"realistic List1", len(Realistic(List1())), 366},
+		{"realistic List2", len(Realistic(List2())), 6},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s: %d faults, want %d", c.name, c.got, c.want)
+		}
+	}
+}
+
+// Every enumerated fault must satisfy its own structural validation.
+func TestAllFaultsValidate(t *testing.T) {
+	for _, f := range append(List1(), SimpleStatic()...) {
+		if err := f.Validate(); err != nil {
+			t.Errorf("%s: %v", f.ID(), err)
+		}
+	}
+}
+
+func TestAllFaultIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, f := range append(List1(), SimpleStatic()...) {
+		id := f.ID()
+		if seen[id] {
+			t.Errorf("duplicate fault ID %s", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestListKinds(t *testing.T) {
+	for _, f := range List2() {
+		if f.Kind != linked.LF1 {
+			t.Errorf("List2 contains %s of kind %v", f.ID(), f.Kind)
+		}
+		if f.Cells != 1 {
+			t.Errorf("List2 contains %s with %d cells", f.ID(), f.Cells)
+		}
+	}
+	kinds := map[linked.Kind]int{}
+	for _, f := range List1() {
+		kinds[f.Kind]++
+		if f.Kind == linked.Simple {
+			t.Errorf("List1 contains simple fault %s", f.ID())
+		}
+	}
+	for _, k := range []linked.Kind{linked.LF1, linked.LF2aa, linked.LF2av, linked.LF2va, linked.LF3} {
+		if kinds[k] == 0 {
+			t.Errorf("List1 is missing kind %v", k)
+		}
+	}
+}
+
+// The realistic sublists are subsets of the full lists.
+func TestRealisticIsSubset(t *testing.T) {
+	full := map[string]bool{}
+	for _, f := range List1() {
+		full[f.ID()] = true
+	}
+	for _, f := range Realistic(List1()) {
+		if !full[f.ID()] {
+			t.Errorf("realistic fault %s not in List1", f.ID())
+		}
+	}
+	if got := len(Realistic(SimpleStatic())); got != 0 {
+		t.Errorf("Realistic over simple faults = %d, want 0", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		fs, ok := ByName(name)
+		if !ok || len(fs) == 0 {
+			t.Errorf("ByName(%q) = %d faults, ok=%v", name, len(fs), ok)
+		}
+	}
+	if fs, ok := ByName("1"); !ok || len(fs) != len(List1()) {
+		t.Error("ByName(\"1\") must alias list1")
+	}
+	if fs, ok := ByName("2"); !ok || len(fs) != len(List2()) {
+		t.Error("ByName(\"2\") must alias list2")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName must fail for unknown names")
+	}
+}
+
+// Every linked fault in the lists satisfies Definition 6 mechanically:
+// F2 = NOT F1 and FP2's victim condition equals the faulty value of FP1.
+func TestDefinition6Invariants(t *testing.T) {
+	for _, f := range List1() {
+		f1, f2 := f.FP1().FP, f.FP2().FP
+		if f2.F != f1.F.Not() {
+			t.Errorf("%s: F2 != NOT F1", f.ID())
+		}
+		if f2.VInit.IsBinary() && f2.VInit != f1.F {
+			t.Errorf("%s: I2 != Fv1 on the victim", f.ID())
+		}
+	}
+}

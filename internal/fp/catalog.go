@@ -1,0 +1,226 @@
+package fp
+
+// This file enumerates the standard space of static fault primitives used in
+// the memory-test literature (van de Goor & Al-Ars taxonomy, and the
+// realistic fault models of Hamdioui et al. referenced as [10] and [16] by
+// the paper). The linked fault lists of internal/faultlist are built from
+// these primitives.
+
+// Single-cell static fault primitives, grouped by functional fault model.
+var (
+	// SFs are State Faults: the cell cannot hold the value x.
+	SFs = []FP{
+		MustParseFP("<0/1/->"),
+		MustParseFP("<1/0/->"),
+	}
+
+	// TFs are Transition Faults: a write that should flip the cell fails.
+	TFs = []FP{
+		MustParseFP("<0w1/0/->"), // up transition fails
+		MustParseFP("<1w0/1/->"), // down transition fails
+	}
+
+	// WDFs are Write Destructive Faults: a non-transition write flips the
+	// cell.
+	WDFs = []FP{
+		MustParseFP("<0w0/1/->"),
+		MustParseFP("<1w1/0/->"),
+	}
+
+	// RDFs are Read Destructive Faults: a read flips the cell and returns
+	// the new (faulty) value.
+	RDFs = []FP{
+		MustParseFP("<0r0/1/1>"),
+		MustParseFP("<1r1/0/0>"),
+	}
+
+	// DRDFs are Deceptive Read Destructive Faults: a read flips the cell but
+	// returns the old (correct) value.
+	DRDFs = []FP{
+		MustParseFP("<0r0/1/0>"),
+		MustParseFP("<1r1/0/1>"),
+	}
+
+	// IRFs are Incorrect Read Faults: a read returns the wrong value without
+	// changing the cell.
+	IRFs = []FP{
+		MustParseFP("<0r0/0/1>"),
+		MustParseFP("<1r1/1/0>"),
+	}
+
+	// DRFs are Data Retention Faults: the cell loses its value after a wait
+	// period (the 't' operation of Definition 2).
+	DRFs = []FP{
+		MustParseFP("<0t/1/->"),
+		MustParseFP("<1t/0/->"),
+	}
+)
+
+// Two-cell (coupling) static fault primitives, grouped by functional fault
+// model. The notation is <Sa ; Sv / F / R> with the aggressor first.
+var (
+	// CFsts are State Coupling Faults: the victim cannot hold x while the
+	// aggressor holds y.
+	CFsts = []FP{
+		MustParseFP("<0;0/1/->"),
+		MustParseFP("<0;1/0/->"),
+		MustParseFP("<1;0/1/->"),
+		MustParseFP("<1;1/0/->"),
+	}
+
+	// CFdss are Disturb Coupling Faults: an operation on the aggressor
+	// (any write, or a read) flips the victim.
+	CFdss = []FP{
+		MustParseFP("<0w0;0/1/->"),
+		MustParseFP("<0w0;1/0/->"),
+		MustParseFP("<0w1;0/1/->"),
+		MustParseFP("<0w1;1/0/->"),
+		MustParseFP("<1w0;0/1/->"),
+		MustParseFP("<1w0;1/0/->"),
+		MustParseFP("<1w1;0/1/->"),
+		MustParseFP("<1w1;1/0/->"),
+		MustParseFP("<0r0;0/1/->"),
+		MustParseFP("<0r0;1/0/->"),
+		MustParseFP("<1r1;0/1/->"),
+		MustParseFP("<1r1;1/0/->"),
+	}
+
+	// CFtrs are Transition Coupling Faults: a transition write on the victim
+	// fails while the aggressor holds y.
+	CFtrs = []FP{
+		MustParseFP("<0;0w1/0/->"),
+		MustParseFP("<1;0w1/0/->"),
+		MustParseFP("<0;1w0/1/->"),
+		MustParseFP("<1;1w0/1/->"),
+	}
+
+	// CFwds are Write Destructive Coupling Faults: a non-transition write on
+	// the victim flips it while the aggressor holds y.
+	CFwds = []FP{
+		MustParseFP("<0;0w0/1/->"),
+		MustParseFP("<1;0w0/1/->"),
+		MustParseFP("<0;1w1/0/->"),
+		MustParseFP("<1;1w1/0/->"),
+	}
+
+	// CFrds are Read Destructive Coupling Faults.
+	CFrds = []FP{
+		MustParseFP("<0;0r0/1/1>"),
+		MustParseFP("<1;0r0/1/1>"),
+		MustParseFP("<0;1r1/0/0>"),
+		MustParseFP("<1;1r1/0/0>"),
+	}
+
+	// CFdrs are Deceptive Read Destructive Coupling Faults.
+	CFdrs = []FP{
+		MustParseFP("<0;0r0/1/0>"),
+		MustParseFP("<1;0r0/1/0>"),
+		MustParseFP("<0;1r1/0/1>"),
+		MustParseFP("<1;1r1/0/1>"),
+	}
+
+	// CFirs are Incorrect Read Coupling Faults.
+	CFirs = []FP{
+		MustParseFP("<0;0r0/0/1>"),
+		MustParseFP("<1;0r0/0/1>"),
+		MustParseFP("<0;1r1/1/0>"),
+		MustParseFP("<1;1r1/1/0>"),
+	}
+)
+
+// AllSingleCellStatic returns the 12 single-cell static fault primitives
+// (SF, TF, WDF, RDF, DRDF, IRF). Data retention faults are excluded because
+// they require the non-static wait operation; use DRFs explicitly.
+func AllSingleCellStatic() []FP {
+	return concatFPs(SFs, TFs, WDFs, RDFs, DRDFs, IRFs)
+}
+
+// AllTwoCellStatic returns the 36 two-cell static fault primitives
+// (CFst, CFds, CFtr, CFwd, CFrd, CFdr, CFir).
+func AllTwoCellStatic() []FP {
+	return concatFPs(CFsts, CFdss, CFtrs, CFwds, CFrds, CFdrs, CFirs)
+}
+
+// AllStatic returns the full space of static fault primitives on one and two
+// cells (48 primitives).
+func AllStatic() []FP {
+	return append(AllSingleCellStatic(), AllTwoCellStatic()...)
+}
+
+// ByClass returns the catalog entries of one functional fault model, or nil
+// for an unknown class.
+func ByClass(c Class) []FP {
+	switch c {
+	case SF:
+		return cloneFPs(SFs)
+	case TF:
+		return cloneFPs(TFs)
+	case WDF:
+		return cloneFPs(WDFs)
+	case RDF:
+		return cloneFPs(RDFs)
+	case DRDF:
+		return cloneFPs(DRDFs)
+	case IRF:
+		return cloneFPs(IRFs)
+	case DRF:
+		return cloneFPs(DRFs)
+	case CFst:
+		return cloneFPs(CFsts)
+	case CFds:
+		return cloneFPs(CFdss)
+	case CFtr:
+		return cloneFPs(CFtrs)
+	case CFwd:
+		return cloneFPs(CFwds)
+	case CFrd:
+		return cloneFPs(CFrds)
+	case CFdr:
+		return cloneFPs(CFdrs)
+	case CFir:
+		return cloneFPs(CFirs)
+	case DyRDF:
+		return cloneFPs(DyRDFs)
+	case DyDRDF:
+		return cloneFPs(DyDRDFs)
+	case DyIRF:
+		return cloneFPs(DyIRFs)
+	case DyCFds:
+		return cloneFPs(DyCFdss)
+	case DyCFrd:
+		return cloneFPs(DyCFrds)
+	case DyCFdr:
+		return cloneFPs(DyCFdrs)
+	case DyCFir:
+		return cloneFPs(DyCFirs)
+	}
+	return nil
+}
+
+// Classes lists every functional fault model in the catalog: static
+// single-cell models, static coupling models, then the dynamic models.
+func Classes() []Class {
+	return []Class{
+		SF, TF, WDF, RDF, DRDF, IRF, DRF,
+		CFst, CFds, CFtr, CFwd, CFrd, CFdr, CFir,
+		DyRDF, DyDRDF, DyIRF, DyCFds, DyCFrd, DyCFdr, DyCFir,
+	}
+}
+
+func concatFPs(groups ...[]FP) []FP {
+	n := 0
+	for _, g := range groups {
+		n += len(g)
+	}
+	out := make([]FP, 0, n)
+	for _, g := range groups {
+		out = append(out, g...)
+	}
+	return out
+}
+
+func cloneFPs(fps []FP) []FP {
+	out := make([]FP, len(fps))
+	copy(out, fps)
+	return out
+}

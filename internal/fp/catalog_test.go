@@ -1,0 +1,109 @@
+package fp
+
+import (
+	"testing"
+)
+
+func TestCatalogCounts(t *testing.T) {
+	cases := []struct {
+		name string
+		fps  []FP
+		want int
+	}{
+		{"SF", SFs, 2},
+		{"TF", TFs, 2},
+		{"WDF", WDFs, 2},
+		{"RDF", RDFs, 2},
+		{"DRDF", DRDFs, 2},
+		{"IRF", IRFs, 2},
+		{"DRF", DRFs, 2},
+		{"CFst", CFsts, 4},
+		{"CFds", CFdss, 12},
+		{"CFtr", CFtrs, 4},
+		{"CFwd", CFwds, 4},
+		{"CFrd", CFrds, 4},
+		{"CFdr", CFdrs, 4},
+		{"CFir", CFirs, 4},
+	}
+	for _, c := range cases {
+		if len(c.fps) != c.want {
+			t.Errorf("%s catalog has %d entries, want %d", c.name, len(c.fps), c.want)
+		}
+	}
+	if got := len(AllSingleCellStatic()); got != 12 {
+		t.Errorf("AllSingleCellStatic has %d entries, want 12", got)
+	}
+	if got := len(AllTwoCellStatic()); got != 36 {
+		t.Errorf("AllTwoCellStatic has %d entries, want 36", got)
+	}
+	if got := len(AllStatic()); got != 48 {
+		t.Errorf("AllStatic has %d entries, want 48", got)
+	}
+}
+
+func TestCatalogUnique(t *testing.T) {
+	seen := make(map[FP]string)
+	for _, f := range append(AllStatic(), DRFs...) {
+		if prev, dup := seen[f]; dup {
+			t.Errorf("duplicate catalog entry %v (also %s)", f, prev)
+		}
+		seen[f] = f.ID()
+	}
+}
+
+func TestCatalogClassesConsistent(t *testing.T) {
+	for _, c := range Classes() {
+		for _, f := range ByClass(c) {
+			if f.Class != c {
+				t.Errorf("ByClass(%v) contains %v with class %v", c, f, f.Class)
+			}
+			if got := Classify(f); got != c {
+				t.Errorf("Classify(%v) = %v, want %v", f, got, c)
+			}
+		}
+	}
+	if ByClass(ClassUnknown) != nil {
+		t.Error("ByClass(ClassUnknown) should be nil")
+	}
+}
+
+func TestCatalogCellCounts(t *testing.T) {
+	for _, f := range AllSingleCellStatic() {
+		if f.Cells != 1 {
+			t.Errorf("%v in single-cell catalog has Cells=%d", f, f.Cells)
+		}
+	}
+	for _, f := range AllTwoCellStatic() {
+		if f.Cells != 2 {
+			t.Errorf("%v in two-cell catalog has Cells=%d", f, f.Cells)
+		}
+	}
+}
+
+func TestByClassReturnsCopy(t *testing.T) {
+	a := ByClass(TF)
+	a[0].F = a[0].F.Not()
+	b := ByClass(TF)
+	if a[0] == b[0] {
+		t.Error("ByClass must return a copy, not the backing catalog slice")
+	}
+}
+
+// Every victim-flip catalog entry has F complementary to the fault-free
+// final value, and every pure-misread entry preserves it.
+func TestCatalogFaultValueConsistency(t *testing.T) {
+	for _, f := range AllStatic() {
+		good := f.GoodVictimFinal()
+		if !good.IsBinary() {
+			t.Errorf("%v: catalog entries must pin the fault-free final value", f)
+			continue
+		}
+		if f.Class == IRF || f.Class == CFir {
+			if f.F != good {
+				t.Errorf("%v: incorrect-read fault must preserve the stored value", f)
+			}
+		} else if f.F != good.Not() {
+			t.Errorf("%v: F=%v but fault-free final is %v; static catalog faults flip the victim", f, f.F, good)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package fp
+
+// The catalog of realistic two-operation (dynamic, m = 2) fault primitives,
+// per the dynamic fault taxonomy of van de Goor & Al-Ars and the companion
+// paper of the same group ("Automatic March Tests Generation for Static and
+// Dynamic Faults in SRAMs", ETS 2005). The realistic dynamic behaviors are
+// sensitized by a write or read immediately followed by a read on the same
+// cell: the second (back-to-back) access disturbs the cell or returns a
+// wrong value.
+
+// dynSeqs are the six sensitizing sequences: every write-then-read and
+// read-then-read pair consistent with a binary initial state.
+var dynSeqs = []string{"0w0r0", "0w1r1", "1w0r0", "1w1r1", "0r0r0", "1r1r1"}
+
+// goodFinal returns the fault-free cell value after a dynamic sequence
+// (the value of the last write, or the initial state for read-read).
+func dynGoodFinal(seq string) string {
+	switch seq {
+	case "0w0r0", "1w0r0", "0r0r0":
+		return "0"
+	default:
+		return "1"
+	}
+}
+
+func buildDynamicSingle() (rdf, drdf, irf []FP) {
+	for _, seq := range dynSeqs {
+		g := dynGoodFinal(seq)
+		bad := "1"
+		if g == "1" {
+			bad = "0"
+		}
+		rdf = append(rdf, MustParseFP("<"+seq+"/"+bad+"/"+bad+">"))
+		drdf = append(drdf, MustParseFP("<"+seq+"/"+bad+"/"+g+">"))
+		irf = append(irf, MustParseFP("<"+seq+"/"+g+"/"+bad+">"))
+	}
+	return
+}
+
+func buildDynamicCoupling() (ds, rd, dr, ir []FP) {
+	// Aggressor-side: a two-operation sequence on the aggressor flips the
+	// victim.
+	for _, seq := range dynSeqs {
+		ds = append(ds,
+			MustParseFP("<"+seq+";0/1/->"),
+			MustParseFP("<"+seq+";1/0/->"),
+		)
+	}
+	// Victim-side: the dynamic read disturbances conditioned on the
+	// aggressor state.
+	for _, a := range []string{"0", "1"} {
+		for _, seq := range dynSeqs {
+			g := dynGoodFinal(seq)
+			bad := "1"
+			if g == "1" {
+				bad = "0"
+			}
+			rd = append(rd, MustParseFP("<"+a+";"+seq+"/"+bad+"/"+bad+">"))
+			dr = append(dr, MustParseFP("<"+a+";"+seq+"/"+bad+"/"+g+">"))
+			ir = append(ir, MustParseFP("<"+a+";"+seq+"/"+g+"/"+bad+">"))
+		}
+	}
+	return
+}
+
+// Dynamic fault primitive groups.
+var (
+	// DyRDFs are Dynamic Read Destructive Faults: a write or read
+	// immediately followed by a read flips the cell, and the read returns
+	// the new (faulty) value.
+	DyRDFs []FP
+	// DyDRDFs are Dynamic Deceptive Read Destructive Faults: the cell
+	// flips but the read returns the expected value.
+	DyDRDFs []FP
+	// DyIRFs are Dynamic Incorrect Read Faults: the back-to-back read
+	// returns the wrong value without changing the cell.
+	DyIRFs []FP
+	// DyCFdss are Dynamic Disturb Coupling Faults: a two-operation sequence
+	// on the aggressor flips the victim.
+	DyCFdss []FP
+	// DyCFrds, DyCFdrs, DyCFirs are the coupling versions of the dynamic
+	// read disturbances, conditioned on the aggressor state.
+	DyCFrds []FP
+	DyCFdrs []FP
+	DyCFirs []FP
+)
+
+func init() {
+	DyRDFs, DyDRDFs, DyIRFs = buildDynamicSingle()
+	DyCFdss, DyCFrds, DyCFdrs, DyCFirs = buildDynamicCoupling()
+}
+
+// AllSingleCellDynamic returns the 18 single-cell two-operation dynamic
+// fault primitives.
+func AllSingleCellDynamic() []FP {
+	return concatFPs(DyRDFs, DyDRDFs, DyIRFs)
+}
+
+// AllTwoCellDynamic returns the 48 two-cell two-operation dynamic fault
+// primitives.
+func AllTwoCellDynamic() []FP {
+	return concatFPs(DyCFdss, DyCFrds, DyCFdrs, DyCFirs)
+}
+
+// AllDynamic returns the full two-operation dynamic catalog (66
+// primitives).
+func AllDynamic() []FP {
+	return append(AllSingleCellDynamic(), AllTwoCellDynamic()...)
+}

@@ -1,0 +1,211 @@
+package fp
+
+import (
+	"testing"
+)
+
+func TestCatalogValidates(t *testing.T) {
+	for _, f := range append(AllStatic(), DRFs...) {
+		if err := f.Validate(); err != nil {
+			t.Errorf("catalog entry %v invalid: %v", f, err)
+		}
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	tf := MustParseFP("<0w1/0/->")
+	cases := []struct {
+		name string
+		mut  func(FP) FP
+	}{
+		{"bad cells", func(f FP) FP { f.Cells = 3; return f }},
+		{"zero cells", func(f FP) FP { f.Cells = 0; return f }},
+		{"non-binary F", func(f FP) FP { f.F = VX; return f }},
+		{"single-cell with AInit", func(f FP) FP { f.AInit = V1; return f }},
+		{"op trigger without op", func(f FP) FP { f.Op = Op{}; return f }},
+		{"op trigger without role", func(f FP) FP { f.OpRole = RoleNone; return f }},
+		{"aggressor op on one cell", func(f FP) FP { f.OpRole = RoleAggressor; return f }},
+		{"R on a write", func(f FP) FP { f.R = V1; return f }},
+	}
+	for _, c := range cases {
+		if err := c.mut(tf).Validate(); err == nil {
+			t.Errorf("%s: Validate accepted malformed FP", c.name)
+		}
+	}
+
+	sf := MustParseFP("<0/1/->")
+	if f := sf; func() error { f.Op = W1; return f.Validate() }() == nil {
+		t.Error("state trigger with an operation must be rejected")
+	}
+	if f := sf; func() error { f.VInit = VX; return f.Validate() }() == nil {
+		t.Error("state fault without a victim state must be rejected")
+	}
+	if f := sf; func() error { f.R = V1; return f.Validate() }() == nil {
+		t.Error("state fault with a read result must be rejected")
+	}
+}
+
+func TestGoodVictimFinal(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Value
+	}{
+		{"<0w1/0/->", V1},   // TF: good machine ends at 1
+		{"<1w0/1/->", V0},   // TF down
+		{"<0w0/1/->", V0},   // WDF: good machine keeps 0
+		{"<0r0/1/1>", V0},   // RDF: read does not change the good machine
+		{"<0/1/->", V0},     // SF: good machine holds the state
+		{"<0w1;0/1/->", V0}, // CFds: aggressor op leaves victim at 0
+		{"<1;0w1/0/->", V1}, // CFtr: good machine writes 1
+	}
+	for _, c := range cases {
+		f := MustParseFP(c.in)
+		if got := f.GoodVictimFinal(); got != c.want {
+			t.Errorf("%s: GoodVictimFinal = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestChangesState(t *testing.T) {
+	changes := []string{"<0w1/0/->", "<0w0/1/->", "<0r0/1/1>", "<0r0/1/0>", "<0/1/->", "<0w1;0/1/->", "<0;0/1/->"}
+	for _, s := range changes {
+		if !MustParseFP(s).ChangesState() {
+			t.Errorf("%s should change state", s)
+		}
+	}
+	keeps := []string{"<0r0/0/1>", "<1r1/1/0>", "<0;0r0/0/1>"}
+	for _, s := range keeps {
+		if MustParseFP(s).ChangesState() {
+			t.Errorf("%s should not change state", s)
+		}
+	}
+}
+
+func TestMisreads(t *testing.T) {
+	misread := []string{"<0r0/1/1>", "<0r0/0/1>", "<1;1r1/0/0>", "<0;0r0/0/1>"}
+	for _, s := range misread {
+		if !MustParseFP(s).Misreads() {
+			t.Errorf("%s should misread", s)
+		}
+	}
+	// A deceptive read destructive fault returns the correct (old) value: the
+	// sensitizing read itself is not detected.
+	honest := []string{"<0r0/1/0>", "<1r1/0/1>", "<0w1/0/->", "<0/1/->", "<0w1;0/1/->"}
+	for _, s := range honest {
+		if MustParseFP(s).Misreads() {
+			t.Errorf("%s should not misread", s)
+		}
+	}
+}
+
+func TestMatchesOpSingleCell(t *testing.T) {
+	tf := MustParseFP("<0w1/0/->") // TF up
+	if !tf.MatchesOp(W1, RoleVictim, VX, V0) {
+		t.Error("TF up must match w1 on a cell holding 0")
+	}
+	if tf.MatchesOp(W1, RoleVictim, VX, V1) {
+		t.Error("TF up must not match when the cell holds 1")
+	}
+	if tf.MatchesOp(W0, RoleVictim, VX, V0) {
+		t.Error("TF up must not match w0")
+	}
+	if tf.MatchesOp(W1, RoleAggressor, VX, V0) {
+		t.Error("TF up must not match an aggressor operation")
+	}
+
+	rdf := MustParseFP("<1r1/0/0>")
+	// March reads carry the good-machine expectation; matching is on the
+	// faulty cell state, so a read expecting 0 still sensitizes an RDF on a
+	// faulty cell holding 1.
+	if !rdf.MatchesOp(R0, RoleVictim, VX, V1) {
+		t.Error("RDF1 must match any read on a cell holding 1")
+	}
+	if !rdf.MatchesOp(R1, RoleVictim, VX, V1) {
+		t.Error("RDF1 must match r1 on a cell holding 1")
+	}
+	if rdf.MatchesOp(R1, RoleVictim, VX, V0) {
+		t.Error("RDF1 must not match when the cell holds 0")
+	}
+}
+
+func TestMatchesOpCoupling(t *testing.T) {
+	cfds := MustParseFP("<0w1;0/1/->")
+	if !cfds.MatchesOp(W1, RoleAggressor, V0, V0) {
+		t.Error("CFds must match w1 on aggressor holding 0 with victim 0")
+	}
+	if cfds.MatchesOp(W1, RoleAggressor, V1, V0) {
+		t.Error("CFds must not match when aggressor holds 1")
+	}
+	if cfds.MatchesOp(W1, RoleAggressor, V0, V1) {
+		t.Error("CFds must not match when victim holds 1")
+	}
+	if cfds.MatchesOp(W1, RoleVictim, V0, V0) {
+		t.Error("CFds must not match a victim operation")
+	}
+
+	cftr := MustParseFP("<1;0w1/0/->")
+	if !cftr.MatchesOp(W1, RoleVictim, V1, V0) {
+		t.Error("CFtr must match w1 on victim with aggressor 1")
+	}
+	if cftr.MatchesOp(W1, RoleVictim, V0, V0) {
+		t.Error("CFtr must not match with aggressor 0")
+	}
+}
+
+func TestMatchesOpNeverForStateTrigger(t *testing.T) {
+	sf := MustParseFP("<0/1/->")
+	for _, op := range []Op{W0, W1, R0, R1, Wait} {
+		if sf.MatchesOp(op, RoleVictim, VX, V0) {
+			t.Errorf("state fault must not match operation %v", op)
+		}
+	}
+}
+
+func TestMatchesState(t *testing.T) {
+	sf := MustParseFP("<1/0/->")
+	if !sf.MatchesState(VX, V1) {
+		t.Error("SF1 must match a cell holding 1")
+	}
+	if sf.MatchesState(VX, V0) {
+		t.Error("SF1 must not match a cell holding 0")
+	}
+
+	cfst := MustParseFP("<1;0/1/->")
+	if !cfst.MatchesState(V1, V0) {
+		t.Error("CFst must match aggressor 1, victim 0")
+	}
+	if cfst.MatchesState(V0, V0) {
+		t.Error("CFst must not match aggressor 0")
+	}
+	if cfst.MatchesState(V1, V1) {
+		t.Error("CFst must not match victim 1")
+	}
+
+	tf := MustParseFP("<0w1/0/->")
+	if tf.MatchesState(VX, V0) {
+		t.Error("operation-triggered FP must not match on state alone")
+	}
+}
+
+func TestMatchesOpWait(t *testing.T) {
+	drf := MustParseFP("<1t/0/->")
+	if !drf.MatchesOp(Wait, RoleVictim, VX, V1) {
+		t.Error("DRF must match a wait on a cell holding 1")
+	}
+	if drf.MatchesOp(Wait, RoleVictim, VX, V0) {
+		t.Error("DRF1 must not match a cell holding 0")
+	}
+}
+
+func TestFPID(t *testing.T) {
+	f := MustParseFP("<0w1/0/->")
+	if got, want := f.ID(), "TF<0w1/0/->"; got != want {
+		t.Errorf("ID = %q, want %q", got, want)
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	if RoleAggressor.String() != "aggressor" || RoleVictim.String() != "victim" || RoleNone.String() != "none" {
+		t.Error("unexpected role names")
+	}
+}

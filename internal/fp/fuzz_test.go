@@ -1,0 +1,57 @@
+package fp
+
+import (
+	"testing"
+)
+
+// FuzzParseFP checks the parser never panics and that everything it accepts
+// survives a String/Parse round trip.
+func FuzzParseFP(f *testing.F) {
+	for _, seed := range []string{
+		"<0w1/0/->", "<1r1/0/0>", "<0;1/0/->", "<0w1;0/1/->", "<0w1r1/0/0>",
+		"<0;0w0r0/1/1>", "<1t/0/->", "<-/1/->", "<>", "garbage", "<0w1;1w0/0/->",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		parsed, err := ParseFP(s)
+		if err != nil {
+			return
+		}
+		if err := parsed.Validate(); err != nil {
+			t.Fatalf("ParseFP(%q) accepted an invalid primitive: %v", s, err)
+		}
+		back, err := ParseFP(parsed.String())
+		if err != nil {
+			t.Fatalf("rendered form %q of %q does not re-parse: %v", parsed.String(), s, err)
+		}
+		if back != parsed {
+			t.Fatalf("round trip of %q changed %v to %v", s, parsed, back)
+		}
+	})
+}
+
+// FuzzParseOps checks the operation list parser.
+func FuzzParseOps(f *testing.F) {
+	for _, seed := range []string{"r0,w1,r1", "t", "w0", "r", "x,y", ",,", "r0,,w1"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		ops, err := ParseOps(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseOps(FormatOps(ops))
+		if err != nil {
+			t.Fatalf("rendered ops %q do not re-parse: %v", FormatOps(ops), err)
+		}
+		if len(back) != len(ops) {
+			t.Fatalf("round trip changed op count")
+		}
+		for i := range ops {
+			if back[i] != ops[i] {
+				t.Fatalf("round trip changed op %d", i)
+			}
+		}
+	})
+}

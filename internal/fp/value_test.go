@@ -1,0 +1,183 @@
+package fp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{V0, "0"},
+		{V1, "1"},
+		{VX, "-"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("Value(%d).String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestValueNot(t *testing.T) {
+	if V0.Not() != V1 {
+		t.Errorf("V0.Not() = %v, want V1", V0.Not())
+	}
+	if V1.Not() != V0 {
+		t.Errorf("V1.Not() = %v, want V0", V1.Not())
+	}
+	if VX.Not() != VX {
+		t.Errorf("VX.Not() = %v, want VX", VX.Not())
+	}
+}
+
+func TestValueNotInvolution(t *testing.T) {
+	for _, v := range []Value{V0, V1, VX} {
+		if v.Not().Not() != v {
+			t.Errorf("Not is not an involution on %v", v)
+		}
+	}
+}
+
+func TestValueIsBinary(t *testing.T) {
+	if !V0.IsBinary() || !V1.IsBinary() {
+		t.Error("V0 and V1 must be binary")
+	}
+	if VX.IsBinary() {
+		t.Error("VX must not be binary")
+	}
+}
+
+func TestValueBit(t *testing.T) {
+	if V0.Bit() != 0 {
+		t.Errorf("V0.Bit() = %d", V0.Bit())
+	}
+	if V1.Bit() != 1 {
+		t.Errorf("V1.Bit() = %d", V1.Bit())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("VX.Bit() did not panic")
+		}
+	}()
+	_ = VX.Bit()
+}
+
+func TestValueOf(t *testing.T) {
+	if ValueOf(0) != V0 {
+		t.Error("ValueOf(0) != V0")
+	}
+	if ValueOf(1) != V1 {
+		t.Error("ValueOf(1) != V1")
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	for _, s := range []string{"0", "1", "-"} {
+		v, err := ParseValue(s)
+		if err != nil {
+			t.Fatalf("ParseValue(%q): %v", s, err)
+		}
+		if v.String() != s {
+			t.Errorf("round trip of %q gave %q", s, v.String())
+		}
+	}
+	if _, err := ParseValue("x"); err == nil {
+		t.Error("ParseValue(\"x\") should fail")
+	}
+	if _, err := ParseValue(""); err == nil {
+		t.Error("ParseValue(\"\") should fail")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want string
+	}{
+		{W0, "w0"},
+		{W1, "w1"},
+		{R0, "r0"},
+		{R1, "r1"},
+		{RX, "r"},
+		{Wait, "t"},
+		{Op{}, ""},
+	}
+	for _, c := range cases {
+		if got := c.op.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.op, got, c.want)
+		}
+	}
+}
+
+func TestParseOp(t *testing.T) {
+	valid := []string{"w0", "w1", "r0", "r1", "r", "t"}
+	for _, s := range valid {
+		op, err := ParseOp(s)
+		if err != nil {
+			t.Fatalf("ParseOp(%q): %v", s, err)
+		}
+		if op.String() != s {
+			t.Errorf("round trip of %q gave %q", s, op.String())
+		}
+	}
+	invalid := []string{"", "w", "w2", "wx", "w-", "x0", "read", "r2", "tt", "W0"}
+	for _, s := range invalid {
+		if _, err := ParseOp(s); err == nil {
+			t.Errorf("ParseOp(%q) should fail", s)
+		}
+	}
+}
+
+func TestParseOpsRoundTrip(t *testing.T) {
+	in := "r0,w1,r1,w0,t,r"
+	ops, err := ParseOps(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FormatOps(ops); got != in {
+		t.Errorf("FormatOps(ParseOps(%q)) = %q", in, got)
+	}
+}
+
+func TestParseOpsWhitespaceAndErrors(t *testing.T) {
+	ops, err := ParseOps(" r0 , w1 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 2 || ops[0] != R0 || ops[1] != W1 {
+		t.Errorf("ParseOps with spaces gave %v", ops)
+	}
+	if _, err := ParseOps(""); err == nil {
+		t.Error("ParseOps(\"\") should fail")
+	}
+	if _, err := ParseOps("r0,zz"); err == nil {
+		t.Error("ParseOps with bad element should fail")
+	}
+}
+
+func TestOpIsZero(t *testing.T) {
+	if !(Op{}).IsZero() {
+		t.Error("zero Op must report IsZero")
+	}
+	if W0.IsZero() || R1.IsZero() || Wait.IsZero() {
+		t.Error("real operations must not report IsZero")
+	}
+}
+
+// Property: every binary-valued operation round-trips through its notation.
+func TestOpRoundTripQuick(t *testing.T) {
+	f := func(kind uint8, data uint8) bool {
+		op := Op{Kind: OpKind(kind%3 + 1), Data: Value(data % 2)}
+		if op.Kind == OpWait {
+			op.Data = VX
+		}
+		parsed, err := ParseOp(op.String())
+		return err == nil && parsed == op
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,231 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"marchgen/internal/automaton"
+	"marchgen/internal/fp"
+	"marchgen/internal/linked"
+)
+
+// Figure 2: the fault-free 2-cell model G0 has 4 states and, per state, one
+// edge per alphabet member (w0/w1/r on each cell plus t): 7 edges, 28 total.
+func TestG0StructureFigure2(t *testing.T) {
+	g, err := G0(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumStates() != 4 {
+		t.Fatalf("|V| = %d, want 4", g.NumStates())
+	}
+	if len(g.FaultFree) != 28 {
+		t.Fatalf("|E| = %d, want 28", len(g.FaultFree))
+	}
+	if len(g.Faulty) != 0 {
+		t.Fatal("G0 must have no faulty edges")
+	}
+	for s := automaton.State(0); s < 4; s++ {
+		edges := g.EdgesFrom(s)
+		if len(edges) != 7 {
+			t.Errorf("state %s has %d outgoing edges, want 7", s.Format(2), len(edges))
+		}
+		for _, e := range edges {
+			op := e.Ops[0]
+			switch op.Op.Kind {
+			case fp.OpRead, fp.OpWait:
+				if e.To != e.From {
+					t.Errorf("%s edge from %s must be a self loop", e.Label(), s.Format(2))
+				}
+			case fp.OpWrite:
+				want := e.From.WithCell(op.Cell, op.Op.Data)
+				if e.To != want {
+					t.Errorf("edge %s from %s goes to %s, want %s",
+						e.Label(), e.From.Format(2), e.To.Format(2), want.Format(2))
+				}
+			}
+		}
+	}
+}
+
+// Spot-check Figure 2's labels: from state 00, ri outputs 0 and w1j moves to
+// 01 with output '-'.
+func TestG0LabelsMatchFigure2(t *testing.T) {
+	g, err := G0(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := map[string]automaton.State{}
+	for _, e := range g.EdgesFrom(0) {
+		labels[e.Label()] = e.To
+	}
+	if to, ok := labels["ri/0"]; !ok || to != 0 {
+		t.Errorf("missing self-loop ri/0 on state 00: %v", labels)
+	}
+	if to, ok := labels["w1j/-"]; !ok || to.Format(2) != "01" {
+		t.Errorf("w1j from 00 must reach 01: %v", labels)
+	}
+	if to, ok := labels["t/-"]; !ok || to != 0 {
+		t.Errorf("missing wait self-loop: %v", labels)
+	}
+}
+
+// G0 agrees with the automaton on every edge (model/graph cross-check).
+func TestG0AgreesWithAutomaton(t *testing.T) {
+	g, err := G0(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := automaton.MustNew(3)
+	for _, e := range g.FaultFree {
+		to, err := m.Delta(e.From, e.Ops[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if to != e.To {
+			t.Errorf("edge %s: δ disagrees", e.Label())
+		}
+		out, err := m.Lambda(e.From, e.Ops[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != e.Out {
+			t.Errorf("edge %s: λ disagrees", e.Label())
+		}
+	}
+}
+
+// Figure 4: the pattern graph of the linked disturb coupling fault (eq. 12)
+// on the 2-cell model has exactly two faulty edges, 00→11 labeled
+// "w1i,r0j" and 11→00 labeled "w0i,r1j".
+func TestPatternGraphFigure4(t *testing.T) {
+	lf, err := linked.NewLF2aa(fp.MustParseFP("<0w1;0/1/->"), fp.MustParseFP("<1w0;1/0/->"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Pattern(2, []linked.Fault{lf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both placements (a=0,v=1) and (a=1,v=0) contribute one chain each:
+	// 4 faulty edges total, of which the (a=0,v=1) pair reproduces Figure 4.
+	if len(g.Faulty) != 4 {
+		t.Fatalf("%d faulty edges, want 4 (two placements × TP pair)", len(g.Faulty))
+	}
+	labels := map[string]string{}
+	for _, e := range g.Faulty {
+		labels[e.From.Format(2)+">"+e.To.Format(2)] = e.Label()
+	}
+	if got := labels["00>11"]; got != "w1i,r0j" && got != "w1j,r0i" {
+		t.Errorf("faulty edge 00→11 labeled %q", got)
+	}
+	if got := labels["11>00"]; got != "w0i,r1j" && got != "w0j,r1i" {
+		t.Errorf("faulty edge 11→00 labeled %q", got)
+	}
+	for _, e := range g.Faulty {
+		if e.FaultID != lf.ID() {
+			t.Errorf("faulty edge carries fault ID %q", e.FaultID)
+		}
+	}
+}
+
+func TestPatternGraphSimpleFault(t *testing.T) {
+	simple, err := linked.NewSimple(fp.MustParseFP("<0w1/0/->"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Pattern(2, []linked.Fault{simple})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 victims × 2 bystander values = 4 faulty edges.
+	if len(g.Faulty) != 4 {
+		t.Fatalf("%d faulty edges, want 4", len(g.Faulty))
+	}
+	for _, e := range g.Faulty {
+		// TF: edge from xv=0 state to the state where the victim stays 0
+		// while the fault-free machine would hold 1 — the edge target is the
+		// faulty state.
+		if e.TP.Target != e.To {
+			t.Error("faulty edge target must be the TP's faulty state")
+		}
+		if len(e.Ops) != 2 {
+			t.Errorf("TF faulty edge ops = %v, want excitation+observation", e.Ops)
+		}
+	}
+}
+
+func TestPatternGraphRejectsOversizedFault(t *testing.T) {
+	lf3, err := linked.NewLF3(fp.MustParseFP("<0w1;0/1/->"), fp.MustParseFP("<0w1;1/0/->"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Pattern(2, []linked.Fault{lf3}); err == nil {
+		t.Error("3-cell fault on a 2-cell graph must error")
+	}
+}
+
+func TestFaultyByFault(t *testing.T) {
+	lf, err := linked.NewLF2aa(fp.MustParseFP("<0w1;0/1/->"), fp.MustParseFP("<1w0;1/0/->"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	simple, err := linked.NewSimple(fp.MustParseFP("<0w1/0/->"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Pattern(2, []linked.Fault{lf, simple})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grouped := g.FaultyByFault()
+	if len(grouped) != 2 {
+		t.Fatalf("%d fault groups, want 2", len(grouped))
+	}
+	if len(grouped[lf.ID()]) != 4 || len(grouped[simple.ID()]) != 4 {
+		t.Errorf("group sizes: %d, %d", len(grouped[lf.ID()]), len(grouped[simple.ID()]))
+	}
+}
+
+func TestAddTPDeduplicates(t *testing.T) {
+	lf, err := linked.NewLF2aa(fp.MustParseFP("<0w1;0/1/->"), fp.MustParseFP("<1w0;1/0/->"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Pattern(2, []linked.Fault{lf, lf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Faulty) != 4 {
+		t.Errorf("duplicate fault added duplicate edges: %d", len(g.Faulty))
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	lf, err := linked.NewLF2aa(fp.MustParseFP("<0w1;0/1/->"), fp.MustParseFP("<1w0;1/0/->"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Pattern(2, []linked.Fault{lf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.DOT(&buf, "PGCF"); err != nil {
+		t.Fatal(err)
+	}
+	dot := buf.String()
+	for _, want := range []string{
+		"digraph \"PGCF\"",
+		"s0 [label=\"00\"]",
+		"s3 [label=\"11\"]",
+		"style=bold",
+		"w1i,r0j",
+		"}",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+}

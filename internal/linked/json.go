@@ -1,0 +1,75 @@
+package linked
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"marchgen/internal/fp"
+)
+
+// faultJSON is the wire form of a fault: primitives travel in the <S/F/R>
+// notation, the kind as its taxonomy name.
+type faultJSON struct {
+	Kind string   `json:"kind"`
+	FPs  []string `json:"fps"`
+}
+
+// MarshalJSON encodes the fault with its taxonomy kind and primitive
+// notations (bindings are implied by the kind).
+func (f Fault) MarshalJSON() ([]byte, error) {
+	w := faultJSON{Kind: f.Kind.String()}
+	for _, b := range f.FPs {
+		w.FPs = append(w.FPs, b.FP.String())
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes and re-validates a fault from its wire form.
+func (f *Fault) UnmarshalJSON(data []byte) error {
+	var w faultJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	prims := make([]fp.FP, len(w.FPs))
+	for i, s := range w.FPs {
+		p, err := fp.ParseFP(s)
+		if err != nil {
+			return err
+		}
+		prims[i] = p
+	}
+	var (
+		out Fault
+		err error
+	)
+	switch w.Kind {
+	case "Simple":
+		if len(prims) != 1 {
+			return fmt.Errorf("linked: simple fault needs exactly one primitive, got %d", len(prims))
+		}
+		out, err = NewSimple(prims[0])
+	case "LF1", "LF2aa", "LF2av", "LF2va", "LF3":
+		if len(prims) != 2 {
+			return fmt.Errorf("linked: %s needs exactly two primitives, got %d", w.Kind, len(prims))
+		}
+		switch w.Kind {
+		case "LF1":
+			out, err = NewLF1(prims[0], prims[1])
+		case "LF2aa":
+			out, err = NewLF2aa(prims[0], prims[1])
+		case "LF2av":
+			out, err = NewLF2av(prims[0], prims[1])
+		case "LF2va":
+			out, err = NewLF2va(prims[0], prims[1])
+		case "LF3":
+			out, err = NewLF3(prims[0], prims[1])
+		}
+	default:
+		return fmt.Errorf("linked: unknown fault kind %q", w.Kind)
+	}
+	if err != nil {
+		return err
+	}
+	*f = out
+	return nil
+}

@@ -1,0 +1,77 @@
+package linked
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"marchgen/internal/fp"
+)
+
+func TestFaultJSONRoundTrip(t *testing.T) {
+	lf2aa, err := NewLF2aa(fp.MustParseFP("<0w1;0/1/->"), fp.MustParseFP("<1w0;1/0/->"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lf3, err := NewLF3(fp.MustParseFP("<0w1;0/1/->"), fp.MustParseFP("<0w1;1/0/->"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lf1, err := NewLF1(fp.MustParseFP("<0w1/0/->"), fp.MustParseFP("<0r0/1/1>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	simple, err := NewSimple(fp.MustParseFP("<0w1r1/0/0>")) // dynamic simple fault
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []Fault{lf2aa, lf3, lf1, simple} {
+		data, err := json.Marshal(f)
+		if err != nil {
+			t.Fatalf("%s: %v", f.ID(), err)
+		}
+		var back Fault
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("%s: %v (%s)", f.ID(), err, data)
+		}
+		if back.ID() != f.ID() {
+			t.Errorf("round trip changed %s to %s", f.ID(), back.ID())
+		}
+	}
+}
+
+func TestFaultJSONWireFormat(t *testing.T) {
+	lf, err := NewLF1(fp.MustParseFP("<0w1/0/->"), fp.MustParseFP("<0r0/1/1>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(lf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	// encoding/json escapes the < > of the FP notation as < / >.
+	for _, want := range []string{`"kind":"LF1"`, `0w1/0/-`, `0r0/1/1`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("wire form missing %s: %s", want, s)
+		}
+	}
+}
+
+func TestFaultJSONUnmarshalErrors(t *testing.T) {
+	cases := []string{
+		`{"kind":"LF9","fps":["<0w1/0/->","<0r0/1/1>"]}`,     // unknown kind
+		`{"kind":"LF1","fps":["<0w1/0/->"]}`,                 // wrong arity
+		`{"kind":"Simple","fps":["<0w1/0/->","<0r0/1/1>"]}`,  // wrong arity
+		`{"kind":"LF1","fps":["<garbage>","<0r0/1/1>"]}`,     // bad FP
+		`{"kind":"LF1","fps":["<0w1/0/->","<1r1/1/0>"]}`,     // violates Definition 6
+		`{"kind":"LF1","fps":["<0w1;0/1/->","<1w0;1/0/->"]}`, // wrong shape for LF1
+		`"nope"`,
+	}
+	var f Fault
+	for _, c := range cases {
+		if err := json.Unmarshal([]byte(c), &f); err == nil {
+			t.Errorf("Unmarshal(%s) accepted", c)
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package linked
+
+import (
+	"strings"
+	"testing"
+
+	"marchgen/internal/fp"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		Simple: "Simple", LF1: "LF1", LF2aa: "LF2aa",
+		LF2av: "LF2av", LF2va: "LF2va", LF3: "LF3",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if Simple.IsLinked() {
+		t.Error("Simple must not be linked")
+	}
+	for _, k := range []Kind{LF1, LF2aa, LF2av, LF2va, LF3} {
+		if !k.IsLinked() {
+			t.Errorf("%v must be linked", k)
+		}
+	}
+}
+
+func TestNewSimple(t *testing.T) {
+	one, err := NewSimple(fp.MustParseFP("<0w1/0/->"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Cells != 1 || one.Kind != Simple || one.FP1().V != 0 || one.FP1().A != -1 {
+		t.Errorf("unexpected single-cell simple fault: %+v", one)
+	}
+	two, err := NewSimple(fp.MustParseFP("<0w1;0/1/->"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.Cells != 2 || two.FP1().A != 0 || two.FP1().V != 1 {
+		t.Errorf("unexpected two-cell simple fault: %+v", two)
+	}
+	if err := one.Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := two.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// The paper's running example, eq. (12): Disturb Coupling Fault linked to
+// Disturb Coupling Fault, < 0w1 ; 0 / 1 / - > → < 1w0 ; 1 / 0 / - >.
+func TestPaperEq12LinksAsLF2aa(t *testing.T) {
+	f1 := fp.MustParseFP("<0w1;0/1/->")
+	f2 := fp.MustParseFP("<1w0;1/0/->")
+	ft, err := NewLF2aa(f1, f2)
+	if err != nil {
+		t.Fatalf("eq. (12) pair must link: %v", err)
+	}
+	if err := ft.Validate(); err != nil {
+		t.Error(err)
+	}
+	if !TrulyMasks(f1, f2) {
+		t.Error("eq. (12) pair must be truly masking (the paper's canonical example)")
+	}
+	// The same pair with distinct aggressors is the Figure 1 LF3 case.
+	lf3, err := NewLF3(f1, f2)
+	if err != nil {
+		t.Fatalf("Figure 1 pair must link as LF3: %v", err)
+	}
+	if lf3.Cells != 3 || lf3.FP1().A == lf3.FP2().A || lf3.FP1().V != lf3.FP2().V {
+		t.Errorf("unexpected LF3 topology: %+v", lf3)
+	}
+}
+
+// The Section 3 example, eq. (6): <0w1;0/1/-> → <0w1;1/0/-> with different
+// aggressors and the same victim (Figure 1).
+func TestPaperEq6LinksAsLF3(t *testing.T) {
+	f1 := fp.MustParseFP("<0w1;0/1/->")
+	f2 := fp.MustParseFP("<0w1;1/0/->")
+	if _, err := NewLF3(f1, f2); err != nil {
+		t.Fatalf("eq. (6) pair must link as LF3: %v", err)
+	}
+	if !TrulyMasks(f1, f2) {
+		t.Error("eq. (6) pair must be truly masking")
+	}
+}
+
+func TestCheckLinkRejections(t *testing.T) {
+	tf := fp.MustParseFP("<0w1/0/->")   // F1=0
+	wdf0 := fp.MustParseFP("<0w0/1/->") // VInit=0, F=1
+	rdf0 := fp.MustParseFP("<0r0/1/1>")
+	rdf1 := fp.MustParseFP("<1r1/0/0>")
+	irf0 := fp.MustParseFP("<0r0/0/1>")
+	sf0 := fp.MustParseFP("<0/1/->")
+
+	cases := []struct {
+		name   string
+		f1, f2 fp.FP
+	}{
+		{"FP2 does not complement F1", tf, fp.MustParseFP("<1w1/0/->")},
+		{"FP2 victim state mismatch (I2 != Fv1)", tf, fp.MustParseFP("<1r1/1/0>")},
+		{"FP2 complements but wrong victim state", tf, rdf1},
+		{"FP1 state-triggered", sf0, rdf0},
+		{"FP2 state-triggered", tf, sf0},
+		{"FP1 misreads (RDF cannot be masked)", rdf0, rdf1},
+		{"FP1 does not change state (IRF)", irf0, rdf0},
+	}
+	for _, c := range cases {
+		if err := CheckLink(c.f1, c.f2, LF1); err == nil {
+			t.Errorf("%s: CheckLink(%v, %v) accepted", c.name, c.f1, c.f2)
+		}
+	}
+	// Sanity: the canonical masking pair is accepted.
+	if err := CheckLink(tf, rdf0, LF1); err != nil {
+		t.Errorf("TF -> RDF must link: %v", err)
+	}
+	if err := CheckLink(tf, wdf0, LF1); err != nil {
+		t.Errorf("TF -> WDF satisfies Definition 6 and must link: %v", err)
+	}
+}
+
+func TestCheckLinkLF2aaAggressorChaining(t *testing.T) {
+	// FP1 leaves the aggressor at 1 (0w1); an FP2 requiring aggressor 0 on
+	// the same aggressor violates I2 = Fv1.
+	f1 := fp.MustParseFP("<0w1;0/1/->")
+	bad := fp.MustParseFP("<0w0;1/0/->")
+	if err := CheckLink(f1, bad, LF2aa); err == nil {
+		t.Error("LF2aa with incompatible aggressor states must be rejected")
+	}
+	// The same pair with distinct aggressors (LF3) is fine.
+	if err := CheckLink(f1, bad, LF3); err != nil {
+		t.Errorf("LF3 has no shared aggressor constraint: %v", err)
+	}
+	good := fp.MustParseFP("<1w0;1/0/->")
+	if err := CheckLink(f1, good, LF2aa); err != nil {
+		t.Errorf("compatible LF2aa pair rejected: %v", err)
+	}
+}
+
+func TestAggressorFinal(t *testing.T) {
+	cases := []struct {
+		in   string
+		want fp.Value
+	}{
+		{"<0w1;0/1/->", fp.V1}, // write on aggressor
+		{"<1w0;1/0/->", fp.V0},
+		{"<0r0;0/1/->", fp.V0}, // read on aggressor keeps state
+		{"<1;0w1/0/->", fp.V1}, // op on victim keeps aggressor state
+		{"<0;1r1/0/0>", fp.V0},
+	}
+	for _, c := range cases {
+		if got := AggressorFinal(fp.MustParseFP(c.in)); got != c.want {
+			t.Errorf("AggressorFinal(%s) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if got := AggressorFinal(fp.MustParseFP("<0w1/0/->")); got != fp.VX {
+		t.Errorf("AggressorFinal of a single-cell primitive = %v, want VX", got)
+	}
+}
+
+func TestTrulyMasks(t *testing.T) {
+	tf := fp.MustParseFP("<0w1/0/->")
+	cases := []struct {
+		name string
+		f2   string
+		want bool
+	}{
+		{"RDF masks", "<0r0/1/1>", true},
+		{"WDF swaps the error", "<0w0/1/->", false},
+		{"DRDF is caught at S2", "<0r0/1/0>", false},
+	}
+	for _, c := range cases {
+		if got := TrulyMasks(tf, fp.MustParseFP(c.f2)); got != c.want {
+			t.Errorf("%s: TrulyMasks(TF, %s) = %v, want %v", c.name, c.f2, got, c.want)
+		}
+	}
+	// CFds as FP2 restores the victim silently: truly masking.
+	f1 := fp.MustParseFP("<1;0w1/0/->") // CFtr: good 1, faulty 0
+	f2 := fp.MustParseFP("<1w1;0/1/->") // CFds flips victim back to 1
+	if !TrulyMasks(f1, f2) {
+		t.Error("CFtr -> CFds must be truly masking")
+	}
+	// Non-linkable pairs never mask.
+	if TrulyMasks(fp.MustParseFP("<0r0/1/1>"), fp.MustParseFP("<1r1/0/0>")) {
+		t.Error("an FP1 that misreads cannot be masked")
+	}
+}
+
+func TestFaultIDAndString(t *testing.T) {
+	ft, err := NewLF3(fp.MustParseFP("<0w1;0/1/->"), fp.MustParseFP("<0w1;1/0/->"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := ft.ID()
+	for _, want := range []string{"LF3", "CFds", "a0", "a1", "v2", "->"} {
+		if !strings.Contains(id, want) {
+			t.Errorf("ID %q missing %q", id, want)
+		}
+	}
+	if ft.String() != id {
+		t.Error("String must equal ID")
+	}
+}
+
+func TestFaultValidateRejectsBrokenTopology(t *testing.T) {
+	good, err := NewLF2aa(fp.MustParseFP("<0w1;0/1/->"), fp.MustParseFP("<1w0;1/0/->"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken := good
+	broken.FPs = append([]Binding(nil), good.FPs...)
+	broken.FPs[1].V = 0
+	broken.FPs[1].A = 1
+	if err := broken.Validate(); err == nil {
+		t.Error("linked primitives with different victims must be rejected")
+	}
+
+	b2 := good
+	b2.Cells = 4
+	if err := b2.Validate(); err == nil {
+		t.Error("Cells out of range must be rejected")
+	}
+
+	b3 := good
+	b3.FPs = good.FPs[:1]
+	if err := b3.Validate(); err == nil {
+		t.Error("linked fault with one primitive must be rejected")
+	}
+
+	b4 := good
+	b4.Kind = Simple
+	if err := b4.Validate(); err == nil {
+		t.Error("simple fault with two primitives must be rejected")
+	}
+
+	b5 := good
+	b5.FPs = append([]Binding(nil), good.FPs...)
+	b5.FPs[0].A = 1 // same as victim
+	if err := b5.Validate(); err == nil {
+		t.Error("aggressor == victim must be rejected")
+	}
+}
+
+func TestConstructorsRejectWrongShapes(t *testing.T) {
+	single := fp.MustParseFP("<0w1/0/->")
+	coupling := fp.MustParseFP("<0w1;0/1/->")
+	if _, err := NewLF1(coupling, single); err == nil {
+		t.Error("NewLF1 must reject coupling primitives")
+	}
+	if _, err := NewLF2aa(single, coupling); err == nil {
+		t.Error("NewLF2aa must reject single-cell primitives")
+	}
+	if _, err := NewLF2av(single, single); err == nil {
+		t.Error("NewLF2av must reject a single-cell FP1")
+	}
+	if _, err := NewLF2va(coupling, coupling); err == nil {
+		t.Error("NewLF2va must reject a coupling FP1")
+	}
+	if _, err := NewLF3(single, coupling); err == nil {
+		t.Error("NewLF3 must reject single-cell primitives")
+	}
+	if _, err := NewSimple(fp.FP{Cells: 3}); err == nil {
+		t.Error("NewSimple must reject unsupported cell counts")
+	}
+}
+
+func TestFP2PanicsOnSimple(t *testing.T) {
+	ft, err := NewSimple(fp.MustParseFP("<0w1/0/->"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("FP2 on a simple fault did not panic")
+		}
+	}()
+	_ = ft.FP2()
+}

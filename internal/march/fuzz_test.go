@@ -1,0 +1,36 @@
+package march
+
+import (
+	"testing"
+)
+
+// FuzzParse checks the march parser never panics and everything it accepts
+// survives Unicode and ASCII round trips.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"c(w0) ^(r0,w1) v(r1,w0)",
+		"⇕(w0) ⇑(r0,r0,w1,w1,r1) ⇓(r1,w0)",
+		"c(w0); c(t); c(r0)",
+		"c(", "q(w0)", "", "c(w0) extra", "c()",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		m, err := Parse("fuzz", s)
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("Parse(%q) accepted an invalid test: %v", s, err)
+		}
+		for _, render := range []string{m.String(), m.ASCII()} {
+			back, err := Parse("fuzz", render)
+			if err != nil {
+				t.Fatalf("rendered form %q of %q does not re-parse: %v", render, s, err)
+			}
+			if !back.Equal(m) {
+				t.Fatalf("round trip through %q changed the test", render)
+			}
+		}
+	})
+}

@@ -1,0 +1,49 @@
+package march
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// testJSON is the wire form of a march test: the sequence travels in the
+// ASCII notation so files stay human-readable and tool-agnostic.
+type testJSON struct {
+	Name          string `json:"name"`
+	Spec          string `json:"spec"`
+	Length        int    `json:"length"`
+	Source        string `json:"source,omitempty"`
+	Reconstructed bool   `json:"reconstructed,omitempty"`
+}
+
+// MarshalJSON encodes the test with its ASCII notation and derived length.
+func (t Test) MarshalJSON() ([]byte, error) {
+	return json.Marshal(testJSON{
+		Name:          t.Name,
+		Spec:          t.ASCII(),
+		Length:        t.Length(),
+		Source:        t.Source,
+		Reconstructed: t.Reconstructed,
+	})
+}
+
+// UnmarshalJSON decodes a test from its wire form, re-parsing and
+// re-validating the notation. A length field, if present, must agree with
+// the parsed sequence.
+func (t *Test) UnmarshalJSON(data []byte) error {
+	var w testJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	parsed, err := Parse(w.Name, w.Spec)
+	if err != nil {
+		return err
+	}
+	if w.Length != 0 && w.Length != parsed.Length() {
+		return fmt.Errorf("march: test %q declares length %d but the sequence has %d operations",
+			w.Name, w.Length, parsed.Length())
+	}
+	parsed.Source = w.Source
+	parsed.Reconstructed = w.Reconstructed
+	*t = parsed
+	return nil
+}

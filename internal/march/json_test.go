@@ -1,0 +1,54 @@
+package march
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTestJSONRoundTrip(t *testing.T) {
+	for _, m := range Lib() {
+		data, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		var back Test
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if !back.Equal(m) || back.Name != m.Name || back.Source != m.Source || back.Reconstructed != m.Reconstructed {
+			t.Errorf("%s: JSON round trip changed the test", m.Name)
+		}
+	}
+}
+
+func TestTestJSONWireFormat(t *testing.T) {
+	data, err := json.Marshal(MATSPlus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{`"name":"MATS+"`, `"spec":"c(w0) ^(r0,w1) v(r1,w0)"`, `"length":5`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("wire form missing %s: %s", want, s)
+		}
+	}
+}
+
+func TestTestJSONUnmarshalErrors(t *testing.T) {
+	cases := []string{
+		`{"name":"x","spec":"garbage"}`,
+		`{"name":"x","spec":"c(w0)","length":7}`, // inconsistent length
+		`[1,2]`,
+	}
+	var m Test
+	for _, c := range cases {
+		if err := json.Unmarshal([]byte(c), &m); err == nil {
+			t.Errorf("Unmarshal(%s) accepted", c)
+		}
+	}
+	// A declared length of 0 means "unspecified" and is accepted.
+	if err := json.Unmarshal([]byte(`{"name":"x","spec":"c(w0)"}`), &m); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,166 @@
+package march
+
+// The library of march tests used by the paper's evaluation (Table 1) plus
+// the classic tests used to validate the fault simulator against known
+// literature results.
+//
+// Sequences marked Reconstructed are not reprinted in the DATE 2006 paper;
+// see DESIGN.md ("Substitutions") for how they were reconstructed and what is
+// and is not claimed about them.
+
+func withSource(t Test, source string, reconstructed bool) Test {
+	t.Source = source
+	t.Reconstructed = reconstructed
+	return t
+}
+
+// Classic march tests (simulator validation baselines).
+var (
+	// MATSPlus is MATS+ (5n), detecting all stuck-at and address faults.
+	MATSPlus = withSource(MustParse("MATS+",
+		"c(w0) ^(r0,w1) v(r1,w0)"),
+		"Nair, 1979", false)
+
+	// MarchX is March X (6n).
+	MarchX = withSource(MustParse("March X",
+		"c(w0) ^(r0,w1) v(r1,w0) c(r0)"),
+		"van de Goor, 1991", false)
+
+	// MarchY is March Y (8n), extending March X for linked transition faults.
+	MarchY = withSource(MustParse("March Y",
+		"c(w0) ^(r0,w1,r1) v(r1,w0,r0) c(r0)"),
+		"van de Goor, 1991", false)
+
+	// MarchCMinus is March C- (10n), the classic unlinked-fault workhorse.
+	MarchCMinus = withSource(MustParse("March C-",
+		"c(w0) ^(r0,w1) ^(r1,w0) v(r0,w1) v(r1,w0) c(r0)"),
+		"Marinescu, 1982", false)
+
+	// MarchA is March A (15n).
+	MarchA = withSource(MustParse("March A",
+		"c(w0) ^(r0,w1,w0,w1) ^(r1,w0,w1) v(r1,w0,w1,w0) v(r0,w1,w0)"),
+		"Suk & Reddy, 1981", false)
+
+	// MarchB is March B (17n).
+	MarchB = withSource(MustParse("March B",
+		"c(w0) ^(r0,w1,r1,w0,r0,w1) ^(r1,w0,w1) v(r1,w0,w1,w0) v(r0,w1,w0)"),
+		"Suk & Reddy, 1981", false)
+
+	// MarchU is March U (13n).
+	MarchU = withSource(MustParse("March U",
+		"c(w0) ^(r0,w1,r1,w0) ^(r0,w1) v(r1,w0,r0,w1) v(r1,w0)"),
+		"van de Goor, 1997", false)
+
+	// MarchLR is March LR (14n), a test for realistic linked faults
+	// (paper reference [8]).
+	MarchLR = withSource(MustParse("March LR",
+		"c(w0) v(r0,w1) ^(r1,w0,r0,w1) ^(r1,w0) ^(r0,w1,r1,w0) ^(r0)"),
+		"van de Goor et al., VTS 1996 [8]", false)
+
+	// MarchLA is March LA (22n), a test for linked memory faults
+	// (paper reference [7]).
+	MarchLA = withSource(MustParse("March LA",
+		"c(w0) ^(r0,w1,w0,w1,r1) ^(r1,w0,w1,w0,r0) v(r0,w1,w0,w1,r1) v(r1,w0,w1,w0,r0) v(r0)"),
+		"van de Goor et al., ED&TC 1997 [7]", false)
+
+	// MarchSS is March SS (22n), detecting all simple (unlinked) static
+	// single- and two-cell faults.
+	MarchSS = withSource(MustParse("March SS",
+		"c(w0) ^(r0,r0,w0,r0,w1) ^(r1,r1,w1,r1,w0) v(r0,r0,w0,r0,w1) v(r1,r1,w1,r1,w0) c(r0)"),
+		"Hamdioui et al., VTS 2002", false)
+
+	// MarchRAW is March RAW (26n), targeting the two-operation dynamic
+	// (read-after-write) faults; the reference test for the dynamic fault
+	// extension of this repository.
+	MarchRAW = withSource(MustParse("March RAW",
+		"c(w0) ^(r0,w0,r0,r0,w1,r1) ^(r1,w1,r1,r1,w0,r0) v(r0,w0,r0,r0,w1,r1) v(r1,w1,r1,r1,w0,r0) c(r0)"),
+		"Hamdioui et al., 2002", false)
+
+	// PMOVI is the 13n MOVI derivative used widely in production flows.
+	PMOVI = withSource(MustParse("PMOVI",
+		"v(w0) ^(r0,w1,r1) ^(r1,w0,r0) v(r0,w1,r1) v(r1,w0,r0)"),
+		"De Jonge & Smeulders, 1976", false)
+
+	// MarchG is March G (23n + 2D): March B extended with delay phases for
+	// data retention faults — the library's exerciser of the wait
+	// operation 't' of Definition 2.
+	MarchG = withSource(MustParse("March G",
+		"c(w0) ^(r0,w1,r1,w0,r0,w1) ^(r1,w0,w1) v(r1,w0,w1,w0) v(r0,w1,w0) "+
+			"c(t) c(r0,w1,r1) c(t) c(r1,w0,r0)"),
+		"van de Goor, 1991", false)
+)
+
+// Table 1 comparison baselines.
+var (
+	// MarchSL is March SL (41n), the hand-made state of the art for all
+	// static linked faults (paper references [9][10]; Table 1 column 5).
+	MarchSL = withSource(MustParse("March SL",
+		"c(w0) ^(r0,r0,w1,w1,r1,r1,w0,w0,r0,w1) ^(r1,r1,w0,w0,r0,r0,w1,w1,r1,w0) "+
+			"v(r0,r0,w1,w1,r1,r1,w0,w0,r0,w1) v(r1,r1,w0,w0,r0,r0,w1,w1,r1,w0)"),
+		"Hamdioui et al., ATS 2003 [9]", false)
+
+	// MarchLF1 is March LF1 (11n), covering all single-cell static linked
+	// faults (paper reference [16]; Table 1 column 6). The exact sequence is
+	// not reprinted in the DATE 2006 paper; this 11n sequence is
+	// reconstructed from the fault-primitive analysis in [16] and verified by
+	// the fault simulator to cover Fault List #2.
+	MarchLF1 = withSource(MustParse("March LF1",
+		"c(w0) ^(r0,w1,r1,w1,r1) ^(r1,w0,r0,w0,r0)"),
+		"Hamdioui et al., MTDT 2003 [16]", true)
+
+	// March43N is the 43n march test of Al-Harbi & Gupta (paper reference
+	// [11]), the only previously published automatically generated march test
+	// for linked faults. Only its length (43n) is used by the paper's Table 1
+	// (improvement column 4); the sequence below is a reconstructed 43n
+	// stand-in (March SL extended by a verification sweep) kept solely so the
+	// comparison harness can carry a concrete Test value.
+	March43N = withSource(MustParse("43n March Test",
+		"c(w0) ^(r0,r0,w1,w1,r1,r1,w0,w0,r0,w1) ^(r1,r1,w0,w0,r0,r0,w1,w1,r1,w0) "+
+			"v(r0,r0,w1,w1,r1,r1,w0,w0,r0,w1) v(r1,r1,w0,w0,r0,r0,w1,w1,r1,w0) c(r0,r0)"),
+		"Al-Harbi & Gupta, VTS 2003 [11]", true)
+)
+
+// The paper's generated tests (Table 1 rows).
+var (
+	// MarchABL is March ABL (37n), the paper's generated test for Fault
+	// List #1 (single-, two- and three-cell static linked faults).
+	MarchABL = withSource(MustParse("March ABL",
+		"c(w0) ^(r0,r0,w0,r0,w1,w1,r1) ^(r1,r1,w1,r1,w0,w0,r0) "+
+			"v(r0,w1) v(r1,w0) v(r0,r0,w0,r0,w1,w1,r1) v(r1,r1,w1,r1,w0,w0,r0) "+
+			"^(r0,w1) ^(r1,w0)"),
+		"Benso et al., DATE 2006, Table 1", false)
+
+	// MarchRABL is March RABL (35n), the paper's shorter generated test for
+	// Fault List #1.
+	MarchRABL = withSource(MustParse("March RABL",
+		"c(w0) ^(r0,r0,w0,r0) ^(r0,w1,r1,r1,w1,r1,w0,r0) ^(r0,w1) "+
+			"v(r1,r1,w1,r1,w0,r0,w0,r0) ^(w1) ^(r1,r1,w1,r1,w0,r0,r0,w0,r0,w1,r1)"),
+		"Benso et al., DATE 2006, Table 1", false)
+
+	// MarchABL1 is March ABL1 (9n), the paper's generated test for Fault
+	// List #2 (single-cell static linked faults).
+	MarchABL1 = withSource(MustParse("March ABL1",
+		"c(w0) c(w0,r0,r0,w1) c(w1,r1,r1,w0)"),
+		"Benso et al., DATE 2006, Table 1", false)
+)
+
+// Lib returns every march test in the library, classic tests first, then the
+// Table 1 baselines and the paper's generated tests.
+func Lib() []Test {
+	return []Test{
+		MATSPlus, MarchX, MarchY, MarchCMinus, MarchA, MarchB, MarchU,
+		MarchLR, MarchLA, MarchSS, MarchRAW, PMOVI, MarchG,
+		MarchSL, MarchLF1, March43N,
+		MarchABL, MarchRABL, MarchABL1,
+	}
+}
+
+// ByName looks a test up by its conventional name (exact match).
+func ByName(name string) (Test, bool) {
+	for _, t := range Lib() {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return Test{}, false
+}

@@ -1,0 +1,143 @@
+package march
+
+import (
+	"testing"
+)
+
+// TestBaselineLengths pins the complexities the paper's Table 1 relies on:
+// the 43n automatically generated test [11], the 41n March SL [10], the 11n
+// March LF1 [16], and the paper's own 37n/35n/9n results.
+func TestBaselineLengths(t *testing.T) {
+	cases := []struct {
+		test Test
+		want int
+	}{
+		{MATSPlus, 5},
+		{MarchX, 6},
+		{MarchY, 8},
+		{MarchCMinus, 10},
+		{MarchU, 13},
+		{MarchLR, 14},
+		{MarchA, 15},
+		{MarchB, 17},
+		{MarchLA, 22},
+		{MarchSS, 22},
+		{MarchRAW, 26},
+		{PMOVI, 13},
+		{MarchG, 23},
+		{MarchSL, 41},
+		{MarchLF1, 11},
+		{March43N, 43},
+		{MarchABL, 37},
+		{MarchRABL, 35},
+		{MarchABL1, 9},
+	}
+	for _, c := range cases {
+		if got := c.test.Length(); got != c.want {
+			t.Errorf("%s: length %d, want %d", c.test.Name, got, c.want)
+		}
+	}
+}
+
+// Table 1 improvement percentages follow directly from the lengths.
+func TestTable1ImprovementPercentages(t *testing.T) {
+	improve := func(old, new Test) float64 {
+		return 100 * float64(old.Length()-new.Length()) / float64(old.Length())
+	}
+	within := func(got, want float64) bool {
+		d := got - want
+		return d < 0.1 && d > -0.1
+	}
+	if got := improve(March43N, MarchABL); !within(got, 13.9) {
+		t.Errorf("ABL vs 43n: %.1f%%, paper reports 13.9%%", got)
+	}
+	if got := improve(MarchSL, MarchABL); !within(got, 9.7) {
+		t.Errorf("ABL vs March SL: %.1f%%, paper reports 9.7%%", got)
+	}
+	if got := improve(March43N, MarchRABL); !within(got, 18.6) {
+		t.Errorf("RABL vs 43n: %.1f%%, paper reports 18.6%%", got)
+	}
+	if got := improve(MarchSL, MarchRABL); !within(got, 14.6) {
+		t.Errorf("RABL vs March SL: %.1f%%, paper reports 14.6%%", got)
+	}
+	if got := improve(MarchLF1, MarchABL1); !within(got, 18.1) {
+		t.Errorf("ABL1 vs March LF1: %.1f%%, paper reports 18.1%%", got)
+	}
+}
+
+// March G reports its delay phases separately, per convention ("23n+2D").
+func TestMarchGDelays(t *testing.T) {
+	if got := MarchG.Delays(); got != 2 {
+		t.Errorf("March G has %d delays, want 2", got)
+	}
+	if got := MarchG.Complexity(); got != "23n+2D" {
+		t.Errorf("March G complexity = %q, want 23n+2D", got)
+	}
+	if got := MarchSL.Delays(); got != 0 {
+		t.Errorf("March SL has %d delays, want 0", got)
+	}
+}
+
+// Every library test must be structurally valid and self-consistent on a
+// fault-free memory (reads match what the preceding writes left behind).
+func TestLibraryConsistency(t *testing.T) {
+	for _, m := range Lib() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+		if err := m.CheckConsistency(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestLibraryNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range Lib() {
+		if seen[m.Name] {
+			t.Errorf("duplicate library name %q", m.Name)
+		}
+		seen[m.Name] = true
+		if m.Source == "" {
+			t.Errorf("%s: missing source citation", m.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	m, ok := ByName("March SL")
+	if !ok || m.Length() != 41 {
+		t.Errorf("ByName(March SL) = %v, %v", m, ok)
+	}
+	if _, ok := ByName("no such test"); ok {
+		t.Error("ByName must fail for unknown names")
+	}
+}
+
+// Only the two sequences DESIGN.md documents as reconstructed carry the flag.
+func TestReconstructedFlags(t *testing.T) {
+	for _, m := range Lib() {
+		want := m.Name == "March LF1" || m.Name == "43n March Test"
+		if m.Reconstructed != want {
+			t.Errorf("%s: Reconstructed = %v, want %v", m.Name, m.Reconstructed, want)
+		}
+	}
+}
+
+// The paper's generated tests must match the sequences printed in Table 1.
+func TestPaperSequencesVerbatim(t *testing.T) {
+	abl := MustParse("", "c(w0) ^(r0,r0,w0,r0,w1,w1,r1) ^(r1,r1,w1,r1,w0,w0,r0) "+
+		"v(r0,w1) v(r1,w0) v(r0,r0,w0,r0,w1,w1,r1) v(r1,r1,w1,r1,w0,w0,r0) ^(r0,w1) ^(r1,w0)")
+	if !MarchABL.Equal(abl) {
+		t.Error("March ABL does not match the Table 1 sequence")
+	}
+	abl1 := MustParse("", "c(w0) c(w0,r0,r0,w1) c(w1,r1,r1,w0)")
+	if !MarchABL1.Equal(abl1) {
+		t.Error("March ABL1 does not match the Table 1 sequence")
+	}
+	rabl := MustParse("", "c(w0) ^(r0,r0,w0,r0) ^(r0,w1,r1,r1,w1,r1,w0,r0) ^(r0,w1) "+
+		"v(r1,r1,w1,r1,w0,r0,w0,r0) ^(w1) ^(r1,r1,w1,r1,w0,r0,r0,w0,r0,w1,r1)")
+	if !MarchRABL.Equal(rabl) {
+		t.Error("March RABL does not match the Table 1 sequence")
+	}
+}

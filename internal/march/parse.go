@@ -1,0 +1,76 @@
+package march
+
+import (
+	"fmt"
+	"strings"
+
+	"marchgen/internal/fp"
+)
+
+// Parse parses a march test from its conventional notation. Elements are
+// separated by whitespace or semicolons; each element is an address-order
+// marker followed by a parenthesized, comma-separated operation list.
+//
+// Accepted order markers (case-insensitive for the word forms):
+//
+//	⇕  c  b  any   — address order irrelevant
+//	⇑  ^  u  up    — increasing addresses
+//	⇓  v  d  down  — decreasing addresses
+//
+// Example: Parse("MATS+", "⇕(w0) ⇑(r0,w1) ⇓(r1,w0)").
+func Parse(name, s string) (Test, error) {
+	t := Test{Name: name}
+	rest := strings.TrimSpace(s)
+	for rest != "" {
+		open := strings.IndexByte(rest, '(')
+		if open < 0 {
+			return Test{}, fmt.Errorf("march: %q: element %q has no operation list", name, rest)
+		}
+		marker := strings.TrimSpace(rest[:open])
+		marker = strings.TrimSuffix(marker, ";")
+		marker = strings.TrimSpace(marker)
+		order, err := parseOrder(marker)
+		if err != nil {
+			return Test{}, fmt.Errorf("march: %q: %v", name, err)
+		}
+		closeIdx := strings.IndexByte(rest[open:], ')')
+		if closeIdx < 0 {
+			return Test{}, fmt.Errorf("march: %q: unterminated operation list in %q", name, rest)
+		}
+		closeIdx += open
+		ops, err := fp.ParseOps(rest[open+1 : closeIdx])
+		if err != nil {
+			return Test{}, fmt.Errorf("march: %q: %v", name, err)
+		}
+		t.Elems = append(t.Elems, Element{Order: order, Ops: ops})
+		rest = strings.TrimSpace(rest[closeIdx+1:])
+		rest = strings.TrimPrefix(rest, ";")
+		rest = strings.TrimSpace(rest)
+	}
+	if err := t.Validate(); err != nil {
+		return Test{}, err
+	}
+	return t, nil
+}
+
+func parseOrder(marker string) (AddrOrder, error) {
+	switch strings.ToLower(marker) {
+	case "⇕", "c", "b", "any", "ud", "↕":
+		return Any, nil
+	case "⇑", "^", "u", "up", "↑":
+		return Up, nil
+	case "⇓", "v", "d", "down", "↓":
+		return Down, nil
+	}
+	return Any, fmt.Errorf("invalid address-order marker %q", marker)
+}
+
+// MustParse is like Parse but panics on error; intended for the static test
+// library and tests.
+func MustParse(name, s string) Test {
+	t, err := Parse(name, s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

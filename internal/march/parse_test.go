@@ -1,0 +1,102 @@
+package march
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseMarkers(t *testing.T) {
+	variants := []string{
+		"c(w0) ^(r0,w1) v(r1,w0)",
+		"b(w0) u(r0,w1) d(r1,w0)",
+		"any(w0) up(r0,w1) down(r1,w0)",
+		"⇕(w0) ⇑(r0,w1) ⇓(r1,w0)",
+		"C(w0) UP(r0,w1) DOWN(r1,w0)",
+	}
+	want := MustParse("ref", "c(w0) ^(r0,w1) v(r1,w0)")
+	for _, s := range variants {
+		got, err := Parse("x", s)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", s, err)
+			continue
+		}
+		if !got.Equal(want) {
+			t.Errorf("Parse(%q) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestParseSeparators(t *testing.T) {
+	want := MustParse("ref", "c(w0) ^(r0,w1)")
+	variants := []string{
+		"c(w0); ^(r0,w1)",
+		"c(w0);^(r0,w1)",
+		"c(w0)\n^(r0,w1)",
+		"  c( w0 )   ^( r0 , w1 )  ",
+	}
+	for _, s := range variants {
+		got, err := Parse("x", s)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", s, err)
+			continue
+		}
+		if !got.Equal(want) {
+			t.Errorf("Parse(%q) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",            // no elements
+		"c",           // no op list
+		"c(w0",        // unterminated
+		"q(w0)",       // bad marker
+		"c()",         // empty op list
+		"c(w0) ^(zz)", // bad op
+		"(w0)",        // missing marker
+		"c(w0) extra", // trailing junk without parens
+	}
+	for _, s := range bad {
+		if m, err := Parse("x", s); err == nil {
+			t.Errorf("Parse(%q) = %v, want error", s, m)
+		}
+	}
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	for _, m := range Lib() {
+		for _, render := range []string{m.String(), m.ASCII()} {
+			parsed, err := Parse(m.Name, render)
+			if err != nil {
+				t.Errorf("%s: Parse(%q): %v", m.Name, render, err)
+				continue
+			}
+			if !parsed.Equal(m) {
+				t.Errorf("%s: round trip through %q changed the sequence", m.Name, render)
+			}
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse on invalid input did not panic")
+		}
+	}()
+	MustParse("x", "nope")
+}
+
+func TestParseName(t *testing.T) {
+	m, err := Parse("My Test", "c(w0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "My Test" {
+		t.Errorf("Name = %q", m.Name)
+	}
+	if !strings.Contains(m.String(), "⇕(w0)") {
+		t.Errorf("String = %q", m.String())
+	}
+}

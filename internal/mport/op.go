@@ -1,0 +1,161 @@
+// Package mport prototypes the extension the paper's Section 7 names as
+// ongoing work: march test generation for multi-port memories. It models a
+// two-port SRAM in which every cycle applies a pair of operations (port A,
+// port B), a catalog of weak two-port fault models that are invisible to
+// any single-port march test and only manifest under simultaneous accesses,
+// a lockstep fault simulator for two-port march tests, and a
+// template-repair/minimize generator in the style of internal/core.
+//
+// Two-port march notation: each step of an element is a pair "oA:oB". Port
+// A addresses the marching cell; port B addresses the same cell ("r0:r0"),
+// a neighbor ("r0:r0+1", "w1:r0-1", modulo the array size), or idles
+// ("w1:-").
+package mport
+
+import (
+	"fmt"
+	"strings"
+
+	"marchgen/internal/fp"
+)
+
+// Target selects the cell port B addresses relative to port A's cell.
+type Target uint8
+
+// Port-B targets.
+const (
+	None Target = iota // port B idle
+	Same               // same cell as port A
+	Next               // cell + 1 (modulo array size)
+	Prev               // cell - 1 (modulo array size)
+)
+
+// String renders the target suffix used in the notation.
+func (t Target) String() string {
+	switch t {
+	case None:
+		return ""
+	case Same:
+		return ""
+	case Next:
+		return "+1"
+	case Prev:
+		return "-1"
+	default:
+		return fmt.Sprintf("Target(%d)", uint8(t))
+	}
+}
+
+// PairOp is one two-port step: an operation on each port. B is the zero Op
+// when the port idles (BTarget None).
+type PairOp struct {
+	A       fp.Op
+	B       fp.Op
+	BTarget Target
+}
+
+// String renders "r0:r0+1", "w1:-", etc.
+func (p PairOp) String() string {
+	b := "-"
+	if p.BTarget != None {
+		b = p.B.String() + p.BTarget.String()
+	}
+	return p.A.String() + ":" + b
+}
+
+// Validate rejects malformed pairs: wait operations (two-port timing is
+// per-cycle), missing operand values, simultaneous writes to the same cell,
+// and idle targets carrying an operation.
+func (p PairOp) Validate() error {
+	if err := validatePortOp(p.A, "port A"); err != nil {
+		return err
+	}
+	if p.BTarget == None {
+		if !p.B.IsZero() {
+			return fmt.Errorf("mport: %s: idle port B cannot carry an operation", p)
+		}
+		return nil
+	}
+	if err := validatePortOp(p.B, "port B"); err != nil {
+		return err
+	}
+	if p.BTarget == Same && p.A.Kind == fp.OpWrite && p.B.Kind == fp.OpWrite {
+		return fmt.Errorf("mport: %s: simultaneous writes to the same cell are forbidden", p)
+	}
+	return nil
+}
+
+// validatePortOp accepts writes with a value and reads with or without an
+// expected value. A read without an expectation ("r") is a transparent
+// read: the on-line comparison is against the fault-free machine instead of
+// a precomputed value, the two-port analogue of transparent-BIST reads.
+func validatePortOp(op fp.Op, port string) error {
+	switch op.Kind {
+	case fp.OpWrite:
+		if !op.Data.IsBinary() {
+			return fmt.Errorf("mport: %s write needs a binary value", port)
+		}
+	case fp.OpRead:
+		// Binary expectation or transparent (VX).
+	default:
+		return fmt.Errorf("mport: %s has an invalid operation", port)
+	}
+	return nil
+}
+
+// ParsePairOp parses "r0:r0", "w1:-", "r0:r0+1", "r1:w0-1".
+func ParsePairOp(s string) (PairOp, error) {
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return PairOp{}, fmt.Errorf("mport: pair %q must have the form opA:opB", s)
+	}
+	a, err := fp.ParseOp(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return PairOp{}, fmt.Errorf("mport: pair %q: %v", s, err)
+	}
+	p := PairOp{A: a}
+	bs := strings.TrimSpace(parts[1])
+	switch {
+	case bs == "-":
+		p.BTarget = None
+	case strings.HasSuffix(bs, "+1"):
+		p.BTarget = Next
+		bs = strings.TrimSuffix(bs, "+1")
+	case strings.HasSuffix(bs, "-1"):
+		p.BTarget = Prev
+		bs = strings.TrimSuffix(bs, "-1")
+	default:
+		p.BTarget = Same
+	}
+	if p.BTarget != None {
+		b, err := fp.ParseOp(bs)
+		if err != nil {
+			return PairOp{}, fmt.Errorf("mport: pair %q: %v", s, err)
+		}
+		p.B = b
+	}
+	if err := p.Validate(); err != nil {
+		return PairOp{}, err
+	}
+	return p, nil
+}
+
+// bAddr resolves port B's address for a port-A address on an n-cell array.
+// Neighbor targets clamp at the array boundary: when the neighbor does not
+// exist, port B idles for that cycle (-1). Clamping rather than wrapping
+// matches the physical-adjacency locality of the weak coupled faults.
+func (p PairOp) bAddr(addrA, n int) int {
+	switch p.BTarget {
+	case Same:
+		return addrA
+	case Next:
+		if addrA+1 < n {
+			return addrA + 1
+		}
+	case Prev:
+		if addrA > 0 {
+			return addrA - 1
+		}
+	}
+	return -1
+}

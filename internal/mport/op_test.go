@@ -1,0 +1,156 @@
+package mport
+
+import (
+	"testing"
+
+	"marchgen/internal/fp"
+)
+
+func TestParsePairOp(t *testing.T) {
+	cases := []struct {
+		in      string
+		a, b    fp.Op
+		bTarget Target
+	}{
+		{"r0:r0", fp.R0, fp.R0, Same},
+		{"w1:-", fp.W1, fp.Op{}, None},
+		{"r0:r0+1", fp.R0, fp.R0, Next},
+		{"r1:w0-1", fp.R1, fp.W0, Prev},
+		{"r:-", fp.RX, fp.Op{}, None},
+		{"w1:r1", fp.W1, fp.R1, Same},
+		{"r:r", fp.RX, fp.RX, Same},
+	}
+	for _, c := range cases {
+		p, err := ParsePairOp(c.in)
+		if err != nil {
+			t.Errorf("ParsePairOp(%q): %v", c.in, err)
+			continue
+		}
+		if p.A != c.a || p.B != c.b || p.BTarget != c.bTarget {
+			t.Errorf("ParsePairOp(%q) = %+v", c.in, p)
+		}
+		back, err := ParsePairOp(p.String())
+		if err != nil || back != p {
+			t.Errorf("round trip of %q via %q failed: %v", c.in, p.String(), err)
+		}
+	}
+}
+
+func TestParsePairOpErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"r0",    // no colon
+		"zz:r0", // bad port A
+		"r0:zz", // bad port B
+		"w1:w1", // same-cell double write
+		"t:-",   // wait not modeled
+		"r0:t",  // wait on port B
+		"w:-",   // write without value
+	}
+	for _, s := range bad {
+		if p, err := ParsePairOp(s); err == nil {
+			t.Errorf("ParsePairOp(%q) = %v, want error", s, p)
+		}
+	}
+	// Same-cell write+read is legal (read-before-write).
+	if _, err := ParsePairOp("w1:r0"); err != nil {
+		t.Errorf("w1:r0 must be legal: %v", err)
+	}
+	// Neighbor double write is legal.
+	if _, err := ParsePairOp("w1:w1+1"); err != nil {
+		t.Errorf("w1:w1+1 must be legal: %v", err)
+	}
+}
+
+func TestBAddrClampsAtBoundaries(t *testing.T) {
+	next, _ := ParsePairOp("r0:r0+1")
+	if got := next.bAddr(2, 4); got != 3 {
+		t.Errorf("Next from 2 = %d, want 3", got)
+	}
+	if got := next.bAddr(3, 4); got != -1 {
+		t.Errorf("Next from the top cell must idle, got %d", got)
+	}
+	prev, _ := ParsePairOp("r0:r0-1")
+	if got := prev.bAddr(1, 4); got != 0 {
+		t.Errorf("Prev from 1 = %d, want 0", got)
+	}
+	if got := prev.bAddr(0, 4); got != -1 {
+		t.Errorf("Prev from cell 0 must idle, got %d", got)
+	}
+	same, _ := ParsePairOp("r0:r0")
+	if got := same.bAddr(2, 4); got != 2 {
+		t.Errorf("Same from 2 = %d", got)
+	}
+	idle, _ := ParsePairOp("r0:-")
+	if got := idle.bAddr(2, 4); got != -1 {
+		t.Errorf("None target = %d, want -1", got)
+	}
+}
+
+func TestTestParseAndRender(t *testing.T) {
+	m := MustParse("2p", "c(w0:-) ^(r0:r0,w1:-) v(r1:r1-1)")
+	if m.Length() != 4 {
+		t.Errorf("Length = %d, want 4", m.Length())
+	}
+	if m.Complexity() != "4n" {
+		t.Errorf("Complexity = %q", m.Complexity())
+	}
+	back, err := Parse("2p", m.ASCII())
+	if err != nil || !back.Equal(m) {
+		t.Errorf("ASCII round trip failed: %v", err)
+	}
+	back2, err := Parse("2p", m.String())
+	if err != nil || !back2.Equal(m) {
+		t.Errorf("Unicode round trip failed: %v", err)
+	}
+}
+
+func TestTestValidate(t *testing.T) {
+	if err := (Test{Name: "empty"}).Validate(); err == nil {
+		t.Error("empty test must fail")
+	}
+	if _, err := Parse("x", "c()"); err == nil {
+		t.Error("empty element must fail")
+	}
+	if _, err := Parse("x", "q(r0:-)"); err == nil {
+		t.Error("bad order marker must fail")
+	}
+	if _, err := Parse("x", "c(r0:-"); err == nil {
+		t.Error("unterminated element must fail")
+	}
+	if _, err := Parse("x", "r0:-"); err == nil {
+		t.Error("missing marker must fail")
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	m := MustParse("x", "c(w0:-) ^(r0:r0)")
+	c := m.Clone()
+	c.Elems[1].Ops[0] = PairOp{A: fp.R1, B: fp.R1, BTarget: Same}
+	if m.Elems[1].Ops[0].A != fp.R0 {
+		t.Error("Clone shares storage")
+	}
+	if m.Equal(c) {
+		t.Error("mutated clone must differ")
+	}
+	if !m.Equal(m.Clone()) {
+		t.Error("fresh clone must be equal")
+	}
+}
+
+func TestLift(t *testing.T) {
+	lifted, err := Lift(MustParseSingle(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lifted.Length() != 5 {
+		t.Errorf("lifted MATS+ length = %d", lifted.Length())
+	}
+	for _, e := range lifted.Elems {
+		for _, op := range e.Ops {
+			if op.BTarget != None {
+				t.Error("lifted test must keep port B idle")
+			}
+		}
+	}
+}

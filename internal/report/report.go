@@ -1,0 +1,119 @@
+// Package report renders the experiment tables of the evaluation harness,
+// including the reproduction of the paper's Table 1.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Header))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title + "\n")
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2) + "\n")
+	for _, row := range t.Rows {
+		line(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Improvement returns the percentage reduction of a new test length over a
+// baseline ("Improve (%)" columns of Table 1). NaN if the baseline is zero.
+func Improvement(baseline, generated int) float64 {
+	if baseline == 0 {
+		return math.NaN()
+	}
+	return 100 * float64(baseline-generated) / float64(baseline)
+}
+
+// Percent renders an improvement percentage in the paper's style ("13.9%"),
+// or "-" for NaN (the paper uses "-" for inapplicable comparisons).
+func Percent(p float64) string {
+	if math.IsNaN(p) {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", p)
+}
+
+// Table1Row is one row of the Table 1 reproduction.
+type Table1Row struct {
+	Algorithm  string
+	MarchTest  string
+	FaultList  string
+	CPUSeconds float64
+	Length     int
+	Imp43      float64 // vs the 43n test of [11]; NaN if inapplicable
+	ImpSL      float64 // vs the 41n March SL of [10]
+	ImpLF1     float64 // vs the 11n March LF1 of [16]
+	Coverage   string
+}
+
+// Table1 builds the paper-style experimental results table.
+func Table1(rows []Table1Row) *Table {
+	t := &Table{
+		Title: "Table 1: generated march tests (reproduction)",
+		Header: []string{
+			"Algorithm", "Fault List", "CPU Time (s)", "O(n)",
+			"vs 43n", "vs 41n March SL", "vs 11n March LF1", "Coverage",
+		},
+	}
+	for _, r := range rows {
+		t.AddRow(
+			r.Algorithm,
+			r.FaultList,
+			fmt.Sprintf("%.2f", r.CPUSeconds),
+			fmt.Sprintf("%dn", r.Length),
+			Percent(r.Imp43),
+			Percent(r.ImpSL),
+			Percent(r.ImpLF1),
+			r.Coverage,
+		)
+	}
+	return t
+}

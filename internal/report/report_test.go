@@ -1,0 +1,91 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		Title:  "demo",
+		Header: []string{"name", "value"},
+	}
+	tbl.AddRow("alpha", "1")
+	tbl.AddRow("b") // short row padded
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("rendered %d lines: %q", len(lines), out)
+	}
+	if lines[0] != "demo" {
+		t.Errorf("title line %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name ") || !strings.Contains(lines[1], "value") {
+		t.Errorf("header line %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "---") {
+		t.Errorf("rule line %q", lines[2])
+	}
+	if !strings.HasPrefix(lines[3], "alpha") {
+		t.Errorf("row line %q", lines[3])
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	// The paper's Table 1 numbers fall out of the lengths.
+	cases := []struct {
+		baseline, generated int
+		want                float64
+	}{
+		{43, 37, 13.9},
+		{41, 37, 9.7},
+		{43, 35, 18.6},
+		{41, 35, 14.6},
+		{11, 9, 18.1},
+	}
+	for _, c := range cases {
+		got := Improvement(c.baseline, c.generated)
+		if diff := got - c.want; diff > 0.1 || diff < -0.1 {
+			t.Errorf("Improvement(%d, %d) = %.1f, want %.1f", c.baseline, c.generated, got, c.want)
+		}
+	}
+	if !math.IsNaN(Improvement(0, 5)) {
+		t.Error("zero baseline must give NaN")
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(13.93); got != "13.9%" {
+		t.Errorf("Percent = %q", got)
+	}
+	if got := Percent(math.NaN()); got != "-" {
+		t.Errorf("Percent(NaN) = %q", got)
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rows := []Table1Row{
+		{
+			Algorithm: "ABL-repro", FaultList: "#1", CPUSeconds: 2.5, Length: 25,
+			Imp43: Improvement(43, 25), ImpSL: Improvement(41, 25), ImpLF1: math.NaN(),
+			Coverage: "594/594",
+		},
+	}
+	tbl := Table1(rows)
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"ABL-repro", "25n", "2.50", "594/594", "41.9%", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"testing"
+
+	"marchgen/internal/faultlist"
+	"marchgen/internal/linked"
+	"marchgen/internal/march"
+)
+
+// These tests pin the simulator against published coverage claims and record
+// the measured coverage of every test the paper compares (EXPERIMENTS.md
+// discusses each number). They are the core validation of the reproduction:
+// if any of them breaks, either the fault lists or the simulator semantics
+// changed.
+
+// March SS is published as detecting all simple static single- and two-cell
+// faults (Hamdioui et al., VTS 2002).
+func TestMarchSSCoversSimpleStatic(t *testing.T) {
+	r := Simulate(march.MarchSS, faultlist.SimpleStatic(), DefaultConfig())
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Full() {
+		for _, m := range r.Missed() {
+			t.Errorf("March SS misses %s (witness %v)", m.Fault.ID(), m.Witness)
+		}
+	}
+}
+
+// March SL is published as detecting all static linked faults (Hamdioui et
+// al., ATS 2003 / TCAD 2004, the paper's references [9][10]). It achieves
+// full coverage on our complete Definition-6 enumeration — the strongest
+// cross-validation of fault lists and simulator in this reproduction.
+func TestMarchSLCoversList1(t *testing.T) {
+	r := Simulate(march.MarchSL, faultlist.List1(), DefaultConfig())
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Full() {
+		for _, m := range r.Missed() {
+			t.Errorf("March SL misses %s (witness %v)", m.Fault.ID(), m.Witness)
+		}
+	}
+}
+
+func TestMarchSLCoversList2AndSimple(t *testing.T) {
+	if r := Simulate(march.MarchSL, faultlist.List2(), DefaultConfig()); !r.Full() {
+		t.Errorf("March SL on List #2: %s", r.Summary())
+	}
+	if r := Simulate(march.MarchSL, faultlist.SimpleStatic(), DefaultConfig()); !r.Full() {
+		t.Errorf("March SL on simple static faults: %s", r.Summary())
+	}
+}
+
+// March ABL1 (the paper's generated 9n test) covers the whole of Fault
+// List #2, as the paper claims.
+func TestMarchABL1CoversList2(t *testing.T) {
+	r := Simulate(march.MarchABL1, faultlist.List2(), DefaultConfig())
+	if !r.Full() {
+		for _, m := range r.Missed() {
+			t.Errorf("March ABL1 misses %s (witness %v)", m.Fault.ID(), m.Witness)
+		}
+	}
+}
+
+// The published March ABL and RABL sequences cover most but not all of our
+// Definition-6 List #1 (588/594 and 563/594). The DATE 2006 paper validated
+// them against the realistic-fault tables of its reference [10], which are
+// not reprinted and are evidently a subset of the full Definition-6 space.
+// The exact numbers are pinned here as a documented reproduction finding;
+// see EXPERIMENTS.md.
+func TestPublishedABLCoverageOnExtendedList(t *testing.T) {
+	list1 := faultlist.List1()
+	rABL := Simulate(march.MarchABL, list1, DefaultConfig())
+	if got := rABL.Detected(); got != 588 {
+		t.Errorf("March ABL on List #1: %d/594 detected, previously measured 588", got)
+	}
+	rRABL := Simulate(march.MarchRABL, list1, DefaultConfig())
+	if got := rRABL.Detected(); got != 563 {
+		t.Errorf("March RABL on List #1: %d/594 detected, previously measured 563", got)
+	}
+	// Everything ABL or RABL misses is an LF2aa/LF3 coupling pair that
+	// March SL detects, i.e. the misses are detectable faults outside the
+	// paper's (smaller) list, not simulator artifacts.
+	for _, m := range append(rABL.Missed(), rRABL.Missed()...) {
+		if m.Fault.Kind != linked.LF3 && m.Fault.Kind != linked.LF2aa {
+			t.Errorf("unexpected miss kind %v for %s", m.Fault.Kind, m.Fault.ID())
+		}
+		det, _, err := DetectsFault(march.MarchSL, m.Fault, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !det {
+			t.Errorf("%s missed by ABL/RABL and by March SL", m.Fault.ID())
+		}
+	}
+}
+
+// Our reconstructed March LF1 covers 17 of the 18 Definition-6 single-cell
+// linked faults and all 6 truly-masking ("realistic") ones. The single miss
+// is TF<0w1/0/-> -> DRDF<0r0/1/0>, where the deceptive read pre-empts the
+// transition fault; it is pinned as a property of the reconstruction.
+func TestMarchLF1Coverage(t *testing.T) {
+	full := Simulate(march.MarchLF1, faultlist.List2(), DefaultConfig())
+	if got := full.Detected(); got != 17 {
+		t.Errorf("March LF1 on List #2: %d/18, previously measured 17", got)
+	}
+	missed := full.Missed()
+	if len(missed) == 1 {
+		want := "LF1{TF<0w1/0/->(v0) -> DRDF<0r0/1/0>(v0)}"
+		if missed[0].Fault.ID() != want {
+			t.Errorf("March LF1 miss = %s, want %s", missed[0].Fault.ID(), want)
+		}
+	}
+	realistic := Simulate(march.MarchLF1, faultlist.Realistic(faultlist.List2()), DefaultConfig())
+	if !realistic.Full() {
+		t.Errorf("March LF1 on realistic List #2: %s", realistic.Summary())
+	}
+}
+
+// Classic march tests must not reach full coverage on the linked lists —
+// that is the paper's motivation. Pin the measured coverages as regression
+// anchors (documented in EXPERIMENTS.md).
+func TestClassicCoverageAnchors(t *testing.T) {
+	list1 := faultlist.List1()
+	anchors := []struct {
+		test march.Test
+		want int
+	}{
+		{march.MATSPlus, 48},
+		{march.MarchX, 79},
+		{march.MarchY, 128},
+		{march.MarchCMinus, 420},
+		{march.MarchA, 299},
+		{march.MarchB, 310},
+		{march.MarchU, 428},
+		{march.MarchLR, 452},
+		{march.MarchLA, 528},
+		{march.MarchSS, 552},
+	}
+	for _, a := range anchors {
+		r := Simulate(a.test, list1, DefaultConfig())
+		if got := r.Detected(); got != a.want {
+			t.Errorf("%s on List #1: %d/594, previously measured %d", a.test.Name, got, a.want)
+		}
+		if r.Full() {
+			t.Errorf("%s must not fully cover the linked fault list", a.test.Name)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"testing"
+
+	"marchgen/internal/faultlist"
+	"marchgen/internal/fp"
+	"marchgen/internal/linked"
+	"marchgen/internal/march"
+)
+
+// Dynamic faults need back-to-back operations: March RAW's write-read
+// hammers sensitize the w-r faults, while tests without same-cell
+// consecutive pairs (March C-) sensitize none.
+func TestDynamicBackToBackSemantics(t *testing.T) {
+	dRDF := mustSimple(t, "<0w0r0/1/1>")
+	mustDetect(t, march.MarchRAW, dRDF, true)
+	// March C- applies (r,w) per cell: the write is never followed by a
+	// read on the same cell, so no dynamic fault is ever sensitized.
+	mustDetect(t, march.MarchCMinus, dRDF, false)
+
+	// A test with the two operations split across elements does not
+	// sensitize the fault either: the intervening operations on other cells
+	// break the back-to-back pair (for any memory with more than one cell).
+	split := march.MustParse("split", "c(w0) ^(w0) ^(r0) c(r0)")
+	mustDetect(t, split, dRDF, false)
+	joined := march.MustParse("joined", "c(w0) ^(w0,r0) c(r0)")
+	mustDetect(t, joined, dRDF, true)
+}
+
+// The deceptive read-read faults need a triple read: the second read flips
+// the cell but returns the expected value.
+func TestDynamicDeceptiveTripleRead(t *testing.T) {
+	dDRDF := mustSimple(t, "<0r0r0/1/0>")
+	double := march.MustParse("double", "c(w0) ^(r0,r0)")
+	mustDetect(t, double, dDRDF, false)
+	triple := march.MustParse("triple", "c(w0) ^(r0,r0,r0)")
+	mustDetect(t, triple, dDRDF, true)
+	// March RAW misses it (its r,r pairs are followed by a write).
+	mustDetect(t, march.MarchRAW, dDRDF, false)
+}
+
+// Coverage anchors for the dynamic list (documented in EXPERIMENTS.md):
+// March RAW covers the write-read faults but not the read-read deceptive
+// ones; the static-fault tests cover far less.
+func TestDynamicCoverageAnchors(t *testing.T) {
+	dyn := faultlist.Dynamic()
+	anchors := []struct {
+		test march.Test
+		want int
+	}{
+		{march.MarchRAW, 59},
+		{march.MarchSS, 32},
+		{march.MarchSL, 38},
+		{march.MarchABL, 38},
+		{march.MarchCMinus, 0},
+	}
+	for _, a := range anchors {
+		r := Simulate(a.test, dyn, DefaultConfig())
+		if err := r.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if got := r.Detected(); got != a.want {
+			t.Errorf("%s on dynamic list: %d/%d, previously measured %d", a.test.Name, got, r.Total(), a.want)
+		}
+	}
+	// Every March RAW miss is a deceptive read-read fault.
+	r := Simulate(march.MarchRAW, dyn, DefaultConfig())
+	for _, m := range r.Missed() {
+		c := m.Fault.FP1().FP.Class
+		if c != fp.DyDRDF && c != fp.DyCFdr {
+			t.Errorf("March RAW unexpectedly misses %s", m.Fault.ID())
+		}
+	}
+}
+
+// A wait operation breaks a back-to-back sequence.
+func TestWaitBreaksDynamicSequence(t *testing.T) {
+	dRDF := mustSimple(t, "<0w0r0/1/1>")
+	interrupted := march.MustParse("interrupted", "c(w0) ^(w0,t,r0) c(r0)")
+	mustDetect(t, interrupted, dRDF, false)
+}
+
+// Aggressor-side dynamic disturb coupling: the two-operation hammer on the
+// aggressor flips the victim.
+func TestDynamicCouplingDetection(t *testing.T) {
+	dCFds, err := linked.NewSimple(fp.MustParseFP("<0w1r1;0/1/->"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An element with a w1,r1 pair while the rest of the array is 0.
+	hammer := march.MustParse("hammer", "c(w0) ^(r0,w1,r1,w0) c(r0)")
+	mustDetect(t, hammer, dCFds, true)
+	mustDetect(t, march.MarchCMinus, dCFds, false)
+}

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"marchgen/internal/linked"
+	"marchgen/internal/march"
+)
+
+// FullCoverage reports whether the test detects every fault in the list,
+// stopping at the first miss. It is the hot path of the generation
+// algorithm's minimization loop (package core), which only needs a yes/no
+// answer per candidate. On a miss, the missed fault is returned.
+//
+// The check fans out across Config.Workers goroutines with early
+// cancellation: once any worker finds a miss the others stop at their next
+// fault boundary.
+func FullCoverage(t march.Test, faults []linked.Fault, cfg Config) (bool, *linked.Fault, error) {
+	if len(faults) == 0 {
+		return true, nil, nil
+	}
+	workers := cfg.workers()
+	if workers > len(faults) {
+		workers = len(faults)
+	}
+	if workers <= 1 {
+		m := newMachine(cfg.size())
+		for i := range faults {
+			miss, err := missesFault(m, t, faults[i], cfg)
+			if err != nil {
+				return false, nil, err
+			}
+			if miss {
+				return false, &faults[i], nil
+			}
+		}
+		return true, nil, nil
+	}
+
+	var (
+		stop     atomic.Bool
+		next     atomic.Int64
+		mu       sync.Mutex
+		missIdx  = -1
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := newMachine(cfg.size())
+			for !stop.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(faults) {
+					return
+				}
+				miss, err := missesFault(m, t, faults[i], cfg)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					stop.Store(true)
+					return
+				}
+				if miss {
+					mu.Lock()
+					if missIdx < 0 || i < missIdx {
+						missIdx = i
+					}
+					mu.Unlock()
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return false, nil, firstErr
+	}
+	if missIdx >= 0 {
+		return false, &faults[missIdx], nil
+	}
+	return true, nil, nil
+}
+
+// missesFault reports whether the test fails to detect the fault in at
+// least one scenario, reusing the caller's machine.
+func missesFault(m *machine, t march.Test, f linked.Fault, cfg Config) (bool, error) {
+	miss := false
+	err := forEachScenario(t, f, cfg, func(s Scenario) bool {
+		if !m.run(t, f, s, cfg.size()) {
+			miss = true
+			return false
+		}
+		return true
+	})
+	return miss, err
+}

@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"encoding/json"
+)
+
+// reportJSON is the (marshal-only) wire form of a simulation report, used by
+// the command-line tools' -json output.
+type reportJSON struct {
+	Test     string       `json:"test"`
+	Spec     string       `json:"spec"`
+	Length   int          `json:"length"`
+	Total    int          `json:"total"`
+	Detected int          `json:"detected"`
+	Coverage float64      `json:"coverage_percent"`
+	ByKind   []kindJSON   `json:"by_kind,omitempty"`
+	Missed   []missedJSON `json:"missed,omitempty"`
+}
+
+type kindJSON struct {
+	Kind     string `json:"kind"`
+	Detected int    `json:"detected"`
+	Total    int    `json:"total"`
+}
+
+type missedJSON struct {
+	Fault   string `json:"fault"`
+	Witness string `json:"witness,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// MarshalJSON encodes the report with coverage totals, per-kind counters and
+// the missed faults (with their witness scenarios).
+func (r Report) MarshalJSON() ([]byte, error) {
+	w := reportJSON{
+		Test:     r.Test.Name,
+		Spec:     r.Test.ASCII(),
+		Length:   r.Test.Length(),
+		Total:    r.Total(),
+		Detected: r.Detected(),
+		Coverage: r.Coverage(),
+	}
+	for _, k := range r.ByKind() {
+		w.ByKind = append(w.ByKind, kindJSON{Kind: k.Kind.String(), Detected: k.Detected, Total: k.Total})
+	}
+	for _, m := range r.Missed() {
+		mj := missedJSON{Fault: m.Fault.ID()}
+		if m.Witness != nil {
+			mj.Witness = m.Witness.String()
+		}
+		if m.Err != nil {
+			mj.Error = m.Err.Error()
+		}
+		w.Missed = append(w.Missed, mj)
+	}
+	return json.Marshal(w)
+}

@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"marchgen/internal/linked"
+	"marchgen/internal/march"
+)
+
+func TestReportJSON(t *testing.T) {
+	faults := []linked.Fault{
+		mustSimple(t, "<0w1/0/->"), // detected by MATS+
+		mustSimple(t, "<0w0/1/->"), // missed by MATS+
+	}
+	r := Simulate(march.MATSPlus, faults, DefaultConfig())
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{
+		`"test":"MATS+"`,
+		`"spec":"c(w0) ^(r0,w1) v(r1,w0)"`,
+		`"length":5`,
+		`"total":2`,
+		`"detected":1`,
+		`"fault":"Simple{WDF`, // encoding/json escapes the < > of the FP notation
+		`(v0)}"`,
+		`"witness":"cells@`,
+		`"by_kind":[{"kind":"Simple","detected":1,"total":2}]`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report JSON missing %s:\n%s", want, s)
+		}
+	}
+}
+
+func TestReportJSONFullCoverageOmitsMissed(t *testing.T) {
+	faults := []linked.Fault{mustSimple(t, "<0w1/0/->")}
+	r := Simulate(march.MarchSS, faults, DefaultConfig())
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), `"missed"`) {
+		t.Errorf("full-coverage report must omit the missed list: %s", data)
+	}
+}

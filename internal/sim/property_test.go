@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"marchgen/internal/fp"
+	"marchgen/internal/linked"
+	"marchgen/internal/march"
+)
+
+// randMarch builds a random march test that is consistent by construction:
+// every read expects the value tracked symbolically through the preceding
+// writes.
+func randMarch(r *rand.Rand) march.Test {
+	t := march.Test{Name: "random"}
+	t.Elems = append(t.Elems, march.NewElement(march.Any, fp.W(fp.ValueOf(uint8(r.Intn(2))))))
+	v := t.Elems[0].Ops[0].Data
+	for e := 0; e < 1+r.Intn(4); e++ {
+		order := march.AddrOrder(r.Intn(3))
+		var ops []fp.Op
+		for o := 0; o < 1+r.Intn(5); o++ {
+			switch r.Intn(3) {
+			case 0:
+				ops = append(ops, fp.R(v))
+			default:
+				w := fp.W(fp.ValueOf(uint8(r.Intn(2))))
+				ops = append(ops, w)
+				v = w.Data
+			}
+		}
+		t.Elems = append(t.Elems, march.NewElement(order, ops...))
+	}
+	return t
+}
+
+// sampleFaults is a small cross-section of the fault space: simple static,
+// linked (LF1/LF2aa/LF3) and dynamic.
+func sampleFaults(t *testing.T) []linked.Fault {
+	t.Helper()
+	mk := func(f func() (linked.Fault, error)) linked.Fault {
+		ft, err := f()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ft
+	}
+	return []linked.Fault{
+		mustSimple(t, "<0w1/0/->"),
+		mustSimple(t, "<0r0/1/0>"),
+		mustSimple(t, "<1;0w0/1/->"),
+		mustSimple(t, "<0w1r1/0/0>"),
+		mk(func() (linked.Fault, error) {
+			return linked.NewLF1(fp.MustParseFP("<0w1/0/->"), fp.MustParseFP("<0r0/1/1>"))
+		}),
+		mk(func() (linked.Fault, error) {
+			return linked.NewLF2aa(fp.MustParseFP("<0w1;0/1/->"), fp.MustParseFP("<1w0;1/0/->"))
+		}),
+		mk(func() (linked.Fault, error) {
+			return linked.NewLF3(fp.MustParseFP("<0w1;0/1/->"), fp.MustParseFP("<0w1;1/0/->"))
+		}),
+	}
+}
+
+// Property: every randomly generated march test is consistent, and the
+// simulator never produces a false positive on a fault whose trigger cannot
+// fire.
+func TestPropertyRandomMarchConsistentAndNoFalsePositive(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	inert := mustSimple(t, "<0t/1/->") // random tests never contain waits
+	for i := 0; i < 60; i++ {
+		m := randMarch(r)
+		if err := m.CheckConsistency(); err != nil {
+			t.Fatalf("random test %d inconsistent: %v (%s)", i, err, m)
+		}
+		det, _, err := DetectsFault(m, inert, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if det {
+			t.Fatalf("random test %d falsely detects an inert fault: %s", i, m)
+		}
+	}
+}
+
+// Property: appending a march element never loses a detection.
+func TestPropertyMonotonicity(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	faults := sampleFaults(t)
+	cfg := DefaultConfig()
+	for i := 0; i < 25; i++ {
+		base := randMarch(r)
+		ext := base.Clone()
+		// Extend with a consistent element: a read of the exit value plus a
+		// random write.
+		v := fp.V0
+		for _, e := range ext.Elems {
+			for _, op := range e.Ops {
+				if op.Kind == fp.OpWrite {
+					v = op.Data
+				}
+			}
+		}
+		ext.Elems = append(ext.Elems, march.NewElement(march.AddrOrder(r.Intn(3)), fp.R(v), fp.W(v.Not())))
+		for _, f := range faults {
+			baseDet, _, err := DetectsFault(base, f, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !baseDet {
+				continue
+			}
+			extDet, _, err := DetectsFault(ext, f, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !extDet {
+				t.Fatalf("iteration %d: extension lost detection of %s\nbase: %s\next:  %s",
+					i, f.ID(), base, ext)
+			}
+		}
+	}
+}
+
+// Property: detection is independent of the memory size (only the relative
+// order of the fault cells matters for march semantics).
+func TestPropertySizeInvariance(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	faults := sampleFaults(t)
+	for i := 0; i < 20; i++ {
+		m := randMarch(r)
+		for _, f := range faults {
+			det4, _, err := DetectsFault(m, f, Config{Size: 4, ExhaustiveOrders: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			det5, _, err := DetectsFault(m, f, Config{Size: 5, ExhaustiveOrders: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if det4 != det5 {
+				t.Fatalf("iteration %d: %s detected=%v on 4 cells but %v on 5 cells (%s)",
+					i, f.ID(), det4, det5, m)
+			}
+		}
+	}
+}
+
+// Property: simulation is deterministic and JSON round trips preserve
+// random tests.
+func TestPropertyDeterminismAndJSON(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	faults := sampleFaults(t)
+	cfg := DefaultConfig()
+	for i := 0; i < 20; i++ {
+		m := randMarch(r)
+		data, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back march.Test
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if !back.Equal(m) {
+			t.Fatalf("iteration %d: JSON round trip changed the test", i)
+		}
+		for _, f := range faults {
+			a, _, err := DetectsFault(m, f, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, _, err := DetectsFault(back, f, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("iteration %d: nondeterministic or JSON-divergent result for %s", i, f.ID())
+			}
+		}
+	}
+}

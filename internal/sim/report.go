@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"marchgen/internal/linked"
+	"marchgen/internal/march"
+)
+
+// Result is the simulation outcome for one fault.
+type Result struct {
+	Fault    linked.Fault
+	Detected bool
+	// Witness is an undetected scenario when Detected is false.
+	Witness *Scenario
+	// Err is set when the fault could not be simulated (e.g. the memory is
+	// too small for its cell count).
+	Err error
+}
+
+// Report aggregates the simulation of a test against a fault list.
+type Report struct {
+	Test    march.Test
+	Results []Result
+}
+
+// Total returns the number of faults simulated.
+func (r Report) Total() int { return len(r.Results) }
+
+// Detected returns the number of detected faults.
+func (r Report) Detected() int {
+	n := 0
+	for _, res := range r.Results {
+		if res.Detected {
+			n++
+		}
+	}
+	return n
+}
+
+// Coverage returns the detected fraction in percent (100 for full coverage,
+// 0 for an empty list).
+func (r Report) Coverage() float64 {
+	if len(r.Results) == 0 {
+		return 0
+	}
+	return 100 * float64(r.Detected()) / float64(r.Total())
+}
+
+// Full reports whether every fault was detected.
+func (r Report) Full() bool {
+	return len(r.Results) > 0 && r.Detected() == r.Total()
+}
+
+// Missed returns the undetected faults.
+func (r Report) Missed() []Result {
+	var out []Result
+	for _, res := range r.Results {
+		if !res.Detected {
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
+// Err returns the first simulation error, if any.
+func (r Report) Err() error {
+	for _, res := range r.Results {
+		if res.Err != nil {
+			return res.Err
+		}
+	}
+	return nil
+}
+
+// ByKind returns per-kind detected/total counters, with kinds in taxonomy
+// order.
+func (r Report) ByKind() []KindCoverage {
+	idx := map[linked.Kind]int{}
+	var out []KindCoverage
+	for _, res := range r.Results {
+		i, ok := idx[res.Fault.Kind]
+		if !ok {
+			i = len(out)
+			idx[res.Fault.Kind] = i
+			out = append(out, KindCoverage{Kind: res.Fault.Kind})
+		}
+		out[i].Total++
+		if res.Detected {
+			out[i].Detected++
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
+	return out
+}
+
+// KindCoverage is a per-taxonomy-class coverage counter.
+type KindCoverage struct {
+	Kind     linked.Kind
+	Detected int
+	Total    int
+}
+
+// String renders "LF3 288/288".
+func (k KindCoverage) String() string {
+	return fmt.Sprintf("%s %d/%d", k.Kind, k.Detected, k.Total)
+}
+
+// Summary renders a one-line report: test name, coverage, per-kind counts.
+func (r Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s): %d/%d detected (%.1f%%)",
+		r.Test.Name, r.Test.Complexity(), r.Detected(), r.Total(), r.Coverage())
+	if kinds := r.ByKind(); len(kinds) > 1 {
+		parts := make([]string, len(kinds))
+		for i, k := range kinds {
+			parts[i] = k.String()
+		}
+		b.WriteString(" [" + strings.Join(parts, ", ") + "]")
+	}
+	return b.String()
+}
+
+// Simulate runs the test against every fault in the list, fanning out across
+// Config.Workers goroutines. Result order matches the fault list.
+func Simulate(t march.Test, faults []linked.Fault, cfg Config) Report {
+	results := make([]Result, len(faults))
+	workers := cfg.workers()
+	if workers > len(faults) {
+		workers = len(faults)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f := faults[i]
+				det, witness, err := DetectsFault(t, f, cfg)
+				results[i] = Result{Fault: f, Detected: det, Witness: witness, Err: err}
+			}
+		}()
+	}
+	for i := range faults {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return Report{Test: t, Results: results}
+}

@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"fmt"
+
+	"marchgen/internal/fp"
+	"marchgen/internal/linked"
+	"marchgen/internal/march"
+)
+
+// forEachScenario enumerates every concrete scenario for a fault under the
+// configuration and invokes fn; enumeration stops early when fn returns
+// false. The callback receives a scenario whose slices are reused across
+// invocations; it must copy them if it retains them.
+func forEachScenario(t march.Test, f linked.Fault, cfg Config, fn func(Scenario) bool) error {
+	size := cfg.size()
+	k := f.Cells
+	if k >= size {
+		return fmt.Errorf("sim: memory of %d cells cannot place a %d-cell fault with a bystander", size, k)
+	}
+
+	orderSets, err := orderCombinations(t, cfg)
+	if err != nil {
+		return err
+	}
+
+	placement := make([]int, k)
+	used := make([]bool, size)
+	init := make([]fp.Value, k)
+
+	var place func(depth int) bool
+	place = func(depth int) bool {
+		if depth == k {
+			// Enumerate initial values of the fault cells.
+			for bits := 0; bits < 1<<k; bits++ {
+				for c := 0; c < k; c++ {
+					init[c] = fp.ValueOf(uint8(bits>>c) & 1)
+				}
+				for _, orders := range orderSets {
+					if !fn(Scenario{Placement: placement, Init: init, Orders: orders}) {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		for a := 0; a < size; a++ {
+			if used[a] {
+				continue
+			}
+			used[a] = true
+			placement[depth] = a
+			ok := place(depth + 1)
+			used[a] = false
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	place(0)
+	return nil
+}
+
+// orderCombinations resolves the ⇕ elements of a test into the concrete
+// address-order assignments the configuration requires.
+func orderCombinations(t march.Test, cfg Config) ([][]march.AddrOrder, error) {
+	var anyIdx []int
+	base := make([]march.AddrOrder, len(t.Elems))
+	for i, e := range t.Elems {
+		base[i] = e.Order
+		if e.Order == march.Any {
+			anyIdx = append(anyIdx, i)
+		}
+	}
+	if !cfg.ExhaustiveOrders || len(anyIdx) == 0 {
+		resolved := make([]march.AddrOrder, len(base))
+		for i, o := range base {
+			if o == march.Any {
+				o = march.Up
+			}
+			resolved[i] = o
+		}
+		return [][]march.AddrOrder{resolved}, nil
+	}
+	maxAny := cfg.MaxAnyElements
+	if maxAny <= 0 {
+		maxAny = 12
+	}
+	if len(anyIdx) > maxAny {
+		return nil, fmt.Errorf("sim: test %q has %d ⇕ elements; exhaustive order expansion capped at %d", t.Name, len(anyIdx), maxAny)
+	}
+	n := 1 << len(anyIdx)
+	out := make([][]march.AddrOrder, 0, n)
+	for bits := 0; bits < n; bits++ {
+		orders := make([]march.AddrOrder, len(base))
+		copy(orders, base)
+		for j, idx := range anyIdx {
+			if bits>>j&1 == 0 {
+				orders[idx] = march.Up
+			} else {
+				orders[idx] = march.Down
+			}
+		}
+		out = append(out, orders)
+	}
+	return out, nil
+}
+
+// cloneScenario deep-copies a scenario for retention as a witness.
+func cloneScenario(s Scenario) *Scenario {
+	return &Scenario{
+		Placement: append([]int(nil), s.Placement...),
+		Init:      append([]fp.Value(nil), s.Init...),
+		Orders:    append([]march.AddrOrder(nil), s.Orders...),
+	}
+}
+
+// DetectsFault reports whether the test detects the fault in every scenario.
+// When it does not, the returned witness is one undetected scenario.
+func DetectsFault(t march.Test, f linked.Fault, cfg Config) (bool, *Scenario, error) {
+	m := newMachine(cfg.size())
+	detected := true
+	var witness *Scenario
+	err := forEachScenario(t, f, cfg, func(s Scenario) bool {
+		if !m.run(t, f, s, cfg.size()) {
+			detected = false
+			witness = cloneScenario(s)
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return false, nil, err
+	}
+	return detected, witness, nil
+}

@@ -1,0 +1,281 @@
+// Package sim is the memory fault simulator the paper relies on for
+// validation (its reference [13], "Specification and design of a new memory
+// fault simulator"): it decides whether a march test detects a functional
+// fault.
+//
+// The simulator runs the fault-free ("good") and the faulty machine in
+// lockstep over the operation stream a march test induces on a small memory.
+// Fault primitives are evaluated against the faulty machine's state, so the
+// masking behavior of linked faults (Section 3 of the paper) emerges from
+// the semantics instead of being special-cased: both primitives of a linked
+// pair are simultaneously active and the second naturally cancels the first
+// when the test gives it the chance.
+//
+// A fault model is *detected* by a test only if every concrete scenario is
+// detected: every placement of the fault's cells onto memory addresses,
+// every initial value of those cells (march tests must work for arbitrary
+// power-up content), and — for ⇕ elements — every concrete address order.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+
+	"marchgen/internal/fp"
+	"marchgen/internal/linked"
+	"marchgen/internal/march"
+)
+
+// Config controls the simulation space.
+type Config struct {
+	// Size is the number of memory cells; at least one more than the number
+	// of fault cells so bystander behavior is exercised. 0 means the default
+	// of 4 cells.
+	Size int
+	// ExhaustiveOrders expands every ⇕ element into both concrete address
+	// orders and requires detection under all combinations. When false, ⇕
+	// iterates upward (the paper's convention for generation-time checks).
+	ExhaustiveOrders bool
+	// Workers bounds the number of goroutines Simulate uses across faults.
+	// 0 means GOMAXPROCS.
+	Workers int
+	// MaxAnyElements caps the ⇕ expansion to keep the scenario space
+	// bounded; 0 means the default of 12 (4096 order combinations).
+	MaxAnyElements int
+}
+
+// DefaultConfig is the configuration used throughout the experiments:
+// 4 cells, exhaustive ⇕ expansion.
+func DefaultConfig() Config {
+	return Config{Size: 4, ExhaustiveOrders: true}
+}
+
+func (c Config) size() int {
+	if c.Size <= 0 {
+		return 4
+	}
+	return c.Size
+}
+
+func (c Config) workers() int {
+	if c.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
+}
+
+// Scenario is one concrete simulation instance: a placement of the fault's
+// abstract cells onto memory addresses, the initial values of those cells,
+// and the concrete address order of every march element.
+type Scenario struct {
+	// Placement maps fault cell index to memory address.
+	Placement []int
+	// Init holds the initial value of each fault cell; bystander cells
+	// start at 0.
+	Init []fp.Value
+	// Orders is the concrete address order of each march element (⇕
+	// elements resolved to ⇑ or ⇓).
+	Orders []march.AddrOrder
+}
+
+// String renders the scenario for diagnostics.
+func (s Scenario) String() string {
+	var b strings.Builder
+	b.WriteString("cells@")
+	for i, a := range s.Placement {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", a)
+	}
+	b.WriteString(" init=")
+	for _, v := range s.Init {
+		b.WriteString(v.String())
+	}
+	b.WriteString(" orders=")
+	for _, o := range s.Orders {
+		b.WriteString(o.ASCII())
+	}
+	return b.String()
+}
+
+// machine is a pair of memories simulated in lockstep. For dynamic (m = 2)
+// fault primitives it tracks which bindings are "armed": the first
+// sensitizing operation matched on the immediately preceding step of the
+// operation stream, so the primitive fires if the current operation
+// completes the back-to-back sequence on the same cell.
+type machine struct {
+	good   []fp.Value
+	faulty []fp.Value
+	// armed[i] reports that binding i's first dynamic operation matched on
+	// the previous step; armedAddr[i] is the cell it matched on.
+	armed     [4]bool
+	armedAddr [4]int
+}
+
+func newMachine(size int) *machine {
+	return &machine{good: make([]fp.Value, size), faulty: make([]fp.Value, size)}
+}
+
+func (m *machine) reset(s Scenario) {
+	for i := range m.good {
+		m.good[i] = fp.V0
+		m.faulty[i] = fp.V0
+	}
+	for c, addr := range s.Placement {
+		m.good[addr] = s.Init[c]
+		m.faulty[addr] = s.Init[c]
+	}
+	m.armed = [4]bool{}
+}
+
+// states returns the faulty-machine states of a binding's aggressor and
+// victim cells.
+func (m *machine) states(b linked.Binding, placement []int) (aState, vState fp.Value) {
+	aState = fp.VX
+	if b.A >= 0 {
+		aState = m.faulty[placement[b.A]]
+	}
+	return aState, m.faulty[placement[b.V]]
+}
+
+// settleStateFaults applies state-triggered primitives (SF, CFst) until a
+// fixpoint, bounded to avoid oscillation between mutually linked state
+// conditions. It returns true if any cell changed.
+func (m *machine) settleStateFaults(f linked.Fault, placement []int) bool {
+	changed := false
+	for iter := 0; iter <= len(f.FPs); iter++ {
+		progress := false
+		for _, b := range f.FPs {
+			if b.FP.Trigger != fp.TrigState {
+				continue
+			}
+			aState, vState := m.states(b, placement)
+			if b.FP.MatchesState(aState, vState) && m.faulty[placement[b.V]] != b.FP.F {
+				m.faulty[placement[b.V]] = b.FP.F
+				progress = true
+				changed = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	return changed
+}
+
+// applyWait models the wait operation 't': time passes for the whole array,
+// sensitizing data retention faults on any fault cell whose state matches.
+func (m *machine) applyWait(f linked.Fault, placement []int) {
+	for _, b := range f.FPs {
+		if b.FP.Trigger != fp.TrigOp || b.FP.Op.Kind != fp.OpWait {
+			continue
+		}
+		aState, vState := m.states(b, placement)
+		if b.FP.MatchesOp(fp.Wait, fp.RoleVictim, aState, vState) {
+			m.faulty[placement[b.V]] = b.FP.F
+		}
+	}
+	m.settleStateFaults(f, placement)
+}
+
+// step applies one march operation to address addr and reports whether the
+// operation was a read that detected the fault (faulty return value differs
+// from the fault-free one), along with the read values of both machines
+// (VX for non-reads).
+func (m *machine) step(f linked.Fault, placement []int, addr int, op fp.Op) (bool, fp.Value, fp.Value) {
+	if op.Kind == fp.OpWait {
+		m.applyWait(f, placement)
+		m.armed = [4]bool{} // a wait breaks back-to-back sequences
+		return false, fp.VX, fp.VX
+	}
+
+	// 1. Evaluate operation triggers against the pre-operation faulty
+	// state. Static primitives match on the single operation; dynamic ones
+	// fire when the current operation completes a sequence armed on the
+	// previous step, and (re-)arm when it matches their first operation.
+	var matched, nextArmed [4]bool
+	var nextArmedAddr [4]int
+	for i, b := range f.FPs {
+		if b.FP.Trigger != fp.TrigOp {
+			continue
+		}
+		var role fp.Role
+		switch {
+		case placement[b.V] == addr:
+			role = fp.RoleVictim
+		case b.A >= 0 && placement[b.A] == addr:
+			role = fp.RoleAggressor
+		default:
+			continue
+		}
+		aState, vState := m.states(b, placement)
+		if b.FP.IsDynamic() {
+			if m.armed[i] && m.armedAddr[i] == addr && b.FP.MatchesSecondOp(op, role) {
+				matched[i] = true
+			} else if b.FP.MatchesFirstOp(op, role, aState, vState) {
+				nextArmed[i] = true
+				nextArmedAddr[i] = addr
+			}
+			continue
+		}
+		if b.FP.MatchesOp(op, role, aState, vState) {
+			matched[i] = true
+		}
+	}
+	// Back-to-back means consecutive in the operation stream: whatever this
+	// step did not re-arm is disarmed.
+	m.armed = nextArmed
+	m.armedAddr = nextArmedAddr
+
+	// 2. Base operation semantics on both machines.
+	retGood, retFaulty := fp.VX, fp.VX
+	isRead := op.Kind == fp.OpRead
+	switch op.Kind {
+	case fp.OpWrite:
+		m.good[addr] = op.Data
+		m.faulty[addr] = op.Data
+	case fp.OpRead:
+		retGood = m.good[addr]
+		retFaulty = m.faulty[addr]
+	}
+
+	// 3. Fault effects, in binding order (FP1 before FP2, so the linked
+	// masking sequence plays out deterministically).
+	for i, b := range f.FPs {
+		if !matched[i] {
+			continue
+		}
+		m.faulty[placement[b.V]] = b.FP.F
+		if isRead && placement[b.V] == addr && b.FP.OpRole == fp.RoleVictim && b.FP.R.IsBinary() {
+			retFaulty = b.FP.R
+		}
+	}
+
+	// 4. State-triggered primitives settle on the new state.
+	m.settleStateFaults(f, placement)
+
+	return isRead && retFaulty != retGood, retGood, retFaulty
+}
+
+// run simulates the full test for one scenario and reports whether any read
+// detects the fault.
+func (m *machine) run(t march.Test, f linked.Fault, s Scenario, size int) bool {
+	m.reset(s)
+	m.settleStateFaults(f, s.Placement)
+	detected := false
+	for ei, e := range t.Elems {
+		for _, addr := range s.Orders[ei].Addresses(size) {
+			for _, op := range e.Ops {
+				if det, _, _ := m.step(f, s.Placement, addr, op); det {
+					detected = true
+					// Detection anywhere suffices; subsequent state is
+					// irrelevant once detected.
+					return true
+				}
+			}
+		}
+	}
+	return detected
+}

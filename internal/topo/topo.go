@@ -1,0 +1,180 @@
+// Package topo models the logical-to-physical address topology of an SRAM
+// array: row/column organization and address scrambling. Coupling and
+// multi-port weak faults are physical-neighborhood phenomena, but march
+// tests walk *logical* addresses; the topology answers which logical
+// addresses are physically adjacent, which is what decides the realistic
+// placements of neighborhood-restricted fault models (the adjacency
+// assumption of internal/mport, and the "physically adjacent couplings"
+// restriction used in industrial fault lists).
+package topo
+
+import (
+	"fmt"
+)
+
+// Topology describes an array of Rows × Cols one-bit cells. Logical address
+// a maps to physical position (row, col) after optional scrambling: the
+// scramble tables permute the row and column index bits' interpretation
+// (table-based, so any permutation is expressible, not just bit swaps).
+type Topology struct {
+	Rows, Cols int
+	// RowScramble and ColScramble are permutations applied to the logical
+	// row/column index; nil means identity. len must equal Rows/Cols.
+	RowScramble []int
+	ColScramble []int
+}
+
+// New builds an unscrambled topology.
+func New(rows, cols int) (Topology, error) {
+	t := Topology{Rows: rows, Cols: cols}
+	return t, t.Validate()
+}
+
+// Validate checks dimensions and scramble tables.
+func (t Topology) Validate() error {
+	if t.Rows < 1 || t.Cols < 1 {
+		return fmt.Errorf("topo: dimensions %dx%d invalid", t.Rows, t.Cols)
+	}
+	if t.RowScramble != nil {
+		if err := checkPerm(t.RowScramble, t.Rows); err != nil {
+			return fmt.Errorf("topo: row scramble: %v", err)
+		}
+	}
+	if t.ColScramble != nil {
+		if err := checkPerm(t.ColScramble, t.Cols); err != nil {
+			return fmt.Errorf("topo: column scramble: %v", err)
+		}
+	}
+	return nil
+}
+
+func checkPerm(p []int, n int) error {
+	if len(p) != n {
+		return fmt.Errorf("length %d, want %d", len(p), n)
+	}
+	seen := make([]bool, n)
+	for _, v := range p {
+		if v < 0 || v >= n || seen[v] {
+			return fmt.Errorf("not a permutation of [0,%d)", n)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// Cells returns the array size Rows*Cols.
+func (t Topology) Cells() int { return t.Rows * t.Cols }
+
+// Position maps a logical address to its physical (row, column).
+// Addresses sweep column-major within a row: address = row*Cols + col
+// before scrambling.
+func (t Topology) Position(addr int) (row, col int, err error) {
+	if addr < 0 || addr >= t.Cells() {
+		return 0, 0, fmt.Errorf("topo: address %d out of range [0,%d)", addr, t.Cells())
+	}
+	row, col = addr/t.Cols, addr%t.Cols
+	if t.RowScramble != nil {
+		row = t.RowScramble[row]
+	}
+	if t.ColScramble != nil {
+		col = t.ColScramble[col]
+	}
+	return row, col, nil
+}
+
+// AddressAt inverts Position: the logical address stored at a physical
+// (row, col).
+func (t Topology) AddressAt(row, col int) (int, error) {
+	if row < 0 || row >= t.Rows || col < 0 || col >= t.Cols {
+		return 0, fmt.Errorf("topo: position (%d,%d) out of range", row, col)
+	}
+	lr, lc := row, col
+	if t.RowScramble != nil {
+		lr = index(t.RowScramble, row)
+	}
+	if t.ColScramble != nil {
+		lc = index(t.ColScramble, col)
+	}
+	return lr*t.Cols + lc, nil
+}
+
+func index(p []int, v int) int {
+	for i, x := range p {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// PhysicalNeighbors returns the logical addresses of the cells physically
+// adjacent (4-neighborhood: left, right, up, down) to a logical address.
+func (t Topology) PhysicalNeighbors(addr int) ([]int, error) {
+	row, col, err := t.Position(addr)
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	for _, d := range [][2]int{{0, -1}, {0, 1}, {-1, 0}, {1, 0}} {
+		r, c := row+d[0], col+d[1]
+		if r < 0 || r >= t.Rows || c < 0 || c >= t.Cols {
+			continue
+		}
+		a, err := t.AddressAt(r, c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// AdjacentPairs enumerates every unordered pair of logical addresses whose
+// cells are physically adjacent — the realistic aggressor/victim placements
+// for neighborhood-restricted coupling faults.
+func (t Topology) AdjacentPairs() ([][2]int, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	var out [][2]int
+	for a := 0; a < t.Cells(); a++ {
+		neigh, err := t.PhysicalNeighbors(a)
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range neigh {
+			if a < b {
+				out = append(out, [2]int{a, b})
+			}
+		}
+	}
+	return out, nil
+}
+
+// LogicallyAdjacentPhysicallyRemote counts the logical neighbor pairs
+// (a, a+1) that are NOT physically adjacent — the quantity address
+// scrambling creates, and the reason neighborhood fault models must be
+// placed via the topology rather than via logical addresses.
+func (t Topology) LogicallyAdjacentPhysicallyRemote() (int, error) {
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	remote := 0
+	for a := 0; a+1 < t.Cells(); a++ {
+		neigh, err := t.PhysicalNeighbors(a)
+		if err != nil {
+			return 0, err
+		}
+		adjacent := false
+		for _, b := range neigh {
+			if b == a+1 {
+				adjacent = true
+				break
+			}
+		}
+		if !adjacent {
+			remote++
+		}
+	}
+	return remote, nil
+}

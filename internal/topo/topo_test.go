@@ -1,0 +1,171 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndValidate(t *testing.T) {
+	if _, err := New(0, 4); err == nil {
+		t.Error("zero rows must fail")
+	}
+	if _, err := New(4, 0); err == nil {
+		t.Error("zero cols must fail")
+	}
+	tt, err := New(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt.Cells() != 32 {
+		t.Errorf("Cells = %d", tt.Cells())
+	}
+	bad := Topology{Rows: 2, Cols: 2, RowScramble: []int{0, 0}}
+	if err := bad.Validate(); err == nil {
+		t.Error("non-permutation scramble must fail")
+	}
+	bad2 := Topology{Rows: 2, Cols: 2, ColScramble: []int{0}}
+	if err := bad2.Validate(); err == nil {
+		t.Error("short scramble must fail")
+	}
+}
+
+func TestPositionIdentity(t *testing.T) {
+	tt, _ := New(2, 4)
+	row, col, err := tt.Position(5)
+	if err != nil || row != 1 || col != 1 {
+		t.Errorf("Position(5) = (%d,%d), %v", row, col, err)
+	}
+	if _, _, err := tt.Position(8); err == nil {
+		t.Error("out-of-range address must fail")
+	}
+	addr, err := tt.AddressAt(1, 1)
+	if err != nil || addr != 5 {
+		t.Errorf("AddressAt(1,1) = %d, %v", addr, err)
+	}
+	if _, err := tt.AddressAt(2, 0); err == nil {
+		t.Error("out-of-range position must fail")
+	}
+}
+
+func TestPositionScrambled(t *testing.T) {
+	tt := Topology{Rows: 2, Cols: 4, ColScramble: []int{2, 3, 0, 1}, RowScramble: []int{1, 0}}
+	if err := tt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Logical address 0 = (row 0, col 0) → physical (1, 2).
+	row, col, err := tt.Position(0)
+	if err != nil || row != 1 || col != 2 {
+		t.Errorf("Position(0) = (%d,%d), %v", row, col, err)
+	}
+	back, err := tt.AddressAt(1, 2)
+	if err != nil || back != 0 {
+		t.Errorf("AddressAt inverse failed: %d, %v", back, err)
+	}
+}
+
+// Property: AddressAt inverts Position for random scrambles.
+func TestPositionRoundTripQuick(t *testing.T) {
+	tt := Topology{Rows: 4, Cols: 4,
+		ColScramble: []int{3, 1, 0, 2},
+		RowScramble: []int{2, 0, 3, 1},
+	}
+	if err := tt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw uint8) bool {
+		addr := int(raw) % tt.Cells()
+		row, col, err := tt.Position(addr)
+		if err != nil {
+			return false
+		}
+		back, err := tt.AddressAt(row, col)
+		return err == nil && back == addr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPhysicalNeighbors(t *testing.T) {
+	tt, _ := New(2, 3)
+	// Address 0 = (0,0): neighbors (0,1)=1 and (1,0)=3.
+	n, err := tt.PhysicalNeighbors(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n) != 2 || !contains(n, 1) || !contains(n, 3) {
+		t.Errorf("neighbors of 0 = %v", n)
+	}
+	// Address 4 = (1,1): neighbors 3, 5, 1.
+	n, _ = tt.PhysicalNeighbors(4)
+	if len(n) != 3 || !contains(n, 3) || !contains(n, 5) || !contains(n, 1) {
+		t.Errorf("neighbors of 4 = %v", n)
+	}
+}
+
+func TestAdjacentPairsCount(t *testing.T) {
+	tt, _ := New(3, 3)
+	pairs, err := tt.AdjacentPairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 3x3 grid has 2*3 horizontal + 3*2 vertical = 12 adjacent pairs.
+	if len(pairs) != 12 {
+		t.Errorf("%d adjacent pairs, want 12", len(pairs))
+	}
+	seen := map[[2]int]bool{}
+	for _, p := range pairs {
+		if p[0] >= p[1] {
+			t.Errorf("pair %v not ordered", p)
+		}
+		if seen[p] {
+			t.Errorf("duplicate pair %v", p)
+		}
+		seen[p] = true
+	}
+}
+
+// Scrambling preserves the physical pair count but changes which logical
+// addresses are adjacent.
+func TestScramblingChangesLogicalAdjacency(t *testing.T) {
+	plain := Topology{Rows: 4, Cols: 4}
+	scrambled := Topology{Rows: 4, Cols: 4, ColScramble: []int{2, 0, 3, 1}}
+
+	pp, err := plain.AdjacentPairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := scrambled.AdjacentPairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pp) != len(sp) {
+		t.Errorf("pair counts differ: %d vs %d", len(pp), len(sp))
+	}
+
+	plainRemote, err := plain.LogicallyAdjacentPhysicallyRemote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrambledRemote, err := scrambled.LogicallyAdjacentPhysicallyRemote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unscrambled: only the row-wrap pairs (3,4), (7,8), (11,12) are
+	// logically adjacent but physically remote.
+	if plainRemote != 3 {
+		t.Errorf("plain remote pairs = %d, want 3", plainRemote)
+	}
+	if scrambledRemote <= plainRemote {
+		t.Errorf("scrambling must increase remote pairs: %d <= %d", scrambledRemote, plainRemote)
+	}
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,241 @@
+package marchgen
+
+import (
+	"fmt"
+	"io"
+
+	"marchgen/internal/bist"
+	"marchgen/internal/core"
+	"marchgen/internal/faultlist"
+	"marchgen/internal/fp"
+	"marchgen/internal/graph"
+	"marchgen/internal/linked"
+	"marchgen/internal/march"
+	"marchgen/internal/sim"
+)
+
+// Core model types, re-exported from the internal packages. The aliases form
+// the stable public surface; the internal packages may be refactored freely.
+type (
+	// March is a complete march test (a sequence of march elements).
+	March = march.Test
+	// Element is one march element: operations plus an address order.
+	Element = march.Element
+	// AddrOrder is an element's address order (⇕, ⇑, ⇓).
+	AddrOrder = march.AddrOrder
+	// Op is a memory operation (w0, w1, r0, r1, t).
+	Op = fp.Op
+	// FP is a static fault primitive <S/F/R>.
+	FP = fp.FP
+	// Fault is a simple or linked functional fault.
+	Fault = linked.Fault
+	// FaultKind classifies a fault (Simple, LF1, LF2aa, LF2av, LF2va, LF3).
+	FaultKind = linked.Kind
+	// Options configures the generator.
+	Options = core.Options
+	// OrderConstraint restricts the address orders the generator may emit
+	// (the Section 7 extension: all-⇑ / all-⇓ tests for efficient BIST).
+	OrderConstraint = core.OrderConstraint
+	// Result is a generation outcome: the march test, its certification
+	// report and run statistics.
+	Result = core.Result
+	// Report is a fault simulation report.
+	Report = sim.Report
+	// SimConfig controls the fault simulator.
+	SimConfig = sim.Config
+)
+
+// Address orders (re-exported constants).
+const (
+	Any  = march.Any
+	Up   = march.Up
+	Down = march.Down
+)
+
+// Generator order constraints (re-exported constants).
+const (
+	OrderFree     = core.OrderFree
+	OrderUpOnly   = core.OrderUpOnly
+	OrderDownOnly = core.OrderDownOnly
+)
+
+// Fault kinds (re-exported constants).
+const (
+	Simple = linked.Simple
+	LF1    = linked.LF1
+	LF2aa  = linked.LF2aa
+	LF2av  = linked.LF2av
+	LF2va  = linked.LF2va
+	LF3    = linked.LF3
+)
+
+// Generate produces a march test covering every fault in the list and
+// certifies it with the fault simulator before returning. See core.Generate.
+func Generate(faults []Fault, opts Options) (Result, error) {
+	return core.Generate(faults, opts)
+}
+
+// Simulate runs a march test against a fault list under the default
+// exhaustive simulator configuration (4-cell memory, every placement, every
+// initial value, every concrete ⇕ order).
+func Simulate(t March, faults []Fault) Report {
+	return sim.Simulate(t, faults, sim.DefaultConfig())
+}
+
+// SimulateWith runs a march test against a fault list under an explicit
+// simulator configuration.
+func SimulateWith(t March, faults []Fault, cfg SimConfig) Report {
+	return sim.Simulate(t, faults, cfg)
+}
+
+// Detects reports whether the march test detects the fault in every
+// scenario of the default configuration.
+func Detects(t March, f Fault) (bool, error) {
+	det, _, err := sim.DetectsFault(t, f, sim.DefaultConfig())
+	return det, err
+}
+
+// ParseMarch parses a march test from its conventional notation, e.g.
+// "⇕(w0) ⇑(r0,w1) ⇓(r1,w0)" or the ASCII form "c(w0) ^(r0,w1) v(r1,w0)".
+func ParseMarch(name, spec string) (March, error) {
+	return march.Parse(name, spec)
+}
+
+// ParseFP parses a fault primitive in the <S/F/R> notation, e.g.
+// "<0w1;0/1/->" for a disturb coupling fault.
+func ParseFP(s string) (FP, error) {
+	return fp.ParseFP(s)
+}
+
+// Library returns the published march tests the repository ships (MATS+,
+// March C-, March SL, March LF1, the paper's March ABL/RABL/ABL1, ...).
+func Library() []March {
+	return march.Lib()
+}
+
+// MarchByName looks a library test up by name.
+func MarchByName(name string) (March, bool) {
+	return march.ByName(name)
+}
+
+// List1 returns the paper's Fault List #1: all single-, two- and three-cell
+// static linked faults of the Definition-6 space (594 faults).
+func List1() []Fault {
+	return faultlist.List1()
+}
+
+// List2 returns the paper's Fault List #2: the single-cell static linked
+// faults (18 faults).
+func List2() []Fault {
+	return faultlist.List2()
+}
+
+// SimpleFaults returns the 48 simple (un-linked) static faults.
+func SimpleFaults() []Fault {
+	return faultlist.SimpleStatic()
+}
+
+// DynamicFaults returns the 66 simple two-operation dynamic faults (dRDF,
+// dDRDF, dIRF and their coupling versions) — the extension of the group's
+// companion ETS 2005 paper.
+func DynamicFaults() []Fault {
+	return faultlist.Dynamic()
+}
+
+// RealisticList filters a fault list down to the truly masking linked pairs
+// (the "realistic" subset in the sense of Hamdioui et al.).
+func RealisticList(faults []Fault) []Fault {
+	return faultlist.Realistic(faults)
+}
+
+// FaultListByName resolves a named fault list ("list1", "list2", "simple",
+// "simple1", "simple2", "realistic1", "realistic2").
+func FaultListByName(name string) ([]Fault, error) {
+	fs, ok := faultlist.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("marchgen: unknown fault list %q (known: %v)", name, faultlist.Names())
+	}
+	return fs, nil
+}
+
+// SimpleFault wraps a fault primitive as a standalone fault.
+func SimpleFault(fpSpec string) (Fault, error) {
+	f, err := fp.ParseFP(fpSpec)
+	if err != nil {
+		return Fault{}, err
+	}
+	return linked.NewSimple(f)
+}
+
+// LinkFaults builds a linked fault of the given kind from two fault
+// primitives in <S/F/R> notation, validating the linking conditions of
+// Definition 6/7. Valid kinds: LF1 (two single-cell primitives), LF2aa,
+// LF2av, LF2va (two cells) and LF3 (three cells, distinct aggressors).
+func LinkFaults(kind FaultKind, fp1Spec, fp2Spec string) (Fault, error) {
+	f1, err := fp.ParseFP(fp1Spec)
+	if err != nil {
+		return Fault{}, err
+	}
+	f2, err := fp.ParseFP(fp2Spec)
+	if err != nil {
+		return Fault{}, err
+	}
+	switch kind {
+	case linked.LF1:
+		return linked.NewLF1(f1, f2)
+	case linked.LF2aa:
+		return linked.NewLF2aa(f1, f2)
+	case linked.LF2av:
+		return linked.NewLF2av(f1, f2)
+	case linked.LF2va:
+		return linked.NewLF2va(f1, f2)
+	case linked.LF3:
+		return linked.NewLF3(f1, f2)
+	}
+	return Fault{}, fmt.Errorf("marchgen: kind %v is not a linked fault kind", kind)
+}
+
+// PatternDOT writes the pattern graph of a fault list on an n-cell memory
+// model in Graphviz DOT format (the representation of the paper's Figures 2
+// and 4). With an empty fault list it renders the fault-free model G0.
+func PatternDOT(w io.Writer, n int, faults []Fault, title string) error {
+	g, err := graph.Pattern(n, faults)
+	if err != nil {
+		return err
+	}
+	return g.DOT(w, title)
+}
+
+// Certify re-validates an existing march test at the exhaustive
+// configuration, returning the full report.
+func Certify(t March, faults []Fault) (Report, error) {
+	return core.Certify(t, faults)
+}
+
+// Witness is an undetected simulation scenario (placement, initial values,
+// concrete address orders), as reported in a Report's missed entries.
+type Witness = sim.Scenario
+
+// TraceWitness replays one scenario of a fault under a march test and
+// writes a step-by-step table showing every operation on the fault's cells,
+// which primitives fired, and where the good and faulty machines diverged —
+// the diagnostic behind "why does this test miss this fault".
+func TraceWitness(w io.Writer, t March, f Fault, s Witness) error {
+	tr, err := sim.TraceScenario(t, f, s, sim.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	return tr.Render(w, false)
+}
+
+// BISTCost is the estimated implementation cost of a march test in a memory
+// BIST controller (cycles, sequencer states, address-order reversals).
+type BISTCost = bist.Cost
+
+// EstimateBIST estimates the BIST cost of applying a march test to an
+// n-cell memory, charging delayCycles per wait operation. It quantifies the
+// single-order trade-off of the OrderUpOnly/OrderDownOnly generator
+// profiles.
+func EstimateBIST(t March, n int, delayCycles int64) BISTCost {
+	return bist.Estimate(t, n, delayCycles)
+}
