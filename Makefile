@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test vet race bench bench-sim check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+## race: the data-race gate for the concurrent simulator paths
+## (Schedule.Simulate / Schedule.FullCoverage worker fan-out, machine pool).
+race:
+	./scripts/race.sh
+
+## bench: simulator and generator throughput benchmarks.
+bench:
+	$(GO) test -run NONE -bench . -benchmem ./internal/sim/ .
+
+## bench-sim: regenerate BENCH_sim.json (compiled-schedule speedup record).
+bench-sim:
+	$(GO) run ./cmd/experiments -bench-sim BENCH_sim.json
+
+check: build vet test race

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"marchgen/internal/faultlist"
+	"marchgen/internal/fp"
+	"marchgen/internal/linked"
+	"marchgen/internal/march"
+	"marchgen/internal/sim"
+)
+
+// The simulator throughput benchmark behind the -bench-sim flag. It mirrors
+// internal/sim's BenchmarkSimulate/BenchmarkDetectsFaultScheduled and writes
+// the measurements next to the frozen pre-schedule baseline so the speedup
+// of the compiled-schedule layer stays a recorded, reproducible number.
+
+type benchEntry struct {
+	Name            string  `json:"name"`
+	Test            string  `json:"test"`
+	List            string  `json:"list"`
+	Faults          int     `json:"faults"`
+	Scenarios       int     `json:"scenarios"`
+	NsPerOp         int64   `json:"ns_per_op"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+	BytesPerOp      int64   `json:"bytes_per_op"`
+	ScenariosPerSec float64 `json:"scenarios_per_sec"`
+}
+
+type benchFile struct {
+	Generated string       `json:"generated"`
+	Config    string       `json:"config"`
+	Note      string       `json:"note"`
+	Baseline  []benchEntry `json:"baseline"`
+	Current   []benchEntry `json:"current"`
+}
+
+// baselineBenchSim holds the measurements of the per-scenario simulator
+// before the compiled-schedule layer (commit "growth seed", Intel Xeon
+// 2.10 GHz, go1.22, -benchtime 3x). Scenario counts are filled in at
+// runtime — the scenario space is unchanged by the schedule.
+var baselineBenchSim = []benchEntry{
+	{Name: "Simulate", Test: "March SL", List: "List1", NsPerOp: 156986337, AllocsPerOp: 357452, BytesPerOp: 11416445},
+	{Name: "Simulate", Test: "March ABL", List: "List1", NsPerOp: 131679418, AllocsPerOp: 375568, BytesPerOp: 12010349},
+	{Name: "Simulate", Test: "March LF1", List: "List2", NsPerOp: 200520, AllocsPerOp: 1251, BytesPerOp: 37853},
+	{Name: "DetectsFault", Test: "March SL", List: "LF3-pair", NsPerOp: 690716, AllocsPerOp: 1165, BytesPerOp: 37080},
+}
+
+func benchLists() map[string][]linked.Fault {
+	lf, err := linked.NewLF3(fp.MustParseFP("<0w1;0/1/->"), fp.MustParseFP("<0w1;1/0/->"))
+	if err != nil {
+		fatal(err)
+	}
+	return map[string][]linked.Fault{
+		"List1":    faultlist.List1(),
+		"List2":    faultlist.List2(),
+		"LF3-pair": {lf},
+	}
+}
+
+func benchTests() map[string]march.Test {
+	return map[string]march.Test{
+		"March SL":  march.MarchSL,
+		"March ABL": march.MarchABL,
+		"March LF1": march.MarchLF1,
+	}
+}
+
+func scenarioSpace(t march.Test, faults []linked.Fault, cfg sim.Config) int {
+	s, err := sim.NewSchedule(t, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	total := 0
+	for _, f := range faults {
+		n, err := s.ScenarioCount(f)
+		if err != nil {
+			fatal(err)
+		}
+		total += n
+	}
+	return total
+}
+
+func runBenchSim(path string) {
+	cfg := sim.DefaultConfig()
+	lists := benchLists()
+	tests := benchTests()
+
+	measure := func(e benchEntry) benchEntry {
+		t, faults := tests[e.Test], lists[e.List]
+		var r testing.BenchmarkResult
+		switch e.Name {
+		case "Simulate":
+			r = testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := sim.Simulate(t, faults, cfg).Err(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		case "DetectsFault":
+			s, err := sim.NewSchedule(t, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			r = testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					for _, f := range faults {
+						if _, _, err := s.DetectsFault(f); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+		default:
+			fatal(fmt.Errorf("unknown benchmark %q", e.Name))
+		}
+		e.NsPerOp = r.NsPerOp()
+		e.AllocsPerOp = r.AllocsPerOp()
+		e.BytesPerOp = r.AllocedBytesPerOp()
+		return e
+	}
+
+	out := benchFile{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Config:    "sim.DefaultConfig(): 4 cells, exhaustive ⇕ expansion",
+		Note:      "baseline = per-scenario simulator before the compiled-schedule layer; scenarios/sec = scenarios / (ns_per_op / 1e9)",
+	}
+	for _, e := range baselineBenchSim {
+		e.Faults = len(lists[e.List])
+		e.Scenarios = scenarioSpace(tests[e.Test], lists[e.List], cfg)
+		e.ScenariosPerSec = float64(e.Scenarios) / (float64(e.NsPerOp) / 1e9)
+		out.Baseline = append(out.Baseline, e)
+
+		cur := measure(e)
+		cur.Faults = e.Faults
+		cur.Scenarios = e.Scenarios
+		cur.ScenariosPerSec = float64(cur.Scenarios) / (float64(cur.NsPerOp) / 1e9)
+		out.Current = append(out.Current, cur)
+		fmt.Printf("  %-12s %-10s %-8s %12d ns/op (baseline %12d, %.1fx), %d allocs/op (baseline %d)\n",
+			cur.Name, cur.Test, cur.List, cur.NsPerOp, e.NsPerOp,
+			float64(e.NsPerOp)/float64(cur.NsPerOp), cur.AllocsPerOp, e.AllocsPerOp)
+	}
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Println("wrote", path)
+}

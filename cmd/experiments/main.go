@@ -6,8 +6,10 @@
 //
 // Usage:
 //
-//	experiments               # everything (minutes)
-//	experiments -quick        # skip the generation-heavy sections
+//	experiments                    # everything (minutes)
+//	experiments -quick             # skip the generation-heavy sections
+//	experiments -bench-sim FILE    # only benchmark the fault simulator,
+//	                               # writing FILE (see BENCH_sim.json)
 package main
 
 import (
@@ -31,7 +33,14 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "skip the generation-heavy sections")
+	benchSim := flag.String("bench-sim", "", "benchmark the fault simulator and write the results to `FILE`, then exit")
 	flag.Parse()
+
+	if *benchSim != "" {
+		fmt.Println("== Fault simulator throughput (compiled schedules vs pre-schedule baseline) ==")
+		runBenchSim(*benchSim)
+		return
+	}
 
 	cfg := sim.DefaultConfig()
 	list1 := faultlist.List1()

@@ -140,9 +140,15 @@ func repair(cand march.Test, faults []linked.Fault, cfg sim.Config, opts Options
 			if trial.CheckConsistency() != nil {
 				continue
 			}
+			// One compiled schedule per trial candidate, shared across the
+			// whole missing-fault scan.
+			sched, err := sim.NewSchedule(trial, cfg)
+			if err != nil {
+				return cand, err
+			}
 			gain := 0
 			for _, f := range missing {
-				det, _, err := sim.DetectsFault(trial, f, cfg)
+				det, _, err := sched.DetectsFault(f)
 				st.Simulations++
 				if err != nil {
 					return cand, err

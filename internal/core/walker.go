@@ -52,10 +52,16 @@ func walk(cand march.Test, faults []linked.Fault, opts Options, st *Stats) march
 		}
 		cand.Elems = append(cand.Elems, march.NewElement(opts.Orders.walkOrder(), so...))
 
-		// Delete the covered faults (Figure 5, step 1.c.ii).
+		// Delete the covered faults (Figure 5, step 1.c.ii). The schedule is
+		// compiled once for the grown candidate and shared across the whole
+		// pending list.
+		sched, serr := sim.NewSchedule(cand, cfg)
+		if serr != nil {
+			break // the candidate cannot be simulated; repair phase takes over
+		}
 		next := pending[:0]
 		for _, f := range pending {
-			det, _, err := sim.DetectsFault(cand, f, cfg)
+			det, _, err := sched.DetectsFault(f)
 			st.Simulations++
 			if err != nil || !det {
 				next = append(next, f)

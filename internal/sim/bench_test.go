@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"testing"
+
+	"marchgen/internal/faultlist"
+	"marchgen/internal/fp"
+	"marchgen/internal/linked"
+	"marchgen/internal/march"
+)
+
+// The benchmarks mirror the acceptance metric of the compiled-schedule
+// layer: certification throughput of a march test over a whole fault list
+// under the default exhaustive configuration. scenarios/op reports the
+// nominal scenario space (placements × inits × order combinations summed
+// over the list), so scenarios/sec = scenarios/op ÷ ns/op × 1e9.
+
+func scenarioSpace(b *testing.B, t march.Test, faults []linked.Fault) int {
+	b.Helper()
+	s, err := NewSchedule(t, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	total := 0
+	for _, f := range faults {
+		n, err := s.ScenarioCount(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += n
+	}
+	return total
+}
+
+func benchSimulate(b *testing.B, t march.Test, faults []linked.Fault) {
+	b.Helper()
+	b.ReportMetric(float64(scenarioSpace(b, t, faults)), "scenarios/op")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := Simulate(t, faults, DefaultConfig())
+		if err := r.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchFullCoverage(b *testing.B, t march.Test, faults []linked.Fault, wantFull bool) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		full, _, err := FullCoverage(t, faults, DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if full != wantFull {
+			b.Fatalf("full=%v, want %v", full, wantFull)
+		}
+	}
+}
+
+func BenchmarkSimulate(b *testing.B) {
+	b.Run("MarchSL/List1", func(b *testing.B) { benchSimulate(b, march.MarchSL, faultlist.List1()) })
+	b.Run("MarchABL/List1", func(b *testing.B) { benchSimulate(b, march.MarchABL, faultlist.List1()) })
+	b.Run("MarchABL1/List2", func(b *testing.B) { benchSimulate(b, march.MarchABL1, faultlist.List2()) })
+	b.Run("MarchLF1/List2", func(b *testing.B) { benchSimulate(b, march.MarchLF1, faultlist.List2()) })
+}
+
+func BenchmarkFullCoverage(b *testing.B) {
+	b.Run("MarchSL/List1", func(b *testing.B) { benchFullCoverage(b, march.MarchSL, faultlist.List1(), true) })
+	b.Run("MarchSS/List1", func(b *testing.B) { benchFullCoverage(b, march.MarchSS, faultlist.List1(), false) })
+	b.Run("MarchABL1/List2", func(b *testing.B) { benchFullCoverage(b, march.MarchABL1, faultlist.List2(), true) })
+}
+
+// The compile step itself: must stay negligible next to a single fault
+// simulation for the once-per-candidate amortization to hold.
+func BenchmarkNewSchedule(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewSchedule(march.MarchSL, DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDetectsFaultScheduled(b *testing.B) {
+	lf, err := linked.NewLF3(fp.MustParseFP("<0w1;0/1/->"), fp.MustParseFP("<0w1;1/0/->"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := NewSchedule(march.MarchSL, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det, _, err := s.DetectsFault(lf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !det {
+			b.Fatal("March SL must detect the LF3")
+		}
+	}
+}

@@ -13,21 +13,36 @@ import (
 // algorithm's minimization loop (package core), which only needs a yes/no
 // answer per candidate. On a miss, the missed fault is returned.
 //
-// The check fans out across Config.Workers goroutines with early
-// cancellation: once any worker finds a miss the others stop at their next
-// fault boundary.
+// An empty fault list is vacuously covered (consistent with Report.Full).
+// The result is deterministic regardless of Config.Workers: the returned
+// miss (or error) is always the one the sequential scan would hit first.
 func FullCoverage(t march.Test, faults []linked.Fault, cfg Config) (bool, *linked.Fault, error) {
 	if len(faults) == 0 {
 		return true, nil, nil
 	}
-	workers := cfg.workers()
+	s, err := NewSchedule(t, cfg)
+	if err != nil {
+		return false, nil, err
+	}
+	return s.FullCoverage(faults)
+}
+
+// FullCoverage reports whether the schedule's test detects every fault in
+// the list, fanning out across Config.Workers goroutines with early
+// cancellation. See the package-level FullCoverage for the semantics.
+func (s *Schedule) FullCoverage(faults []linked.Fault) (bool, *linked.Fault, error) {
+	if len(faults) == 0 {
+		return true, nil, nil
+	}
+	workers := s.cfg.workers()
 	if workers > len(faults) {
 		workers = len(faults)
 	}
 	if workers <= 1 {
-		m := newMachine(cfg.size())
+		m := s.getMachine()
+		defer s.putMachine(m)
 		for i := range faults {
-			miss, err := missesFault(m, t, faults[i], cfg)
+			miss, err := s.missesFault(m, faults[i])
 			if err != nil {
 				return false, nil, err
 			}
@@ -38,66 +53,57 @@ func FullCoverage(t march.Test, faults []linked.Fault, cfg Config) (bool, *linke
 		return true, nil, nil
 	}
 
+	// Parallel scan with deterministic outcome: the first event (miss or
+	// error) in fault-list order wins, exactly as in the sequential path.
+	// bound is the lowest fault index with a recorded event; workers stop
+	// claiming new indices at or above it, but every index below it is
+	// still simulated to completion, so the minimum is exact.
 	var (
-		stop     atomic.Bool
-		next     atomic.Int64
-		mu       sync.Mutex
-		missIdx  = -1
-		firstErr error
-		wg       sync.WaitGroup
+		next  atomic.Int64
+		bound atomic.Int64
+		mu    sync.Mutex
+		evErr error
+		wg    sync.WaitGroup
 	)
+	bound.Store(int64(len(faults)))
+	record := func(i int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if int64(i) < bound.Load() {
+			bound.Store(int64(i))
+			evErr = err
+		}
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			m := newMachine(cfg.size())
-			for !stop.Load() {
+			m := s.getMachine()
+			defer s.putMachine(m)
+			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(faults) {
+				if i >= len(faults) || int64(i) >= bound.Load() {
 					return
 				}
-				miss, err := missesFault(m, t, faults[i], cfg)
+				miss, err := s.missesFault(m, faults[i])
 				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					stop.Store(true)
+					record(i, err)
 					return
 				}
 				if miss {
-					mu.Lock()
-					if missIdx < 0 || i < missIdx {
-						missIdx = i
-					}
-					mu.Unlock()
-					stop.Store(true)
+					record(i, nil)
 					return
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return false, nil, firstErr
+	idx := int(bound.Load())
+	if idx >= len(faults) {
+		return true, nil, nil
 	}
-	if missIdx >= 0 {
-		return false, &faults[missIdx], nil
+	if evErr != nil {
+		return false, nil, evErr
 	}
-	return true, nil, nil
-}
-
-// missesFault reports whether the test fails to detect the fault in at
-// least one scenario, reusing the caller's machine.
-func missesFault(m *machine, t march.Test, f linked.Fault, cfg Config) (bool, error) {
-	miss := false
-	err := forEachScenario(t, f, cfg, func(s Scenario) bool {
-		if !m.run(t, f, s, cfg.size()) {
-			miss = true
-			return false
-		}
-		return true
-	})
-	return miss, err
+	return false, &faults[idx], nil
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"marchgen/internal/linked"
 	"marchgen/internal/march"
@@ -50,9 +51,12 @@ func (r Report) Coverage() float64 {
 	return 100 * float64(r.Detected()) / float64(r.Total())
 }
 
-// Full reports whether every fault was detected.
+// Full reports whether every fault was detected. An empty fault list is
+// vacuously covered, matching FullCoverage: both answer "does any fault in
+// the list escape the test", and for an empty list none does. (Coverage, a
+// ratio, still reports 0 for an empty list.)
 func (r Report) Full() bool {
-	return len(r.Results) > 0 && r.Detected() == r.Total()
+	return r.Detected() == r.Total()
 }
 
 // Missed returns the undetected faults.
@@ -124,34 +128,64 @@ func (r Report) Summary() string {
 	return b.String()
 }
 
-// Simulate runs the test against every fault in the list, fanning out across
-// Config.Workers goroutines. Result order matches the fault list.
+// Simulate runs the test against every fault in the list, compiling the
+// simulation schedule once and fanning out across Config.Workers goroutines.
+// Result order matches the fault list. An empty fault list returns an empty
+// report without spawning workers.
 func Simulate(t march.Test, faults []linked.Fault, cfg Config) Report {
+	if len(faults) == 0 {
+		return Report{Test: t}
+	}
+	s, err := NewSchedule(t, cfg)
+	if err != nil {
+		// Schedule compilation fails for the test as a whole (⇕ expansion
+		// cap); surface the error on every fault, as the per-fault path did.
+		results := make([]Result, len(faults))
+		for i, f := range faults {
+			results[i] = Result{Fault: f, Err: err}
+		}
+		return Report{Test: t, Results: results}
+	}
+	return s.Simulate(faults)
+}
+
+// Simulate runs the schedule's test against every fault in the list, fanning
+// out across Config.Workers goroutines with machines drawn from the
+// schedule's pool. Result order matches the fault list.
+func (s *Schedule) Simulate(faults []linked.Fault) Report {
+	if len(faults) == 0 {
+		return Report{Test: s.test}
+	}
 	results := make([]Result, len(faults))
-	workers := cfg.workers()
+	workers := s.cfg.workers()
 	if workers > len(faults) {
 		workers = len(faults)
 	}
-	if workers < 1 {
-		workers = 1
+	if workers <= 1 {
+		m := s.getMachine()
+		defer s.putMachine(m)
+		for i := range faults {
+			results[i] = s.result(m, faults[i])
+		}
+		return Report{Test: s.test, Results: results}
 	}
 	var wg sync.WaitGroup
-	next := make(chan int)
+	var next atomic.Int64
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
-				f := faults[i]
-				det, witness, err := DetectsFault(t, f, cfg)
-				results[i] = Result{Fault: f, Detected: det, Witness: witness, Err: err}
+			m := s.getMachine()
+			defer s.putMachine(m)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(faults) {
+					return
+				}
+				results[i] = s.result(m, faults[i])
 			}
 		}()
 	}
-	for i := range faults {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
-	return Report{Test: t, Results: results}
+	return Report{Test: s.test, Results: results}
 }

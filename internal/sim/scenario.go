@@ -12,6 +12,10 @@ import (
 // configuration and invokes fn; enumeration stops early when fn returns
 // false. The callback receives a scenario whose slices are reused across
 // invocations; it must copy them if it retains them.
+//
+// This is the uncompiled reference enumeration; production paths go through
+// Schedule.runTree, which walks the identical scenario space over precompiled
+// op streams (schedule_test.go pins verdict and witness equivalence).
 func forEachScenario(t march.Test, f linked.Fault, cfg Config, fn func(Scenario) bool) error {
 	size := cfg.size()
 	k := f.Cells
@@ -118,20 +122,13 @@ func cloneScenario(s Scenario) *Scenario {
 
 // DetectsFault reports whether the test detects the fault in every scenario.
 // When it does not, the returned witness is one undetected scenario.
+//
+// The schedule is compiled once per call; callers checking one test against
+// many faults should build a Schedule explicitly and reuse it.
 func DetectsFault(t march.Test, f linked.Fault, cfg Config) (bool, *Scenario, error) {
-	m := newMachine(cfg.size())
-	detected := true
-	var witness *Scenario
-	err := forEachScenario(t, f, cfg, func(s Scenario) bool {
-		if !m.run(t, f, s, cfg.size()) {
-			detected = false
-			witness = cloneScenario(s)
-			return false
-		}
-		return true
-	})
+	s, err := NewSchedule(t, cfg)
 	if err != nil {
 		return false, nil, err
 	}
-	return detected, witness, nil
+	return s.DetectsFault(f)
 }

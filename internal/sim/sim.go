@@ -105,20 +105,109 @@ func (s Scenario) String() string {
 // sensitizing operation matched on the immediately preceding step of the
 // operation stream, so the primitive fires if the current operation
 // completes the back-to-back sequence on the same cell.
+//
+// A machine is reused across faults and scenarios (Schedule keeps them in a
+// sync.Pool); the per-fault buffers are resized by ensureBindings so faults
+// may bind any number of primitives.
 type machine struct {
 	good   []fp.Value
 	faulty []fp.Value
+	// cellAt maps memory address -> fault cell index (-1 for bystanders).
+	// The compiled schedule path uses it to resolve good-trace values that
+	// predate the first write a stream makes to an address.
+	cellAt []int
 	// armed[i] reports that binding i's first dynamic operation matched on
-	// the previous step; armedAddr[i] is the cell it matched on.
-	armed     [4]bool
-	armedAddr [4]int
+	// the previous step; armedAddr[i] is the cell it matched on. Sized to
+	// the fault's binding count by ensureBindings.
+	armed     []bool
+	armedAddr []int
+	// matched, nextArmed and nextArmedAddr are per-step scratch buffers,
+	// kept on the machine so stepping never allocates.
+	matched       []bool
+	nextArmed     []bool
+	nextArmedAddr []int
+	// ctxs holds the placement-resolved binding contexts of the compiled
+	// schedule path (bindFault), reused across scenarios.
+	ctxs []bindCtx
+	// snapFaulty, snapArmed and snapArmedAddr are the per-depth state
+	// snapshots of the order-choice trie walk (Schedule.runTree): slot d of
+	// snapFaulty holds size cells, slot d of the armed pair holds one entry
+	// per binding.
+	snapFaulty    []fp.Value
+	snapArmed     []bool
+	snapArmedAddr []int
 }
 
 func newMachine(size int) *machine {
-	return &machine{good: make([]fp.Value, size), faulty: make([]fp.Value, size)}
+	return &machine{
+		good:   make([]fp.Value, size),
+		faulty: make([]fp.Value, size),
+		cellAt: make([]int, size),
+	}
 }
 
-func (m *machine) reset(s Scenario) {
+// ensureBindings sizes the per-binding buffers for a fault with n bound
+// primitives. The buffers grow on demand, so faults with any number of
+// bindings simulate without reallocation or out-of-range panics.
+func (m *machine) ensureBindings(n int) {
+	if cap(m.armed) < n {
+		m.armed = make([]bool, n)
+		m.armedAddr = make([]int, n)
+		m.matched = make([]bool, n)
+		m.nextArmed = make([]bool, n)
+		m.nextArmedAddr = make([]int, n)
+		return
+	}
+	m.armed = m.armed[:n]
+	m.armedAddr = m.armedAddr[:n]
+	m.matched = m.matched[:n]
+	m.nextArmed = m.nextArmed[:n]
+	m.nextArmedAddr = m.nextArmedAddr[:n]
+}
+
+// disarm clears every armed dynamic sequence.
+func (m *machine) disarm() {
+	for i := range m.armed {
+		m.armed[i] = false
+	}
+}
+
+// ensureSnapshots sizes the trie-walk snapshot stacks for nFaulty total
+// cell slots and nArmed total binding slots.
+func (m *machine) ensureSnapshots(nFaulty, nArmed int) {
+	if cap(m.snapFaulty) < nFaulty {
+		m.snapFaulty = make([]fp.Value, nFaulty)
+	}
+	m.snapFaulty = m.snapFaulty[:nFaulty]
+	if cap(m.snapArmed) < nArmed {
+		m.snapArmed = make([]bool, nArmed)
+		m.snapArmedAddr = make([]int, nArmed)
+	}
+	m.snapArmed = m.snapArmed[:nArmed]
+	m.snapArmedAddr = m.snapArmedAddr[:nArmed]
+}
+
+// save snapshots the mutable simulation state (faulty array, and for
+// dynamic faults the armed sequences) into depth slot d.
+func (m *machine) save(d, nb int, hasDynamic bool) {
+	copy(m.snapFaulty[d*len(m.faulty):], m.faulty)
+	if hasDynamic {
+		copy(m.snapArmed[d*nb:(d+1)*nb], m.armed)
+		copy(m.snapArmedAddr[d*nb:(d+1)*nb], m.armedAddr)
+	}
+}
+
+// restore rewinds the mutable simulation state to depth slot d.
+func (m *machine) restore(d, nb int, hasDynamic bool) {
+	copy(m.faulty, m.snapFaulty[d*len(m.faulty):(d+1)*len(m.faulty)])
+	if hasDynamic {
+		copy(m.armed, m.snapArmed[d*nb:(d+1)*nb])
+		copy(m.armedAddr, m.snapArmedAddr[d*nb:(d+1)*nb])
+	}
+}
+
+func (m *machine) reset(f linked.Fault, s Scenario) {
+	m.ensureBindings(len(f.FPs))
 	for i := range m.good {
 		m.good[i] = fp.V0
 		m.faulty[i] = fp.V0
@@ -127,7 +216,7 @@ func (m *machine) reset(s Scenario) {
 		m.good[addr] = s.Init[c]
 		m.faulty[addr] = s.Init[c]
 	}
-	m.armed = [4]bool{}
+	m.disarm()
 }
 
 // states returns the faulty-machine states of a binding's aggressor and
@@ -180,23 +269,18 @@ func (m *machine) applyWait(f linked.Fault, placement []int) {
 	m.settleStateFaults(f, placement)
 }
 
-// step applies one march operation to address addr and reports whether the
-// operation was a read that detected the fault (faulty return value differs
-// from the fault-free one), along with the read values of both machines
-// (VX for non-reads).
-func (m *machine) step(f linked.Fault, placement []int, addr int, op fp.Op) (bool, fp.Value, fp.Value) {
-	if op.Kind == fp.OpWait {
-		m.applyWait(f, placement)
-		m.armed = [4]bool{} // a wait breaks back-to-back sequences
-		return false, fp.VX, fp.VX
+// evalTriggers evaluates operation triggers against the pre-operation
+// faulty state. Static primitives match on the single operation; dynamic
+// ones fire when the current operation completes a sequence armed on the
+// previous step, and (re-)arm when it matches their first operation. The
+// returned slice is the machine's matched scratch buffer, valid until the
+// next step.
+func (m *machine) evalTriggers(f linked.Fault, placement []int, addr int, op fp.Op) []bool {
+	matched, nextArmed, nextArmedAddr := m.matched, m.nextArmed, m.nextArmedAddr
+	for i := range matched {
+		matched[i] = false
+		nextArmed[i] = false
 	}
-
-	// 1. Evaluate operation triggers against the pre-operation faulty
-	// state. Static primitives match on the single operation; dynamic ones
-	// fire when the current operation completes a sequence armed on the
-	// previous step, and (re-)arm when it matches their first operation.
-	var matched, nextArmed [4]bool
-	var nextArmedAddr [4]int
 	for i, b := range f.FPs {
 		if b.FP.Trigger != fp.TrigOp {
 			continue
@@ -226,8 +310,40 @@ func (m *machine) step(f linked.Fault, placement []int, addr int, op fp.Op) (boo
 	}
 	// Back-to-back means consecutive in the operation stream: whatever this
 	// step did not re-arm is disarmed.
-	m.armed = nextArmed
-	m.armedAddr = nextArmedAddr
+	m.armed, m.nextArmed = nextArmed, m.armed
+	m.armedAddr, m.nextArmedAddr = nextArmedAddr, m.armedAddr
+	return matched
+}
+
+// applyEffects applies the fault effects of the matched bindings, in binding
+// order (FP1 before FP2, so the linked masking sequence plays out
+// deterministically), and returns the possibly overridden faulty read value.
+func (m *machine) applyEffects(f linked.Fault, placement []int, addr int, isRead bool, matched []bool, retFaulty fp.Value) fp.Value {
+	for i, b := range f.FPs {
+		if !matched[i] {
+			continue
+		}
+		m.faulty[placement[b.V]] = b.FP.F
+		if isRead && placement[b.V] == addr && b.FP.OpRole == fp.RoleVictim && b.FP.R.IsBinary() {
+			retFaulty = b.FP.R
+		}
+	}
+	return retFaulty
+}
+
+// step applies one march operation to address addr and reports whether the
+// operation was a read that detected the fault (faulty return value differs
+// from the fault-free one), along with the read values of both machines
+// (VX for non-reads).
+func (m *machine) step(f linked.Fault, placement []int, addr int, op fp.Op) (bool, fp.Value, fp.Value) {
+	if op.Kind == fp.OpWait {
+		m.applyWait(f, placement)
+		m.disarm() // a wait breaks back-to-back sequences
+		return false, fp.VX, fp.VX
+	}
+
+	// 1. Evaluate operation triggers against the pre-operation faulty state.
+	matched := m.evalTriggers(f, placement, addr, op)
 
 	// 2. Base operation semantics on both machines.
 	retGood, retFaulty := fp.VX, fp.VX
@@ -241,17 +357,8 @@ func (m *machine) step(f linked.Fault, placement []int, addr int, op fp.Op) (boo
 		retFaulty = m.faulty[addr]
 	}
 
-	// 3. Fault effects, in binding order (FP1 before FP2, so the linked
-	// masking sequence plays out deterministically).
-	for i, b := range f.FPs {
-		if !matched[i] {
-			continue
-		}
-		m.faulty[placement[b.V]] = b.FP.F
-		if isRead && placement[b.V] == addr && b.FP.OpRole == fp.RoleVictim && b.FP.R.IsBinary() {
-			retFaulty = b.FP.R
-		}
-	}
+	// 3. Fault effects.
+	retFaulty = m.applyEffects(f, placement, addr, isRead, matched, retFaulty)
 
 	// 4. State-triggered primitives settle on the new state.
 	m.settleStateFaults(f, placement)
@@ -260,16 +367,16 @@ func (m *machine) step(f linked.Fault, placement []int, addr int, op fp.Op) (boo
 }
 
 // run simulates the full test for one scenario and reports whether any read
-// detects the fault.
+// detects the fault. It is the uncompiled reference path: the compiled
+// schedule (schedule.go) must produce bit-identical verdicts, which
+// schedule_test.go asserts for every library test and shipped fault list.
 func (m *machine) run(t march.Test, f linked.Fault, s Scenario, size int) bool {
-	m.reset(s)
+	m.reset(f, s)
 	m.settleStateFaults(f, s.Placement)
-	detected := false
 	for ei, e := range t.Elems {
 		for _, addr := range s.Orders[ei].Addresses(size) {
 			for _, op := range e.Ops {
 				if det, _, _ := m.step(f, s.Placement, addr, op); det {
-					detected = true
 					// Detection anywhere suffices; subsequent state is
 					// irrelevant once detected.
 					return true
@@ -277,5 +384,5 @@ func (m *machine) run(t march.Test, f linked.Fault, s Scenario, size int) bool {
 			}
 		}
 	}
-	return detected
+	return false
 }

@@ -60,7 +60,7 @@ func TraceScenario(t march.Test, f linked.Fault, s Scenario, cfg Config) (*Trace
 	}
 
 	m := newMachine(size)
-	m.reset(s)
+	m.reset(f, s)
 	m.settleStateFaults(f, s.Placement)
 
 	tr := &Trace{Test: t, Fault: f, Scenario: *cloneScenario(s)}
@@ -74,35 +74,35 @@ func TraceScenario(t march.Test, f linked.Fault, s Scenario, cfg Config) (*Trace
 		return g, fl
 	}
 
-	for ei, e := range t.Elems {
-		for _, addr := range s.Orders[ei].Addresses(size) {
-			for oi, op := range e.Ops {
-				gb, fb := snapshot()
-				step := TraceStep{
-					Element: ei, OpIndex: oi, Addr: addr, Op: op,
-					GoodBefore: gb, FaultyBefore: fb,
-				}
-				detected, retGood, retFaulty := m.step(f, s.Placement, addr, op)
-				step.GoodRet, step.FaultyRet = retGood, retFaulty
-				step.Detected = detected
-				ga, fa := snapshot()
-				step.GoodAfter, step.FaultyAfter = ga, fa
-				for i := range f.FPs {
-					// A primitive "fired" when its victim's faulty value
-					// diverged from (or converged back to) the good machine
-					// at this step.
-					v := f.FPs[i].V
-					divergedNow := fa[v] != ga[v] && fb[v] == gb[v]
-					maskedNow := fa[v] == ga[v] && fb[v] != gb[v] && f.FPs[i].FP.F == fa[v]
-					if divergedNow || maskedNow {
-						step.Fired = append(step.Fired, i)
-					}
-				}
-				tr.Steps = append(tr.Steps, step)
-				if detected {
-					tr.Detected = true
-				}
+	// The compiled stream provides the (element, op, addr) sequence; the
+	// trace still runs the full two-machine reference step because it
+	// records the good machine's cell values at every step.
+	stream := compileStream(t, s.Orders, size)
+	for i := range stream.steps {
+		cs := &stream.steps[i]
+		gb, fb := snapshot()
+		step := TraceStep{
+			Element: cs.elem, OpIndex: cs.opIdx, Addr: cs.addr, Op: cs.op,
+			GoodBefore: gb, FaultyBefore: fb,
+		}
+		detected, retGood, retFaulty := m.step(f, s.Placement, cs.addr, cs.op)
+		step.GoodRet, step.FaultyRet = retGood, retFaulty
+		step.Detected = detected
+		ga, fa := snapshot()
+		step.GoodAfter, step.FaultyAfter = ga, fa
+		for i := range f.FPs {
+			// A primitive "fired" when its victim's faulty value diverged
+			// from (or converged back to) the good machine at this step.
+			v := f.FPs[i].V
+			divergedNow := fa[v] != ga[v] && fb[v] == gb[v]
+			maskedNow := fa[v] == ga[v] && fb[v] != gb[v] && f.FPs[i].FP.F == fa[v]
+			if divergedNow || maskedNow {
+				step.Fired = append(step.Fired, i)
 			}
+		}
+		tr.Steps = append(tr.Steps, step)
+		if detected {
+			tr.Detected = true
 		}
 	}
 	return tr, nil

@@ -1,0 +1,7 @@
+#!/bin/sh
+# Race-detector gate for the packages with concurrent hot paths: the
+# simulator's worker fan-out (Schedule.Simulate, Schedule.FullCoverage,
+# sync.Pool machine reuse) and the generator loops driving them.
+set -eu
+cd "$(dirname "$0")/.."
+exec go test -race ./internal/sim/... ./internal/core/...
