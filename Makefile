@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-sim check
+.PHONY: build test vet race bench bench-sim serve test-service smoke check
 
 build:
 	$(GO) build ./...
@@ -24,4 +24,16 @@ bench:
 bench-sim:
 	$(GO) run ./cmd/experiments -bench-sim BENCH_sim.json
 
-check: build vet test race
+## serve: run the marchd HTTP service on :8080 (see README quick-start).
+serve:
+	$(GO) run ./cmd/marchd -addr :8080
+
+## test-service: the marchd service test suite (handlers, job engine, cache).
+test-service:
+	$(GO) test ./internal/service/ ./cmd/marchsim/
+
+## smoke: end-to-end marchd round-trip over HTTP (build, curl, SIGTERM drain).
+smoke:
+	./scripts/smoke.sh
+
+check: build vet test race smoke

@@ -1,0 +1,107 @@
+// Command marchd serves the march generator and fault simulator as a
+// long-lived HTTP JSON service: an async job engine with a bounded worker
+// pool for generation, a content-addressed LRU result cache, structured
+// request logging, /healthz and /metrics. See DESIGN.md §8 and the README
+// quick-start for the API.
+//
+// Usage:
+//
+//	marchd -addr :8080
+//	marchd -addr 127.0.0.1:0 -workers 4 -cache 256
+//
+// Shutdown: SIGINT/SIGTERM stops accepting connections, drains in-flight
+// jobs up to -drain-timeout, and exits 0 on a clean drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"marchgen/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		workers      = flag.Int("workers", 0, "generation worker pool size (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 64, "job queue depth (a full queue answers 503)")
+		cacheSize    = flag.Int("cache", 128, "result cache entries (content-addressed LRU)")
+		retain       = flag.Int("retain", 512, "finished jobs kept pollable before eviction")
+		jobTimeout   = flag.Duration("job-timeout", 5*time.Minute, "maximum per-job generation deadline")
+		syncTimeout  = flag.Duration("sync-timeout", 60*time.Second, "request timeout of the synchronous endpoints")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "shutdown drain window for in-flight jobs")
+		quiet        = flag.Bool("quiet", false, "disable the per-request log")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "marchd: ", log.LstdFlags|log.Lmicroseconds)
+	reqLogger := logger
+	if *quiet {
+		reqLogger = nil
+	}
+
+	srv := service.New(service.Config{
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		CacheSize:   *cacheSize,
+		RetainJobs:  *retain,
+		JobTimeout:  *jobTimeout,
+		SyncTimeout: *syncTimeout,
+		Logger:      reqLogger,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatalf("listen: %v", err)
+	}
+	// The resolved address is announced before serving so wrappers (the
+	// smoke test, orchestrators) can bind to port 0 and scrape the port.
+	logger.Printf("listening on %s", ln.Addr())
+
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		logger.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second signal kills hard
+
+	logger.Printf("shutdown signal received; draining (window %s)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+
+	code := 0
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("http shutdown: %v", err)
+		code = 1
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		logger.Printf("job drain: %v", err)
+		code = 1
+	}
+	if code == 0 {
+		logger.Printf("drained cleanly")
+	}
+	fmt.Fprintln(os.Stderr, "marchd: exit", code)
+	os.Exit(code)
+}

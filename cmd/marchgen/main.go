@@ -35,31 +35,29 @@ func main() {
 		os.Exit(2)
 	}
 
-	var constraint marchgen.OrderConstraint
-	switch *orders {
-	case "free":
-		constraint = marchgen.OrderFree
-	case "up":
-		constraint = marchgen.OrderUpOnly
-	case "down":
-		constraint = marchgen.OrderDownOnly
-	default:
+	constraint, err := marchgen.ParseOrderConstraint(*orders)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "marchgen: invalid -orders %q (want free, up or down)\n", *orders)
 		os.Exit(2)
 	}
 
-	res, err := marchgen.Generate(faults, marchgen.Options{Name: *name, Aggressive: *aggressive, Orders: constraint})
+	opts := marchgen.Options{Name: *name, Aggressive: *aggressive, Orders: constraint}
+	res, err := marchgen.Generate(faults, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "marchgen:", err)
 		os.Exit(1)
 	}
 
 	if *asJSON {
+		// Options travel in their canonical encoding (stable field order,
+		// defaults filled in) — the same form the marchd API and its result
+		// cache use.
 		out := struct {
-			Test    marchgen.March  `json:"test"`
-			Report  marchgen.Report `json:"report"`
-			Seconds float64         `json:"generation_seconds"`
-		}{res.Test, res.Report, res.Stats.Duration.Seconds()}
+			Test    marchgen.March   `json:"test"`
+			Report  marchgen.Report  `json:"report"`
+			Options marchgen.Options `json:"options"`
+			Seconds float64          `json:"generation_seconds"`
+		}{res.Test, res.Report, opts, res.Stats.Duration.Seconds()}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {

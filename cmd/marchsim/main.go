@@ -6,29 +6,56 @@
 //
 //	marchsim -march "March SL" -list list1
 //	marchsim -spec "c(w0) ^(r0,w1) v(r1,w0)" -list simple -missed 10
+//
+// Exit codes (for CI certification gates):
+//
+//	0  the march test detects every fault in the list
+//	1  the simulation ran but at least one fault is missed
+//	2  usage error (bad flags, unknown march test or fault list,
+//	   inconsistent march test)
+//	3  simulation or output error
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"marchgen"
 )
 
+// Exit codes of the marchsim command.
+const (
+	exitFull  = 0 // full coverage
+	exitMiss  = 1 // at least one missed fault
+	exitUsage = 2 // flag / march / fault-list errors
+	exitSim   = 3 // simulation or output errors
+)
+
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with the process plumbing factored out so tests can drive
+// the command end to end and assert on its exit code and output.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("marchsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		marchName = flag.String("march", "", "library march test to simulate (see -tests)")
-		spec      = flag.String("spec", "", "march test in notation form, e.g. \"c(w0) ^(r0,w1) v(r1,w0)\"")
-		listName  = flag.String("list", "list1", "fault list (list1, list2, simple, simple1, simple2, realistic1, realistic2, dynamic, dynamic1, dynamic2)")
-		missed    = flag.Int("missed", 5, "print up to this many missed faults with witnesses")
-		listTests = flag.Bool("tests", false, "list the library march tests and exit")
-		asJSON    = flag.Bool("json", false, "emit the full report as JSON")
-		bistCells = flag.Int("bist", 0, "also print the BIST cost estimate for a memory of this many cells")
-		trace     = flag.Bool("trace", false, "for each missed fault printed, also replay its witness scenario step by step")
+		marchName = fs.String("march", "", "library march test to simulate (see -tests)")
+		spec      = fs.String("spec", "", "march test in notation form, e.g. \"c(w0) ^(r0,w1) v(r1,w0)\"")
+		listName  = fs.String("list", "list1", "fault list (list1, list2, simple, simple1, simple2, realistic1, realistic2, dynamic, dynamic1, dynamic2)")
+		missed    = fs.Int("missed", 5, "print up to this many missed faults with witnesses")
+		listTests = fs.Bool("tests", false, "list the library march tests and exit")
+		asJSON    = fs.Bool("json", false, "emit the full report as JSON")
+		bistCells = fs.Int("bist", 0, "also print the BIST cost estimate for a memory of this many cells")
+		trace     = fs.Bool("trace", false, "for each missed fault printed, also replay its witness scenario step by step")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
 
 	if *listTests {
 		for _, t := range marchgen.Library() {
@@ -36,9 +63,9 @@ func main() {
 			if t.Reconstructed {
 				note = "  [reconstructed sequence]"
 			}
-			fmt.Printf("%-16s %4s  %s%s\n", t.Name, t.Complexity(), t.Source, note)
+			fmt.Fprintf(stdout, "%-16s %4s  %s%s\n", t.Name, t.Complexity(), t.Source, note)
 		}
-		return
+		return exitFull
 	}
 
 	var (
@@ -53,66 +80,67 @@ func main() {
 		}
 		test, err = marchgen.ParseMarch(name, *spec)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "marchsim:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "marchsim:", err)
+			return exitUsage
 		}
 	case *marchName != "":
 		var ok bool
 		test, ok = marchgen.MarchByName(*marchName)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "marchsim: unknown march test %q (use -tests to list)\n", *marchName)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "marchsim: unknown march test %q (use -tests to list)\n", *marchName)
+			return exitUsage
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "marchsim: need -march or -spec")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "marchsim: need -march or -spec")
+		return exitUsage
 	}
 
 	if err := test.CheckConsistency(); err != nil {
-		fmt.Fprintln(os.Stderr, "marchsim: inconsistent march test:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "marchsim: inconsistent march test:", err)
+		return exitUsage
 	}
 
 	faults, err := marchgen.FaultListByName(*listName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "marchsim:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "marchsim:", err)
+		return exitUsage
 	}
 
 	r := marchgen.Simulate(test, faults)
 	if err := r.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "marchsim:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "marchsim:", err)
+		return exitSim
 	}
 	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(r); err != nil {
-			fmt.Fprintln(os.Stderr, "marchsim:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "marchsim:", err)
+			return exitSim
 		}
 		if !r.Full() {
-			os.Exit(1)
+			return exitMiss
 		}
-		return
+		return exitFull
 	}
-	fmt.Println(r.Summary())
+	fmt.Fprintln(stdout, r.Summary())
 	if *bistCells > 0 {
-		fmt.Printf("BIST estimate (%d cells): %s\n", *bistCells, marchgen.EstimateBIST(test, *bistCells, 1000))
+		fmt.Fprintf(stdout, "BIST estimate (%d cells): %s\n", *bistCells, marchgen.EstimateBIST(test, *bistCells, 1000))
 	}
 	for i, m := range r.Missed() {
 		if i >= *missed {
-			fmt.Printf("  ... and %d more missed faults\n", len(r.Missed())-i)
+			fmt.Fprintf(stdout, "  ... and %d more missed faults\n", len(r.Missed())-i)
 			break
 		}
-		fmt.Printf("  missed %s  (undetected at %s)\n", m.Fault.ID(), m.Witness)
+		fmt.Fprintf(stdout, "  missed %s  (undetected at %s)\n", m.Fault.ID(), m.Witness)
 		if *trace && m.Witness != nil {
-			if err := marchgen.TraceWitness(os.Stdout, test, m.Fault, *m.Witness); err != nil {
-				fmt.Fprintln(os.Stderr, "marchsim: trace:", err)
+			if err := marchgen.TraceWitness(stdout, test, m.Fault, *m.Witness); err != nil {
+				fmt.Fprintln(stderr, "marchsim: trace:", err)
 			}
 		}
 	}
 	if !r.Full() {
-		os.Exit(1)
+		return exitMiss
 	}
+	return exitFull
 }

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// runCmd drives the command as a test would drive the binary, returning
+// exit code and captured output.
+func runCmd(args ...string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestExitFullCoverage(t *testing.T) {
+	// March SL covers all of list 2; the certification gate passes.
+	code, out, _ := runCmd("-march", "March SL", "-list", "list2")
+	if code != exitFull {
+		t.Fatalf("exit = %d, want %d (full coverage)\n%s", code, exitFull, out)
+	}
+	if !strings.Contains(out, "100.0%") {
+		t.Fatalf("summary missing full coverage: %s", out)
+	}
+}
+
+func TestExitMissedFaults(t *testing.T) {
+	// MATS+ misses static linked faults — the nonzero exit lets CI gates
+	// catch certification regressions.
+	code, out, _ := runCmd("-march", "MATS+", "-list", "list2", "-missed", "2")
+	if code != exitMiss {
+		t.Fatalf("exit = %d, want %d (missed faults)", code, exitMiss)
+	}
+	if !strings.Contains(out, "missed") {
+		t.Fatalf("no missed faults printed:\n%s", out)
+	}
+}
+
+func TestExitMissedFaultsJSON(t *testing.T) {
+	code, out, _ := runCmd("-march", "MATS+", "-list", "list2", "-json")
+	if code != exitMiss {
+		t.Fatalf("exit = %d, want %d", code, exitMiss)
+	}
+	var doc struct {
+		Coverage float64 `json:"coverage_percent"`
+		Missed   []any   `json:"missed"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out)
+	}
+	if doc.Coverage >= 100 || len(doc.Missed) == 0 {
+		t.Fatalf("report = %+v", doc)
+	}
+}
+
+func TestExitUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                   // neither -march nor -spec
+		{"-march", "March NOPE"},             // unknown library test
+		{"-spec", "^(r0,w1"},                 // unparsable spec
+		{"-spec", "^(r1,w0)"},                // inconsistent: r1 never established
+		{"-march", "MATS+", "-list", "nope"}, // unknown fault list
+		{"-bogusflag"},                       // flag error
+	}
+	for _, args := range cases {
+		if code, _, _ := runCmd(args...); code != exitUsage {
+			t.Errorf("args %v: exit = %d, want %d", args, code, exitUsage)
+		}
+	}
+}
+
+func TestListTests(t *testing.T) {
+	code, out, _ := runCmd("-tests")
+	if code != exitFull {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "March SL") || !strings.Contains(out, "MATS+") {
+		t.Fatalf("library listing incomplete:\n%s", out)
+	}
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"marchgen/internal/faultlist"
+)
+
+func TestGenerateContextCanceledUpFront(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := GenerateContext(ctx, faultlist.List2(), Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestGenerateContextDeadline(t *testing.T) {
+	// List 1 takes on the order of a second; a microscopic deadline must
+	// abort the run early and surface DeadlineExceeded, not a result.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := GenerateContext(ctx, faultlist.List1(), Options{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	// Generous bound: the abort must be far quicker than a full run.
+	if d := time.Since(start); d > 10*time.Second {
+		t.Fatalf("cancellation took %v", d)
+	}
+}
+
+func TestGenerateContextBackgroundMatchesGenerate(t *testing.T) {
+	res, err := GenerateContext(context.Background(), faultlist.List2(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.Full() {
+		t.Fatalf("coverage %.1f%%, want full", res.Report.Coverage())
+	}
+}

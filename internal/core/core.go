@@ -27,6 +27,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -169,6 +170,15 @@ type Result struct {
 // (which cannot happen for the static linked fault lists of the paper) or if
 // a fault cannot be simulated under the given configurations.
 func Generate(faults []linked.Fault, opts Options) (Result, error) {
+	return GenerateContext(context.Background(), faults, opts)
+}
+
+// GenerateContext is Generate with cancellation and deadline support: the
+// context is checked between simulation batches in every phase (walk,
+// repair, minimize), so a canceled or expired context aborts the run within
+// one candidate evaluation and returns ctx.Err(). This is the entry point
+// long-lived callers (the marchd job engine) use for per-job deadlines.
+func GenerateContext(ctx context.Context, faults []linked.Fault, opts Options) (Result, error) {
 	start := time.Now()
 	if len(faults) == 0 {
 		return Result{}, fmt.Errorf("core: empty fault list")
@@ -182,9 +192,12 @@ func Generate(faults []linked.Fault, opts Options) (Result, error) {
 	}}
 
 	// Phase 1: walk the single-cell faults into Sequences of Operations.
-	cand = walk(cand, faults, opts, st)
+	cand = walk(ctx, cand, faults, opts, st)
 	st.WalkerElements = len(cand.Elems) - 1
 	st.WalkerOps = cand.Length() - 1
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 
 	// Phase 2 + certification loop: repair under the search configuration,
 	// then certify under the exhaustive one; if certification finds a miss
@@ -200,14 +213,14 @@ func Generate(faults []linked.Fault, opts Options) (Result, error) {
 		if round > 0 {
 			cfg = opts.finalConfig()
 		}
-		cand, err = repair(cand, faults, cfg, opts, st)
+		cand, err = repair(ctx, cand, faults, cfg, opts, st)
 		if err != nil {
 			return Result{}, err
 		}
 		st.LengthBeforeMinimize = cand.Length()
 
 		if !opts.SkipMinimize {
-			cand, err = minimize(cand, faults, cfg, opts, st)
+			cand, err = minimize(ctx, cand, faults, cfg, opts, st)
 			if err != nil {
 				return Result{}, err
 			}

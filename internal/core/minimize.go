@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"marchgen/internal/fp"
 	"marchgen/internal/linked"
 	"marchgen/internal/march"
@@ -20,9 +22,15 @@ import (
 //
 // The result is non-redundant in the paper's sense: no single operation can
 // be removed without losing coverage.
-func minimize(cand march.Test, faults []linked.Fault, cfg sim.Config, opts Options, st *Stats) (march.Test, error) {
+func minimize(ctx context.Context, cand march.Test, faults []linked.Fault, cfg sim.Config, opts Options, st *Stats) (march.Test, error) {
 	acceptsWith := func(c sim.Config) func(march.Test) (bool, error) {
 		return func(t march.Test) (bool, error) {
+			// The accept predicate runs before every candidate simulation, so
+			// checking the context here bounds a cancellation's latency to one
+			// full-coverage evaluation.
+			if err := ctx.Err(); err != nil {
+				return false, err
+			}
 			if len(t.Elems) == 0 || t.Validate() != nil || t.CheckConsistency() != nil {
 				return false, nil
 			}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"marchgen/internal/sim"
+)
+
+// String renders the constraint in the spelling the command-line tools and
+// the HTTP API accept: "free", "up" or "down".
+func (c OrderConstraint) String() string {
+	switch c {
+	case OrderUpOnly:
+		return "up"
+	case OrderDownOnly:
+		return "down"
+	}
+	return "free"
+}
+
+// ParseOrderConstraint resolves the textual spelling of an order
+// constraint. It is the single parser shared by cmd/marchgen and the marchd
+// API, replacing the per-tool switch statements.
+func ParseOrderConstraint(s string) (OrderConstraint, error) {
+	switch s {
+	case "", "free":
+		return OrderFree, nil
+	case "up":
+		return OrderUpOnly, nil
+	case "down":
+		return OrderDownOnly, nil
+	}
+	return OrderFree, fmt.Errorf("core: invalid order constraint %q (want free, up or down)", s)
+}
+
+// MarshalJSON encodes the constraint as its textual spelling.
+func (c OrderConstraint) MarshalJSON() ([]byte, error) {
+	return json.Marshal(c.String())
+}
+
+// UnmarshalJSON decodes and validates the textual spelling.
+func (c *OrderConstraint) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	parsed, err := ParseOrderConstraint(s)
+	if err != nil {
+		return err
+	}
+	*c = parsed
+	return nil
+}
+
+// Canonical returns the options with every default made explicit: the
+// test name, the phase bounds, and both simulator configurations (each
+// itself canonicalized, see sim.Config.Canonical). Canonical is idempotent
+// and is the normal form behind the JSON codec and the marchd result-cache
+// key: a request that omits options hashes identically to one that spells
+// out every default.
+func (o Options) Canonical() Options {
+	o.Name = o.name()
+	o.MaxSOLen = o.maxSOLen()
+	o.MaxRepairRounds = o.maxRepairRounds()
+	o.SearchConfig = o.searchConfig().Canonical()
+	o.FinalConfig = o.finalConfig().Canonical()
+	return o
+}
+
+// optionsJSON is the wire form of the generator options: stable field
+// order, defaults always explicit, the order constraint as text.
+type optionsJSON struct {
+	Name            string          `json:"name"`
+	Aggressive      bool            `json:"aggressive"`
+	Orders          OrderConstraint `json:"orders"`
+	SkipMinimize    bool            `json:"skip_minimize"`
+	MaxSOLen        int             `json:"max_so_len"`
+	MaxRepairRounds int             `json:"max_repair_rounds"`
+	SearchConfig    sim.Config      `json:"search_config"`
+	FinalConfig     sim.Config      `json:"final_config"`
+}
+
+// MarshalJSON encodes the canonical form: stable field order, defaults
+// filled in. Equal canonical options produce byte-identical JSON.
+func (o Options) MarshalJSON() ([]byte, error) {
+	co := o.Canonical()
+	return json.Marshal(optionsJSON{
+		Name:            co.Name,
+		Aggressive:      co.Aggressive,
+		Orders:          co.Orders,
+		SkipMinimize:    co.SkipMinimize,
+		MaxSOLen:        co.MaxSOLen,
+		MaxRepairRounds: co.MaxRepairRounds,
+		SearchConfig:    co.SearchConfig,
+		FinalConfig:     co.FinalConfig,
+	})
+}
+
+// UnmarshalJSON decodes options; omitted fields keep their zero value and
+// therefore their documented defaults.
+func (o *Options) UnmarshalJSON(data []byte) error {
+	var w optionsJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*o = Options{
+		Name:            w.Name,
+		Aggressive:      w.Aggressive,
+		Orders:          w.Orders,
+		SkipMinimize:    w.SkipMinimize,
+		MaxSOLen:        w.MaxSOLen,
+		MaxRepairRounds: w.MaxRepairRounds,
+		SearchConfig:    w.SearchConfig,
+		FinalConfig:     w.FinalConfig,
+	}
+	return nil
+}

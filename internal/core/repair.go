@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"marchgen/internal/fp"
@@ -111,9 +112,12 @@ func buildTemplates() []template {
 // Operations to each memory cell" to the coupling faults whose excitation
 // and observation live on different cells. Termination is guaranteed by the
 // March SL element shapes in the template library.
-func repair(cand march.Test, faults []linked.Fault, cfg sim.Config, opts Options, st *Stats) (march.Test, error) {
+func repair(ctx context.Context, cand march.Test, faults []linked.Fault, cfg sim.Config, opts Options, st *Stats) (march.Test, error) {
 	templates := buildTemplates()
 	for {
+		if err := ctx.Err(); err != nil {
+			return cand, err
+		}
 		missing, err := uncovered(cand, faults, cfg, st)
 		if err != nil {
 			return cand, err
@@ -126,6 +130,9 @@ func repair(cand march.Test, faults []linked.Fault, cfg sim.Config, opts Options
 		best := -1
 		bestGain := 0
 		for ti, tpl := range templates {
+			if err := ctx.Err(); err != nil {
+				return cand, err
+			}
 			if !opts.Orders.Allows(tpl.order) {
 				continue
 			}

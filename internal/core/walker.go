@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"marchgen/internal/afp"
 	"marchgen/internal/fp"
 	"marchgen/internal/linked"
@@ -16,7 +18,7 @@ import (
 // element the candidate is fault-simulated and the covered faults deleted
 // (step 1.c.ii), so an operation chain that happens to cover later faults
 // shortens the walk.
-func walk(cand march.Test, faults []linked.Fault, opts Options, st *Stats) march.Test {
+func walk(ctx context.Context, cand march.Test, faults []linked.Fault, opts Options, st *Stats) march.Test {
 	var singles []linked.Fault
 	for _, f := range faults {
 		if f.Cells == 1 {
@@ -29,7 +31,7 @@ func walk(cand march.Test, faults []linked.Fault, opts Options, st *Stats) march
 	cfg := opts.searchConfig()
 
 	pending := singles
-	for len(pending) > 0 {
+	for len(pending) > 0 && ctx.Err() == nil {
 		v := testExit(cand) // fault-free cell value entering the new element
 		var so []fp.Op
 		progressed := false

@@ -1,0 +1,102 @@
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"marchgen"
+)
+
+// resultCache is a concurrency-safe LRU over content-addressed result
+// documents. Keys are canonical hashes (see generateKey), values are the
+// exact marshaled response bytes — a cache hit therefore returns
+// byte-identical output to the request that populated it.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+func newResultCache(max int) *resultCache {
+	if max <= 0 {
+		max = 128
+	}
+	return &resultCache{
+		max:   max,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached bytes and refreshes the entry's recency. The
+// returned slice is shared and must be treated as immutable.
+func (c *resultCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put inserts or refreshes an entry, evicting the least recently used one
+// when the cache is over capacity.
+func (c *resultCache) Put(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// generateKeySchema versions the key derivation; bump it whenever the
+// result document or the canonical encodings change shape, so stale cache
+// entries can never be served across an upgrade.
+const generateKeySchema = "marchd/generate/v1"
+
+// generateKey derives the content address of a generation request: a
+// SHA-256 over the canonical JSON of the fault list and the canonicalized
+// options (stable field order, defaults filled in, result-irrelevant knobs
+// normalized — see Options.Canonical). Requests that differ only in
+// spelling (named list vs. the same faults inline, omitted vs. explicit
+// defaults) therefore share one cache entry.
+func generateKey(faults []marchgen.Fault, opts marchgen.Options) (string, error) {
+	payload := struct {
+		Schema  string           `json:"schema"`
+		Faults  []marchgen.Fault `json:"faults"`
+		Options marchgen.Options `json:"options"`
+	}{generateKeySchema, faults, opts.Canonical()}
+	b, err := json.Marshal(payload)
+	if err != nil {
+		return "", fmt.Errorf("service: cache key: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -1,0 +1,282 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"marchgen"
+)
+
+// writeJSON marshals v as the response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+// writeRaw sends pre-marshaled JSON bytes verbatim (the cache-hit path:
+// byte-identical responses).
+func writeRaw(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody strictly decodes the request body into v: unknown fields and
+// trailing garbage are client errors, reported with a 400 by the caller.
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	var extra any
+	if dec.Decode(&extra) == nil {
+		return errors.New("request body holds more than one JSON document")
+	}
+	return nil
+}
+
+// handleGenerate is POST /v1/generate: resolve the fault spec, consult the
+// content-addressed cache, and either answer 200 from cache or enqueue a
+// generation job and answer 202 with the job's poll location.
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	var req generateRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	faults, err := req.resolve()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad fault spec: %v", err)
+		return
+	}
+	var opts marchgen.Options
+	if req.Options != nil {
+		opts = *req.Options
+	}
+	opts = opts.Canonical()
+
+	key, err := generateKey(faults, opts)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if body, ok := s.cache.Get(key); ok {
+		s.metrics.cache(true)
+		w.Header().Set("X-Cache", "hit")
+		writeRaw(w, http.StatusOK, body)
+		return
+	}
+	s.metrics.cache(false)
+	w.Header().Set("X-Cache", "miss")
+
+	j, created, err := s.lookupOrSubmit(key, time.Duration(req.TimeoutMS)*time.Millisecond,
+		func(ctx context.Context) ([]byte, error) {
+			start := time.Now()
+			res, err := marchgen.GenerateContext(ctx, faults, opts)
+			if err != nil {
+				return nil, err
+			}
+			body, err := marshalGenerateResult(res, opts, key)
+			if err != nil {
+				return nil, err
+			}
+			s.cache.Put(key, body)
+			s.metrics.observeGenerate(time.Since(start))
+			return body, nil
+		})
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if created {
+		s.metrics.jobSubmitted()
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, struct {
+		Job  Job    `json:"job"`
+		Poll string `json:"poll"`
+	}{j.snapshot(false), "/v1/jobs/" + j.id})
+}
+
+// handleJobGet is GET /v1/jobs/{id}: the job snapshot, with the result
+// document inlined once the job is done.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot(true))
+}
+
+// handleJobResult is GET /v1/jobs/{id}/result: the raw result document of
+// a done job — the exact bytes the cache serves, so polling clients and
+// cache-hit clients see identical output.
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	snap := j.snapshot(true)
+	switch snap.Status {
+	case JobDone:
+		writeRaw(w, http.StatusOK, snap.Result)
+	case JobFailed, JobCanceled:
+		writeError(w, http.StatusGone, "job %s %s: %s", snap.ID, snap.Status, snap.Error)
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict, "job %s is %s; poll /v1/jobs/%s", snap.ID, snap.Status, snap.ID)
+	}
+}
+
+// handleJobCancel is DELETE /v1/jobs/{id}: cancel a queued or running job.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot(false))
+}
+
+// handleSimulate is POST /v1/simulate: synchronous fault simulation of a
+// march test against a fault list.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req simulateRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	test, err := req.March.resolve()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad march spec: %v", err)
+		return
+	}
+	faults, err := req.resolve()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad fault spec: %v", err)
+		return
+	}
+	cfg := marchgen.SimConfig{}
+	if req.Config != nil {
+		cfg = *req.Config
+	} else {
+		cfg = defaultSimConfig()
+	}
+	report := marchgen.SimulateWith(test, faults, cfg)
+	if err := report.Err(); err != nil {
+		// Simulation errors are request-shaped: the march test or config
+		// cannot express the fault list (⇕ expansion cap, memory too small).
+		writeError(w, http.StatusUnprocessableEntity, "simulation failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Report  marchgen.Report `json:"report"`
+		Summary string          `json:"summary"`
+	}{report, report.Summary()})
+}
+
+// handleDetects is POST /v1/detects: does the march test detect this one
+// fault in every scenario?
+func (s *Server) handleDetects(w http.ResponseWriter, r *http.Request) {
+	var req detectsRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	test, err := req.March.resolve()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad march spec: %v", err)
+		return
+	}
+	if req.Fault == nil {
+		writeError(w, http.StatusBadRequest, "bad fault spec: request names no fault")
+		return
+	}
+	cfg := defaultSimConfig()
+	if req.Config != nil {
+		cfg = *req.Config
+	}
+	detected, witness, err := marchgen.DetectsWith(test, *req.Fault, cfg)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "simulation failed: %v", err)
+		return
+	}
+	out := struct {
+		Fault    marchgen.Fault `json:"fault"`
+		Detected bool           `json:"detected"`
+		Witness  string         `json:"witness,omitempty"`
+	}{*req.Fault, detected, ""}
+	if witness != nil {
+		out.Witness = witness.String()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleLibrary is GET /v1/library: the shipped march tests.
+func (s *Server) handleLibrary(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Tests []marchgen.March `json:"tests"`
+	}{marchgen.Library()})
+}
+
+// handleFaultLists is GET /v1/faultlists: the named fault lists and their
+// sizes.
+func (s *Server) handleFaultLists(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		Name  string `json:"name"`
+		Count int    `json:"count"`
+	}
+	var lists []entry
+	for _, name := range marchgen.FaultListNames() {
+		faults, err := marchgen.FaultListByName(name)
+		if err != nil {
+			continue // unreachable: Names and ByName are the same table
+		}
+		lists = append(lists, entry{Name: name, Count: len(faults)})
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Lists []entry `json:"lists"`
+	}{lists})
+}
+
+// handleHealthz is GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{"ok"})
+}
+
+// handleMetrics is GET /metrics: the expvar-style counter snapshot.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.jobs.Depth(), s.cache.Len()))
+}
+
+// defaultSimConfig is the exhaustive default the API documents for omitted
+// configs.
+func defaultSimConfig() marchgen.SimConfig {
+	return marchgen.SimConfig{Size: 4, ExhaustiveOrders: true}
+}

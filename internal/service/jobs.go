@@ -1,0 +1,312 @@
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// JobStatus is the lifecycle state of an asynchronous job.
+type JobStatus string
+
+// Job lifecycle states. A job moves queued → running → one of the three
+// terminal states; a queued job canceled before a worker picks it up moves
+// straight to canceled.
+const (
+	JobQueued   JobStatus = "queued"
+	JobRunning  JobStatus = "running"
+	JobDone     JobStatus = "done"
+	JobFailed   JobStatus = "failed"
+	JobCanceled JobStatus = "canceled"
+)
+
+// Terminal reports whether the status is final.
+func (s JobStatus) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// Job is an immutable snapshot of a job's state, safe to marshal and hand
+// out concurrently with the job's execution.
+type Job struct {
+	ID       string    `json:"id"`
+	Status   JobStatus `json:"status"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started,omitempty"`
+	Finished time.Time `json:"finished,omitempty"`
+	// Error is set for failed jobs.
+	Error string `json:"error,omitempty"`
+	// Result is the raw result document of a done job.
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// Submission errors.
+var (
+	// ErrQueueFull is returned when the bounded job queue cannot accept
+	// another job; callers should translate it to a backpressure response
+	// (HTTP 503) rather than block.
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrDraining is returned once shutdown has begun.
+	ErrDraining = errors.New("service: shutting down")
+)
+
+// job is the engine's mutable record; all fields behind mu except the
+// immutable id/created/fn/ctx/cancel.
+type job struct {
+	id      string
+	created time.Time
+	fn      func(context.Context) ([]byte, error)
+	ctx     context.Context
+	cancel  context.CancelFunc
+
+	mu       sync.Mutex
+	status   JobStatus
+	started  time.Time
+	finished time.Time
+	err      error
+	result   []byte
+	done     chan struct{} // closed when the job reaches a terminal state
+}
+
+// snapshot returns the API view of the job.
+func (j *job) snapshot(withResult bool) Job {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := Job{
+		ID:       j.id,
+		Status:   j.status,
+		Created:  j.created,
+		Started:  j.started,
+		Finished: j.finished,
+	}
+	if j.err != nil {
+		s.Error = j.err.Error()
+	}
+	if withResult && j.status == JobDone {
+		s.Result = json.RawMessage(j.result)
+	}
+	return s
+}
+
+// finalize moves the job to a terminal state exactly once.
+func (j *job) finalize(status JobStatus, result []byte, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.Terminal() {
+		return
+	}
+	j.status = status
+	j.result = result
+	j.err = err
+	j.finished = time.Now()
+	close(j.done)
+}
+
+// jobEngine is a bounded worker pool with a bounded queue: the async half
+// of the marchd service. Generation work is submitted as closures; each job
+// carries its own deadline-bearing context derived from the engine's base
+// context, so individual jobs can be canceled and a shutdown can cancel
+// everything still running once the drain deadline passes.
+type jobEngine struct {
+	queue      chan *job
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+	maxTimeout time.Duration
+	retain     int
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // insertion order, for retention eviction
+	draining bool
+
+	// onTerminal, when set, runs after a job reaches a terminal state (used
+	// for metrics and in-flight dedup bookkeeping).
+	onTerminal func(*job)
+}
+
+// newJobEngine starts workers goroutines consuming a queue of the given
+// depth. maxTimeout caps every job's deadline; retain bounds how many
+// terminal jobs are kept for polling before the oldest are evicted.
+func newJobEngine(workers, depth int, maxTimeout time.Duration, retain int) *jobEngine {
+	ctx, cancel := context.WithCancel(context.Background())
+	e := &jobEngine{
+		queue:      make(chan *job, depth),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		maxTimeout: maxTimeout,
+		retain:     retain,
+		jobs:       make(map[string]*job),
+	}
+	for i := 0; i < workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+func (e *jobEngine) worker() {
+	defer e.wg.Done()
+	for j := range e.queue {
+		e.runJob(j)
+	}
+}
+
+func (e *jobEngine) runJob(j *job) {
+	defer j.cancel() // release the deadline timer
+	j.mu.Lock()
+	if j.status.Terminal() { // canceled while queued
+		j.mu.Unlock()
+		return
+	}
+	j.status = JobRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	result, err := j.fn(j.ctx)
+	switch {
+	case err == nil:
+		j.finalize(JobDone, result, nil)
+	case errors.Is(err, context.Canceled):
+		j.finalize(JobCanceled, nil, err)
+	default:
+		j.finalize(JobFailed, nil, err)
+	}
+	if e.onTerminal != nil {
+		e.onTerminal(j)
+	}
+}
+
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("service: job id entropy: %v", err))
+	}
+	return "j-" + hex.EncodeToString(b[:])
+}
+
+// Submit enqueues fn as a new job with the given deadline (capped at the
+// engine's maximum; 0 means the maximum). It never blocks: a full queue
+// returns ErrQueueFull immediately.
+func (e *jobEngine) Submit(timeout time.Duration, fn func(context.Context) ([]byte, error)) (*job, error) {
+	if timeout <= 0 || timeout > e.maxTimeout {
+		timeout = e.maxTimeout
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.draining {
+		return nil, ErrDraining
+	}
+	ctx, cancel := context.WithTimeout(e.baseCtx, timeout)
+	j := &job{
+		id:      newJobID(),
+		created: time.Now(),
+		fn:      fn,
+		ctx:     ctx,
+		cancel:  cancel,
+		status:  JobQueued,
+		done:    make(chan struct{}),
+	}
+	// The enqueue happens under the engine lock so it cannot race a
+	// Shutdown closing the queue; the channel is buffered, so the send
+	// either succeeds immediately or the queue is full.
+	select {
+	case e.queue <- j:
+		e.jobs[j.id] = j
+		e.order = append(e.order, j.id)
+		e.evictLocked()
+		return j, nil
+	default:
+		cancel()
+		return nil, ErrQueueFull
+	}
+}
+
+// evictLocked drops the oldest terminal jobs beyond the retention bound.
+// Requires e.mu held.
+func (e *jobEngine) evictLocked() {
+	if e.retain <= 0 || len(e.jobs) <= e.retain {
+		return
+	}
+	kept := e.order[:0]
+	for _, id := range e.order {
+		j := e.jobs[id]
+		if len(e.jobs) > e.retain && j != nil && func() bool {
+			j.mu.Lock()
+			defer j.mu.Unlock()
+			return j.status.Terminal()
+		}() {
+			delete(e.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	e.order = kept
+}
+
+// Get returns the job by id.
+func (e *jobEngine) Get(id string) (*job, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	return j, ok
+}
+
+// Cancel cancels a job: a queued job terminates immediately, a running one
+// as soon as its work observes the canceled context. Canceling a terminal
+// job is a no-op. The second return reports whether the id was known.
+func (e *jobEngine) Cancel(id string) (*job, bool) {
+	j, ok := e.Get(id)
+	if !ok {
+		return nil, false
+	}
+	j.mu.Lock()
+	queued := j.status == JobQueued
+	j.mu.Unlock()
+	if queued {
+		j.finalize(JobCanceled, nil, context.Canceled)
+		if e.onTerminal != nil {
+			e.onTerminal(j)
+		}
+	}
+	j.cancel()
+	return j, true
+}
+
+// Depth returns the number of queued (not yet running) jobs.
+func (e *jobEngine) Depth() int { return len(e.queue) }
+
+// Shutdown stops accepting work and drains: queued and running jobs are
+// allowed to finish until ctx expires, after which every remaining job's
+// context is canceled and the workers are awaited. It returns nil when all
+// jobs completed within the drain window.
+func (e *jobEngine) Shutdown(ctx context.Context) error {
+	e.mu.Lock()
+	if e.draining {
+		e.mu.Unlock()
+		return ErrDraining
+	}
+	e.draining = true
+	close(e.queue) // under the lock: Submit's enqueue holds it too
+	e.mu.Unlock()
+
+	finished := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+		// Drain window expired: cancel everything still in flight, then wait
+		// for the workers to observe it.
+		e.baseCancel()
+		<-finished
+		return fmt.Errorf("service: drain window expired; in-flight jobs canceled: %w", ctx.Err())
+	}
+}

@@ -1,0 +1,204 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func waitTerminal(t *testing.T, j *job) Job {
+	t.Helper()
+	select {
+	case <-j.done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("job %s did not reach a terminal state", j.id)
+	}
+	return j.snapshot(true)
+}
+
+func TestJobEngineRunsSubmittedWork(t *testing.T) {
+	e := newJobEngine(2, 8, time.Minute, 16)
+	defer e.Shutdown(context.Background())
+
+	j, err := e.Submit(0, func(ctx context.Context) ([]byte, error) {
+		return []byte(`{"ok":true}`), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := waitTerminal(t, j)
+	if snap.Status != JobDone || string(snap.Result) != `{"ok":true}` {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap.Started.IsZero() || snap.Finished.IsZero() {
+		t.Fatalf("timestamps missing: %+v", snap)
+	}
+}
+
+func TestJobEngineQueueFull(t *testing.T) {
+	e := newJobEngine(1, 1, time.Minute, 16)
+	release := make(chan struct{})
+	blocker := func(ctx context.Context) ([]byte, error) {
+		<-release
+		return nil, nil
+	}
+	j1, err := e.Submit(0, blocker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Give the worker a moment to pick j1 up, freeing the queue slot for j2.
+	deadline := time.Now().Add(5 * time.Second)
+	for e.Depth() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	j2, err := e.Submit(0, blocker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Submit(0, blocker); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third submit: err = %v, want ErrQueueFull", err)
+	}
+	close(release)
+	waitTerminal(t, j1)
+	waitTerminal(t, j2)
+	e.Shutdown(context.Background())
+}
+
+func TestJobEngineCancelQueued(t *testing.T) {
+	e := newJobEngine(1, 4, time.Minute, 16)
+	release := make(chan struct{})
+	j1, err := e.Submit(0, func(ctx context.Context) ([]byte, error) {
+		<-release
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	j2, err := e.Submit(0, func(ctx context.Context) ([]byte, error) {
+		ran = true
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := e.Cancel(j2.id); !ok || got.snapshot(false).Status != JobCanceled {
+		t.Fatalf("cancel queued: %+v, %v", got.snapshot(false), ok)
+	}
+	close(release)
+	waitTerminal(t, j1)
+	e.Shutdown(context.Background())
+	if ran {
+		t.Fatal("canceled queued job still ran")
+	}
+}
+
+func TestJobEngineCancelRunning(t *testing.T) {
+	e := newJobEngine(1, 4, time.Minute, 16)
+	defer e.Shutdown(context.Background())
+	started := make(chan struct{})
+	j, err := e.Submit(0, func(ctx context.Context) ([]byte, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, ok := e.Cancel(j.id); !ok {
+		t.Fatal("cancel: unknown job")
+	}
+	snap := waitTerminal(t, j)
+	if snap.Status != JobCanceled {
+		t.Fatalf("status = %s, want canceled", snap.Status)
+	}
+}
+
+func TestJobEngineDeadline(t *testing.T) {
+	e := newJobEngine(1, 4, 20*time.Millisecond, 16)
+	defer e.Shutdown(context.Background())
+	j, err := e.Submit(time.Hour /* capped to the engine max */, func(ctx context.Context) ([]byte, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := waitTerminal(t, j)
+	if snap.Status != JobFailed || !strings.Contains(snap.Error, "deadline") {
+		t.Fatalf("snapshot = %+v, want failed with deadline error", snap)
+	}
+}
+
+func TestJobEngineShutdownDrains(t *testing.T) {
+	e := newJobEngine(2, 16, time.Minute, 32)
+	var jobs []*job
+	for i := 0; i < 8; i++ {
+		j, err := e.Submit(0, func(ctx context.Context) ([]byte, error) {
+			time.Sleep(5 * time.Millisecond)
+			return []byte("x"), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	if err := e.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	for _, j := range jobs {
+		if s := j.snapshot(false); s.Status != JobDone {
+			t.Fatalf("job %s = %s after drain, want done", s.ID, s.Status)
+		}
+	}
+	if _, err := e.Submit(0, nil); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit after shutdown: %v, want ErrDraining", err)
+	}
+}
+
+func TestJobEngineShutdownExpiryCancelsStragglers(t *testing.T) {
+	e := newJobEngine(1, 4, time.Minute, 16)
+	started := make(chan struct{})
+	j, err := e.Submit(0, func(ctx context.Context) ([]byte, error) {
+		close(started)
+		<-ctx.Done() // only a canceled context lets this job end
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := e.Shutdown(expired); err == nil {
+		t.Fatal("shutdown reported clean drain despite straggler")
+	}
+	snap := waitTerminal(t, j)
+	if snap.Status != JobCanceled {
+		t.Fatalf("straggler status = %s, want canceled", snap.Status)
+	}
+}
+
+func TestJobEngineRetention(t *testing.T) {
+	e := newJobEngine(1, 16, time.Minute, 3)
+	var ids []string
+	for i := 0; i < 6; i++ {
+		j, err := e.Submit(0, func(ctx context.Context) ([]byte, error) { return nil, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitTerminal(t, j)
+		ids = append(ids, j.id)
+	}
+	e.Shutdown(context.Background())
+	// The oldest finished jobs are evicted once more than `retain` exist.
+	if _, ok := e.Get(ids[0]); ok {
+		t.Fatal("oldest job survived retention eviction")
+	}
+	if _, ok := e.Get(ids[len(ids)-1]); !ok {
+		t.Fatal("newest job evicted")
+	}
+}

@@ -1,0 +1,148 @@
+package service
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the generation-latency
+// histogram. The spread covers the observed range: list2 generates in well
+// under a millisecond, list1 in about a second, pathological option sets in
+// tens of seconds.
+var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 10, 60}
+
+// metrics is the service's expvar-style instrumentation: monotonic counters
+// plus one latency histogram, all behind a single mutex (the handlers touch
+// it a handful of times per request; contention is negligible next to a
+// simulation). Snapshot renders the whole registry for /metrics.
+type metrics struct {
+	mu sync.Mutex
+
+	requests map[string]int64 // per route, e.g. "POST /v1/generate"
+	statuses map[int]int64    // per response status code
+
+	cacheHits   int64
+	cacheMisses int64
+
+	jobsSubmitted int64
+	jobsDone      int64
+	jobsFailed    int64
+	jobsCanceled  int64
+
+	genCount   int64
+	genSum     float64 // seconds
+	genBuckets []int64 // cumulative-style counts per latencyBuckets entry, +Inf last
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests:   make(map[string]int64),
+		statuses:   make(map[int]int64),
+		genBuckets: make([]int64, len(latencyBuckets)+1),
+	}
+}
+
+func (m *metrics) request(route string, status int) {
+	m.mu.Lock()
+	m.requests[route]++
+	m.statuses[status]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) cache(hit bool) {
+	m.mu.Lock()
+	if hit {
+		m.cacheHits++
+	} else {
+		m.cacheMisses++
+	}
+	m.mu.Unlock()
+}
+
+func (m *metrics) jobSubmitted() {
+	m.mu.Lock()
+	m.jobsSubmitted++
+	m.mu.Unlock()
+}
+
+func (m *metrics) jobTerminal(status JobStatus) {
+	m.mu.Lock()
+	switch status {
+	case JobDone:
+		m.jobsDone++
+	case JobFailed:
+		m.jobsFailed++
+	case JobCanceled:
+		m.jobsCanceled++
+	}
+	m.mu.Unlock()
+}
+
+// observeGenerate records one completed generation's wall-clock latency.
+func (m *metrics) observeGenerate(d time.Duration) {
+	s := d.Seconds()
+	m.mu.Lock()
+	m.genCount++
+	m.genSum += s
+	i := sort.SearchFloat64s(latencyBuckets, s)
+	m.genBuckets[i]++
+	m.mu.Unlock()
+}
+
+// HistogramSnapshot is the wire form of the latency histogram: per-bucket
+// counts with their upper bounds in seconds (the last bucket is unbounded).
+type HistogramSnapshot struct {
+	Count   int64     `json:"count"`
+	SumSecs float64   `json:"sum_seconds"`
+	Bounds  []float64 `json:"bucket_upper_bounds_seconds"`
+	Counts  []int64   `json:"bucket_counts"`
+}
+
+// MetricsSnapshot is the /metrics document.
+type MetricsSnapshot struct {
+	Requests      map[string]int64  `json:"requests"`
+	Statuses      map[string]int64  `json:"responses_by_status"`
+	CacheHits     int64             `json:"cache_hits"`
+	CacheMisses   int64             `json:"cache_misses"`
+	CacheEntries  int               `json:"cache_entries"`
+	JobsSubmitted int64             `json:"jobs_submitted"`
+	JobsDone      int64             `json:"jobs_done"`
+	JobsFailed    int64             `json:"jobs_failed"`
+	JobsCanceled  int64             `json:"jobs_canceled"`
+	QueueDepth    int               `json:"job_queue_depth"`
+	Generate      HistogramSnapshot `json:"generate_latency"`
+}
+
+// snapshot copies the registry; queueDepth and cacheEntries are sampled by
+// the caller (they are gauges owned by other components).
+func (m *metrics) snapshot(queueDepth, cacheEntries int) MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := MetricsSnapshot{
+		Requests:      make(map[string]int64, len(m.requests)),
+		Statuses:      make(map[string]int64, len(m.statuses)),
+		CacheHits:     m.cacheHits,
+		CacheMisses:   m.cacheMisses,
+		CacheEntries:  cacheEntries,
+		JobsSubmitted: m.jobsSubmitted,
+		JobsDone:      m.jobsDone,
+		JobsFailed:    m.jobsFailed,
+		JobsCanceled:  m.jobsCanceled,
+		QueueDepth:    queueDepth,
+		Generate: HistogramSnapshot{
+			Count:   m.genCount,
+			SumSecs: m.genSum,
+			Bounds:  latencyBuckets,
+			Counts:  append([]int64(nil), m.genBuckets...),
+		},
+	}
+	for k, v := range m.requests {
+		s.Requests[k] = v
+	}
+	for k, v := range m.statuses {
+		s.Statuses[strconv.Itoa(k)] = v
+	}
+	return s
+}

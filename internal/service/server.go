@@ -1,0 +1,230 @@
+// Package service implements marchd: a long-lived HTTP JSON service that
+// exposes the march generator and fault simulator as a shared workload.
+//
+// Architecture (DESIGN.md §8):
+//
+//   - Generation requests are asynchronous: POST /v1/generate enqueues a
+//     job on a bounded worker pool and returns a job id; GET /v1/jobs/{id}
+//     polls status and result, DELETE cancels. Every job carries a
+//     per-job deadline via context (GenerateContext), so stuck work cannot
+//     pin a worker forever.
+//   - Results are content-addressed: an LRU cache keyed on the SHA-256 of
+//     the canonical fault list + Options encoding serves repeated requests
+//     in O(1) with byte-identical responses, and identical in-flight
+//     requests are deduplicated onto one job.
+//   - Simulation and detection are synchronous (they are orders of
+//     magnitude cheaper than generation thanks to the compiled schedules of
+//     internal/sim) with a request-scoped timeout.
+//   - Observability: structured request logging, /healthz, and /metrics
+//     (request/cache/job counters plus a generation latency histogram).
+//
+// Shutdown is graceful: Server.Shutdown stops accepting jobs, drains the
+// queue and the in-flight work, and only cancels what remains once the
+// drain window expires.
+package service
+
+import (
+	"context"
+	"log"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the generation worker pool size; 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the number of queued (not yet running) jobs; a full
+	// queue fails fast with HTTP 503. 0 means 64.
+	QueueDepth int
+	// CacheSize bounds the result cache entries; 0 means 128.
+	CacheSize int
+	// RetainJobs bounds how many terminal jobs stay pollable; 0 means 512.
+	RetainJobs int
+	// JobTimeout caps every generation job's deadline; 0 means 5 minutes.
+	JobTimeout time.Duration
+	// SyncTimeout is the request-scoped timeout of the synchronous
+	// endpoints (simulate, detects); 0 means 60 seconds.
+	SyncTimeout time.Duration
+	// Logger receives the structured request log; nil disables logging.
+	Logger *log.Logger
+}
+
+func (c Config) workers() int {
+	if c.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
+}
+
+func (c Config) queueDepth() int {
+	if c.QueueDepth <= 0 {
+		return 64
+	}
+	return c.QueueDepth
+}
+
+func (c Config) retainJobs() int {
+	if c.RetainJobs <= 0 {
+		return 512
+	}
+	return c.RetainJobs
+}
+
+func (c Config) jobTimeout() time.Duration {
+	if c.JobTimeout <= 0 {
+		return 5 * time.Minute
+	}
+	return c.JobTimeout
+}
+
+func (c Config) syncTimeout() time.Duration {
+	if c.SyncTimeout <= 0 {
+		return 60 * time.Second
+	}
+	return c.SyncTimeout
+}
+
+// Server is the marchd HTTP service: job engine + result cache + metrics
+// behind a request-logging handler.
+type Server struct {
+	cfg     Config
+	jobs    *jobEngine
+	cache   *resultCache
+	metrics *metrics
+	logger  *log.Logger
+	handler http.Handler
+
+	// inflight deduplicates concurrent generation requests: cache key →
+	// job id of the queued/running job computing that key.
+	mu       sync.Mutex
+	inflight map[string]string
+}
+
+// New builds a ready-to-serve marchd instance.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:      cfg,
+		cache:    newResultCache(cfg.CacheSize),
+		metrics:  newMetrics(),
+		logger:   cfg.Logger,
+		inflight: make(map[string]string),
+	}
+	s.jobs = newJobEngine(cfg.workers(), cfg.queueDepth(), cfg.jobTimeout(), cfg.retainJobs())
+	s.jobs.onTerminal = func(j *job) {
+		s.metrics.jobTerminal(j.snapshot(false).Status)
+		s.clearInflight(j.id)
+	}
+
+	mux := http.NewServeMux()
+	s.route(mux, "POST /v1/generate", s.handleGenerate)
+	s.route(mux, "POST /v1/simulate", s.timeout(s.handleSimulate))
+	s.route(mux, "POST /v1/detects", s.timeout(s.handleDetects))
+	s.route(mux, "GET /v1/library", s.handleLibrary)
+	s.route(mux, "GET /v1/faultlists", s.handleFaultLists)
+	s.route(mux, "GET /v1/jobs/{id}", s.handleJobGet)
+	s.route(mux, "GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.route(mux, "DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.route(mux, "GET /healthz", s.handleHealthz)
+	s.route(mux, "GET /metrics", s.handleMetrics)
+	s.handler = s.logging(mux)
+	return s
+}
+
+// Handler returns the service's root handler.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Shutdown drains the job engine: no new jobs are accepted, queued and
+// running jobs finish until ctx expires, then the stragglers are canceled.
+// The HTTP listener itself is the caller's to close (net/http.Server owns
+// connection draining; this owns job draining).
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.jobs.Shutdown(ctx)
+}
+
+// route registers a handler and counts its requests under the route's
+// pattern (stable, bounded-cardinality metric keys — never raw paths).
+func (s *Server) route(mux *http.ServeMux, pattern string, h http.HandlerFunc) {
+	mux.Handle(pattern, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		s.metrics.request(pattern, sw.status)
+	}))
+}
+
+// timeout wraps a synchronous handler with the request-scoped timeout.
+func (s *Server) timeout(h http.HandlerFunc) http.HandlerFunc {
+	th := http.TimeoutHandler(h, s.cfg.syncTimeout(), `{"error":"request timed out"}`)
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		th.ServeHTTP(w, r)
+	}
+}
+
+// logging emits one structured line per request.
+func (s *Server) logging(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.logger == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		s.logger.Printf("method=%s path=%s status=%d bytes=%d dur=%s remote=%s",
+			r.Method, r.URL.Path, sw.status, sw.bytes, time.Since(start).Round(time.Microsecond), r.RemoteAddr)
+	})
+}
+
+// statusWriter captures the response status and size for logs and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+// lookupOrSubmit deduplicates concurrent generation requests on their
+// cache key: if a live job is already computing the key it is returned
+// (created=false); otherwise fn is submitted as a new job. The server lock
+// is held across the submit so two concurrent misses cannot both spawn
+// work for one key.
+func (s *Server) lookupOrSubmit(key string, timeout time.Duration, fn func(context.Context) ([]byte, error)) (*job, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id, ok := s.inflight[key]; ok {
+		if j, live := s.jobs.Get(id); live && !j.snapshot(false).Status.Terminal() {
+			return j, false, nil
+		}
+		delete(s.inflight, key)
+	}
+	j, err := s.jobs.Submit(timeout, fn)
+	if err != nil {
+		return nil, false, err
+	}
+	s.inflight[key] = j.id
+	return j, true, nil
+}
+
+// clearInflight drops the dedup entry owned by the given job id.
+func (s *Server) clearInflight(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, v := range s.inflight {
+		if v == id {
+			delete(s.inflight, k)
+		}
+	}
+}

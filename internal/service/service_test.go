@@ -1,0 +1,513 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s := New(cfg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s
+}
+
+// do runs one request through the full handler stack.
+func do(t *testing.T, s *Server, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var r *http.Request
+	if body == "" {
+		r = httptest.NewRequest(method, path, nil)
+	} else {
+		r = httptest.NewRequest(method, path, strings.NewReader(body))
+	}
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, r)
+	return w
+}
+
+func decode[T any](t *testing.T, w *httptest.ResponseRecorder) T {
+	t.Helper()
+	var v T
+	if err := json.Unmarshal(w.Body.Bytes(), &v); err != nil {
+		t.Fatalf("decode %q: %v", w.Body.String(), err)
+	}
+	return v
+}
+
+type jobEnvelope struct {
+	Job  Job    `json:"job"`
+	Poll string `json:"poll"`
+}
+
+// pollJob polls until the job is terminal and returns its snapshot.
+func pollJob(t *testing.T, s *Server, id string) Job {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		w := do(t, s, "GET", "/v1/jobs/"+id, "")
+		if w.Code != http.StatusOK {
+			t.Fatalf("poll %s: status %d: %s", id, w.Code, w.Body.String())
+		}
+		j := decode[Job](t, w)
+		if j.Status.Terminal() {
+			return j
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return Job{}
+}
+
+func TestGenerateCacheRoundTrip(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2})
+
+	// First request: a miss that enqueues a job.
+	w := do(t, s, "POST", "/v1/generate", `{"list":"list2"}`)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("first POST: status %d: %s", w.Code, w.Body.String())
+	}
+	if got := w.Header().Get("X-Cache"); got != "miss" {
+		t.Fatalf("first POST: X-Cache = %q, want miss", got)
+	}
+	env := decode[jobEnvelope](t, w)
+	if env.Job.ID == "" || env.Poll != "/v1/jobs/"+env.Job.ID {
+		t.Fatalf("job envelope = %+v", env)
+	}
+	if loc := w.Header().Get("Location"); loc != env.Poll {
+		t.Fatalf("Location = %q, want %q", loc, env.Poll)
+	}
+
+	j := pollJob(t, s, env.Job.ID)
+	if j.Status != JobDone {
+		t.Fatalf("job = %+v, want done", j)
+	}
+
+	// The raw result document.
+	res := do(t, s, "GET", "/v1/jobs/"+env.Job.ID+"/result", "")
+	if res.Code != http.StatusOK {
+		t.Fatalf("result: status %d: %s", res.Code, res.Body.String())
+	}
+	var doc struct {
+		Test struct {
+			Spec   string `json:"spec"`
+			Length int    `json:"length"`
+		} `json:"test"`
+		Report struct {
+			Coverage float64 `json:"coverage_percent"`
+			Total    int     `json:"total"`
+		} `json:"report"`
+		Key string `json:"cache_key"`
+	}
+	if err := json.Unmarshal(res.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Report.Coverage != 100 || doc.Report.Total != 18 || doc.Test.Length == 0 || doc.Key == "" {
+		t.Fatalf("result document = %+v", doc)
+	}
+
+	// Second request: a cache hit with byte-identical output.
+	w2 := do(t, s, "POST", "/v1/generate", `{"list":"list2"}`)
+	if w2.Code != http.StatusOK {
+		t.Fatalf("second POST: status %d: %s", w2.Code, w2.Body.String())
+	}
+	if got := w2.Header().Get("X-Cache"); got != "hit" {
+		t.Fatalf("second POST: X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(w2.Body.Bytes(), res.Body.Bytes()) {
+		t.Fatalf("cache hit bytes differ from the job's result document")
+	}
+
+	// A canonically equivalent request (defaults spelled out) also hits.
+	w3 := do(t, s, "POST", "/v1/generate", `{"list":"list2","options":{"name":"March GEN","max_so_len":11}}`)
+	if w3.Code != http.StatusOK || w3.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("canonical twin: status %d X-Cache %q", w3.Code, w3.Header().Get("X-Cache"))
+	}
+
+	// The metrics counters saw exactly one miss and two hits.
+	m := decode[MetricsSnapshot](t, do(t, s, "GET", "/metrics", ""))
+	if m.CacheMisses != 1 || m.CacheHits != 2 {
+		t.Fatalf("cache counters = %d hits / %d misses, want 2/1", m.CacheHits, m.CacheMisses)
+	}
+	if m.JobsSubmitted != 1 || m.JobsDone != 1 {
+		t.Fatalf("job counters = %+v", m)
+	}
+	if m.Generate.Count != 1 || m.Generate.SumSecs <= 0 {
+		t.Fatalf("latency histogram = %+v", m.Generate)
+	}
+	if m.Requests["POST /v1/generate"] != 3 {
+		t.Fatalf("request counter = %+v", m.Requests)
+	}
+}
+
+func TestGenerateInlineFaultsShareCacheEntry(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2})
+
+	// An LF1 from list2, spelled inline.
+	inline := `{"faults":[{"kind":"LF1","fps":["<0w1/0/->","<0w0/1/->"]}]}`
+	w := do(t, s, "POST", "/v1/generate", inline)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("inline POST: %d: %s", w.Code, w.Body.String())
+	}
+	env := decode[jobEnvelope](t, w)
+	if j := pollJob(t, s, env.Job.ID); j.Status != JobDone {
+		t.Fatalf("job = %+v", j)
+	}
+	// The same faults inline again: hit, no second job.
+	w2 := do(t, s, "POST", "/v1/generate", inline)
+	if w2.Code != http.StatusOK || w2.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("repeat: %d %q", w2.Code, w2.Header().Get("X-Cache"))
+	}
+	m := decode[MetricsSnapshot](t, do(t, s, "GET", "/metrics", ""))
+	if m.JobsSubmitted != 1 {
+		t.Fatalf("jobs submitted = %d, want 1", m.JobsSubmitted)
+	}
+}
+
+func TestGenerateDeduplicatesInflight(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+
+	// Two concurrent identical misses must share one job.
+	w1 := do(t, s, "POST", "/v1/generate", `{"list":"list1"}`)
+	w2 := do(t, s, "POST", "/v1/generate", `{"list":"list1"}`)
+	if w1.Code != http.StatusAccepted || w2.Code != http.StatusAccepted {
+		t.Fatalf("status %d / %d", w1.Code, w2.Code)
+	}
+	id1 := decode[jobEnvelope](t, w1).Job.ID
+	id2 := decode[jobEnvelope](t, w2).Job.ID
+	if id1 != id2 {
+		t.Fatalf("identical in-flight requests got distinct jobs %s / %s", id1, id2)
+	}
+	if j := pollJob(t, s, id1); j.Status != JobDone {
+		t.Fatalf("job = %+v", j)
+	}
+}
+
+func TestGenerateBadRequests(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	cases := []struct {
+		name, body string
+	}{
+		{"empty spec", `{}`},
+		{"unknown list", `{"list":"list99"}`},
+		{"both list and faults", `{"list":"list2","faults":[{"kind":"Simple","fps":["<0w1/0/->"]}]}`},
+		{"bad fault kind", `{"faults":[{"kind":"LF9","fps":["<0w1/0/->","<1w0/1/->"]}]}`},
+		{"invalid linking", `{"faults":[{"kind":"LF1","fps":["<0w1/0/->","<0w1/0/->"]}]}`},
+		{"bad fp notation", `{"faults":[{"kind":"Simple","fps":["garbage"]}]}`},
+		{"bad orders", `{"list":"list2","options":{"orders":"sideways"}}`},
+		{"unknown field", `{"list":"list2","bogus":1}`},
+		{"not json", `{"list":`},
+	}
+	for _, tc := range cases {
+		if w := do(t, s, "POST", "/v1/generate", tc.body); w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", tc.name, w.Code, w.Body.String())
+		}
+	}
+}
+
+func TestUnknownJob(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	for _, req := range [][2]string{
+		{"GET", "/v1/jobs/j-nope"},
+		{"GET", "/v1/jobs/j-nope/result"},
+		{"DELETE", "/v1/jobs/j-nope"},
+	} {
+		if w := do(t, s, req[0], req[1], ""); w.Code != http.StatusNotFound {
+			t.Errorf("%s %s: status %d, want 404", req[0], req[1], w.Code)
+		}
+	}
+}
+
+func TestJobCancellation(t *testing.T) {
+	// One worker: the list1 job occupies it, the next job stays queued.
+	s := newTestServer(t, Config{Workers: 1})
+
+	running := do(t, s, "POST", "/v1/generate", `{"list":"list1"}`)
+	queued := do(t, s, "POST", "/v1/generate", `{"list":"list1","options":{"name":"queued-twin"}}`)
+	if running.Code != http.StatusAccepted || queued.Code != http.StatusAccepted {
+		t.Fatalf("status %d / %d", running.Code, queued.Code)
+	}
+	runID := decode[jobEnvelope](t, running).Job.ID
+	queueID := decode[jobEnvelope](t, queued).Job.ID
+
+	// Canceling the queued job terminates it without it ever running.
+	w := do(t, s, "DELETE", "/v1/jobs/"+queueID, "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("cancel queued: %d: %s", w.Code, w.Body.String())
+	}
+	if j := pollJob(t, s, queueID); j.Status != JobCanceled {
+		t.Fatalf("queued job = %+v, want canceled", j)
+	}
+
+	// Canceling the running job aborts the generation via its context.
+	if w := do(t, s, "DELETE", "/v1/jobs/"+runID, ""); w.Code != http.StatusOK {
+		t.Fatalf("cancel running: %d", w.Code)
+	}
+	j := pollJob(t, s, runID)
+	if j.Status != JobCanceled && j.Status != JobDone {
+		// Done is possible if generation beat the cancel; canceled is the
+		// expected outcome.
+		t.Fatalf("running job = %+v", j)
+	}
+
+	// A canceled job's result endpoint reports the loss.
+	if j.Status == JobCanceled {
+		if w := do(t, s, "GET", "/v1/jobs/"+runID+"/result", ""); w.Code != http.StatusGone {
+			t.Fatalf("canceled result: status %d, want 410", w.Code)
+		}
+	}
+}
+
+func TestJobDeadline(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	w := do(t, s, "POST", "/v1/generate", `{"list":"list1","timeout_ms":1}`)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("POST: %d", w.Code)
+	}
+	j := pollJob(t, s, decode[jobEnvelope](t, w).Job.ID)
+	if j.Status != JobFailed || !strings.Contains(j.Error, "deadline") {
+		t.Fatalf("job = %+v, want failed with deadline error", j)
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+
+	// Occupy the lone worker, then wait until it has dequeued the job so
+	// the single queue slot is observably free.
+	wA := do(t, s, "POST", "/v1/generate", `{"list":"list1","options":{"name":"fill-0"}}`)
+	if wA.Code != http.StatusAccepted {
+		t.Fatalf("first POST: status %d: %s", wA.Code, wA.Body.String())
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for s.jobs.Depth() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Fill the queue slot; the next distinct request must get backpressure.
+	wB := do(t, s, "POST", "/v1/generate", `{"list":"list1","options":{"name":"fill-1"}}`)
+	if wB.Code != http.StatusAccepted {
+		t.Fatalf("second POST: status %d: %s", wB.Code, wB.Body.String())
+	}
+	wC := do(t, s, "POST", "/v1/generate", `{"list":"list1","options":{"name":"fill-2"}}`)
+	if wC.Code != http.StatusServiceUnavailable {
+		t.Fatalf("third POST: status %d, want 503", wC.Code)
+	}
+	if wC.Header().Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+
+	// Cancel both jobs so the deferred Shutdown drains quickly.
+	for _, w := range []*httptest.ResponseRecorder{wA, wB} {
+		do(t, s, "DELETE", "/v1/jobs/"+decode[jobEnvelope](t, w).Job.ID, "")
+	}
+}
+
+func TestSimulateEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+
+	// March SL covers every static linked fault of list 1.
+	w := do(t, s, "POST", "/v1/simulate", `{"march":{"name":"March SL"},"list":"list2"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("simulate: %d: %s", w.Code, w.Body.String())
+	}
+	out := decode[struct {
+		Report struct {
+			Coverage float64 `json:"coverage_percent"`
+		} `json:"report"`
+		Summary string `json:"summary"`
+	}](t, w)
+	if out.Report.Coverage != 100 || !strings.Contains(out.Summary, "100.0%") {
+		t.Fatalf("simulate out = %+v", out)
+	}
+
+	// MATS+ misses linked faults — the motivating claim of the paper.
+	w = do(t, s, "POST", "/v1/simulate", `{"march":{"name":"MATS+"},"list":"list2"}`)
+	out2 := decode[struct {
+		Report struct {
+			Coverage float64 `json:"coverage_percent"`
+			Missed   []any   `json:"missed"`
+		} `json:"report"`
+	}](t, w)
+	if out2.Report.Coverage >= 100 || len(out2.Report.Missed) == 0 {
+		t.Fatalf("MATS+ coverage = %+v, want misses", out2)
+	}
+
+	// Inline spec.
+	w = do(t, s, "POST", "/v1/simulate", `{"march":{"spec":"c(w0) ^(r0,w1) v(r1,w0)"},"list":"simple1"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("inline spec: %d: %s", w.Code, w.Body.String())
+	}
+
+	// Bad specs are client errors.
+	for _, body := range []string{
+		`{"march":{"name":"March NOPE"},"list":"list2"}`,
+		`{"march":{"spec":"^(r0,w1"},"list":"list2"}`,
+		`{"march":{"spec":"^(r0,w1)"},"list":"list2"}`, // inconsistent: read 0 never established
+		`{"list":"list2"}`, // no march at all
+	} {
+		if w := do(t, s, "POST", "/v1/simulate", body); w.Code != http.StatusBadRequest {
+			t.Errorf("body %s: status %d, want 400", body, w.Code)
+		}
+	}
+}
+
+func TestDetectsEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+
+	// March SL detects the canonical LF1; MATS+ does not and must name a
+	// witness scenario.
+	const fault = `{"kind":"LF1","fps":["<0w1/0/->","<0r0/1/0>"]}`
+	w := do(t, s, "POST", "/v1/detects", `{"march":{"name":"March SL"},"fault":`+fault+`}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("detects: %d: %s", w.Code, w.Body.String())
+	}
+	out := decode[struct {
+		Detected bool   `json:"detected"`
+		Witness  string `json:"witness"`
+	}](t, w)
+	if !out.Detected || out.Witness != "" {
+		t.Fatalf("March SL: %+v", out)
+	}
+
+	w = do(t, s, "POST", "/v1/detects", `{"march":{"name":"MATS+"},"fault":`+fault+`}`)
+	out = decode[struct {
+		Detected bool   `json:"detected"`
+		Witness  string `json:"witness"`
+	}](t, w)
+	if out.Detected || out.Witness == "" {
+		t.Fatalf("MATS+: %+v", out)
+	}
+
+	if w := do(t, s, "POST", "/v1/detects", `{"march":{"name":"MATS+"}}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("missing fault: %d, want 400", w.Code)
+	}
+}
+
+func TestLibraryAndFaultLists(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+
+	lib := decode[struct {
+		Tests []struct {
+			Name string `json:"name"`
+			Spec string `json:"spec"`
+		} `json:"tests"`
+	}](t, do(t, s, "GET", "/v1/library", ""))
+	if len(lib.Tests) < 10 {
+		t.Fatalf("library has %d tests", len(lib.Tests))
+	}
+	found := false
+	for _, tt := range lib.Tests {
+		if tt.Name == "March SL" && tt.Spec != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("March SL missing from /v1/library")
+	}
+
+	fl := decode[struct {
+		Lists []struct {
+			Name  string `json:"name"`
+			Count int    `json:"count"`
+		} `json:"lists"`
+	}](t, do(t, s, "GET", "/v1/faultlists", ""))
+	byName := map[string]int{}
+	for _, l := range fl.Lists {
+		byName[l.Name] = l.Count
+	}
+	if byName["list1"] != 594 || byName["list2"] != 18 {
+		t.Fatalf("fault lists = %+v", byName)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	w := do(t, s, "GET", "/healthz", "")
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), `"ok"`) {
+		t.Fatalf("healthz: %d %s", w.Code, w.Body.String())
+	}
+}
+
+func TestShutdownDrainsInflightJobs(t *testing.T) {
+	s := New(Config{Workers: 1})
+	w := do(t, s, "POST", "/v1/generate", `{"list":"list2"}`)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("POST: %d", w.Code)
+	}
+	id := decode[jobEnvelope](t, w).Job.ID
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// The in-flight job completed rather than being dropped.
+	if j := pollJob(t, s, id); j.Status != JobDone {
+		t.Fatalf("job after drain = %+v, want done", j)
+	}
+	// New work is refused while/after draining.
+	if w := do(t, s, "POST", "/v1/generate", `{"list":"list1"}`); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("post-shutdown POST: %d, want 503", w.Code)
+	}
+}
+
+// TestConcurrentClients hammers the service from several goroutines; run
+// under -race (scripts/race.sh includes this package) it doubles as the
+// data-race gate for the handler/job/cache/metrics paths.
+func TestConcurrentClients(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 4, QueueDepth: 256})
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 256)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				w := do(t, s, "POST", "/v1/generate", `{"list":"list2"}`)
+				switch w.Code {
+				case http.StatusOK, http.StatusAccepted:
+				case http.StatusServiceUnavailable: // backpressure is a valid answer
+				default:
+					errs <- fmt.Sprintf("generate: %d %s", w.Code, w.Body.String())
+				}
+				if w.Code == http.StatusAccepted {
+					pollJob(t, s, decode[jobEnvelope](t, w).Job.ID)
+				}
+				if w := do(t, s, "POST", "/v1/simulate", `{"march":{"name":"MATS+"},"list":"simple1"}`); w.Code != http.StatusOK {
+					errs <- fmt.Sprintf("simulate: %d", w.Code)
+				}
+				if w := do(t, s, "GET", "/metrics", ""); w.Code != http.StatusOK {
+					errs <- fmt.Sprintf("metrics: %d", w.Code)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+
+	// Exactly one client can have missed per unique key; everyone else hit.
+	m := decode[MetricsSnapshot](t, do(t, s, "GET", "/metrics", ""))
+	if m.CacheHits == 0 || m.CacheMisses == 0 {
+		t.Fatalf("cache counters = %+v", m)
+	}
+	if m.CacheMisses > m.JobsSubmitted+1 {
+		t.Fatalf("misses %d exceed submitted jobs %d", m.CacheMisses, m.JobsSubmitted)
+	}
+}

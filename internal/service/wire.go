@@ -1,0 +1,135 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"marchgen"
+)
+
+// faultSpec is the part of a request that names the target faults: either a
+// named shipped list ("list1", "list2", "simple", ...) or an inline list of
+// fault documents in the linked-fault wire form
+// ({"kind":"LF1","fps":["<...>","<...>"]}). Exactly one must be present.
+type faultSpec struct {
+	List   string           `json:"list,omitempty"`
+	Faults []marchgen.Fault `json:"faults,omitempty"`
+}
+
+// resolve returns the concrete fault list the spec names.
+func (fs faultSpec) resolve() ([]marchgen.Fault, error) {
+	switch {
+	case fs.List != "" && len(fs.Faults) > 0:
+		return nil, fmt.Errorf("request names both a fault list %q and inline faults; pick one", fs.List)
+	case fs.List != "":
+		return marchgen.FaultListByName(fs.List)
+	case len(fs.Faults) > 0:
+		return fs.Faults, nil
+	}
+	return nil, fmt.Errorf("request names no faults: set \"list\" or \"faults\"")
+}
+
+// marchSpec names a march test: a library test by name, or an inline
+// sequence in the conventional notation (with an optional name as label).
+type marchSpec struct {
+	Name string `json:"name,omitempty"`
+	Spec string `json:"spec,omitempty"`
+}
+
+// resolve returns the concrete march test the spec names, validated for
+// march consistency.
+func (ms marchSpec) resolve() (marchgen.March, error) {
+	var t marchgen.March
+	switch {
+	case ms.Spec != "":
+		name := ms.Name
+		if name == "" {
+			name = "custom"
+		}
+		parsed, err := marchgen.ParseMarch(name, ms.Spec)
+		if err != nil {
+			return t, err
+		}
+		t = parsed
+	case ms.Name != "":
+		lib, ok := marchgen.MarchByName(ms.Name)
+		if !ok {
+			return t, fmt.Errorf("unknown march test %q (GET /v1/library lists the shipped tests)", ms.Name)
+		}
+		t = lib
+	default:
+		return t, fmt.Errorf("request names no march test: set \"march.name\" or \"march.spec\"")
+	}
+	if err := t.CheckConsistency(); err != nil {
+		return t, fmt.Errorf("inconsistent march test: %v", err)
+	}
+	return t, nil
+}
+
+// generateRequest is the POST /v1/generate body.
+type generateRequest struct {
+	faultSpec
+	// Options configures the generator; omitted fields take their
+	// documented defaults (the canonical form is what the job runs and what
+	// the cache key hashes).
+	Options *marchgen.Options `json:"options,omitempty"`
+	// TimeoutMS is the per-job deadline in milliseconds; 0 (or a value
+	// beyond the server's cap) means the server's maximum job timeout.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// simulateRequest is the POST /v1/simulate body.
+type simulateRequest struct {
+	March marchSpec `json:"march"`
+	faultSpec
+	// Config selects the simulator configuration; omitted means the
+	// exhaustive default (4 cells, every placement, init and order).
+	Config *marchgen.SimConfig `json:"config,omitempty"`
+}
+
+// detectsRequest is the POST /v1/detects body.
+type detectsRequest struct {
+	March marchSpec `json:"march"`
+	// Fault is the single fault to check, in the linked-fault wire form.
+	Fault  *marchgen.Fault     `json:"fault"`
+	Config *marchgen.SimConfig `json:"config,omitempty"`
+}
+
+// statsJSON is the wire form of generation statistics.
+type statsJSON struct {
+	Faults               int     `json:"faults"`
+	WalkerElements       int     `json:"walker_elements"`
+	WalkerOps            int     `json:"walker_ops"`
+	RepairElements       int     `json:"repair_elements"`
+	LengthBeforeMinimize int     `json:"length_before_minimize"`
+	Simulations          int     `json:"simulations"`
+	Seconds              float64 `json:"generation_seconds"`
+}
+
+// marshalGenerateResult renders the cached (and returned) result document
+// of a generation job. The document is marshaled exactly once per cache
+// entry; repeat requests receive these bytes verbatim.
+func marshalGenerateResult(res marchgen.Result, opts marchgen.Options, key string) ([]byte, error) {
+	out := struct {
+		Test    marchgen.March   `json:"test"`
+		Report  marchgen.Report  `json:"report"`
+		Options marchgen.Options `json:"options"`
+		Stats   statsJSON        `json:"stats"`
+		Key     string           `json:"cache_key"`
+	}{
+		Test:    res.Test,
+		Report:  res.Report,
+		Options: opts,
+		Stats: statsJSON{
+			Faults:               res.Stats.Faults,
+			WalkerElements:       res.Stats.WalkerElements,
+			WalkerOps:            res.Stats.WalkerOps,
+			RepairElements:       res.Stats.RepairElements,
+			LengthBeforeMinimize: res.Stats.LengthBeforeMinimize,
+			Simulations:          res.Stats.Simulations,
+			Seconds:              res.Stats.Duration.Seconds(),
+		},
+		Key: key,
+	}
+	return json.Marshal(out)
+}

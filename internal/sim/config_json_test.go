@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestConfigCanonicalFillsDefaults(t *testing.T) {
+	c := Config{}.Canonical()
+	if c.Size != 4 || c.MaxAnyElements != 12 || c.Workers != 0 {
+		t.Fatalf("zero config canonicalized to %+v", c)
+	}
+	if got := c.Canonical(); got != c {
+		t.Fatalf("Canonical not idempotent: %+v vs %+v", got, c)
+	}
+}
+
+func TestConfigCanonicalDropsWorkers(t *testing.T) {
+	a := Config{Size: 4, ExhaustiveOrders: true, Workers: 1}
+	b := Config{Size: 4, ExhaustiveOrders: true, Workers: 16}
+	if a.Canonical() != b.Canonical() {
+		t.Fatalf("configs differing only in Workers canonicalize differently")
+	}
+}
+
+func TestConfigJSONStableBytes(t *testing.T) {
+	// A zero config and a spelled-out default config must encode to the
+	// exact same bytes: that is what makes the encoding usable as a cache
+	// key.
+	zero, err := json.Marshal(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := json.Marshal(Config{Size: 4, MaxAnyElements: 12, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(zero, full) {
+		t.Fatalf("canonical encodings differ:\n%s\n%s", zero, full)
+	}
+}
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	in := Config{Size: 6, ExhaustiveOrders: true, MaxAnyElements: 9, Workers: 3}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Config
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	want := in.Canonical()
+	if out != want {
+		t.Fatalf("round trip: got %+v, want %+v", out, want)
+	}
+}
+
+func TestConfigJSONOmittedFieldsDefault(t *testing.T) {
+	var c Config
+	if err := json.Unmarshal([]byte(`{"exhaustive_orders":true}`), &c); err != nil {
+		t.Fatal(err)
+	}
+	if !c.ExhaustiveOrders {
+		t.Fatalf("exhaustive_orders lost: %+v", c)
+	}
+	if got := c.Canonical(); got.Size != 4 || got.MaxAnyElements != 12 {
+		t.Fatalf("defaults not refilled after decode: %+v", got)
+	}
+}

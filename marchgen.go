@@ -1,6 +1,7 @@
 package marchgen
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -75,6 +76,20 @@ func Generate(faults []Fault, opts Options) (Result, error) {
 	return core.Generate(faults, opts)
 }
 
+// GenerateContext is Generate with cancellation and deadline support: a
+// canceled or expired context aborts the run between simulation batches and
+// returns ctx.Err(). Long-lived callers (the marchd job engine) use it to
+// enforce per-job deadlines.
+func GenerateContext(ctx context.Context, faults []Fault, opts Options) (Result, error) {
+	return core.GenerateContext(ctx, faults, opts)
+}
+
+// ParseOrderConstraint resolves the textual spelling of a generator order
+// constraint: "free" (or ""), "up", "down".
+func ParseOrderConstraint(s string) (OrderConstraint, error) {
+	return core.ParseOrderConstraint(s)
+}
+
 // Simulate runs a march test against a fault list under the default
 // exhaustive simulator configuration (4-cell memory, every placement, every
 // initial value, every concrete ⇕ order).
@@ -93,6 +108,13 @@ func SimulateWith(t March, faults []Fault, cfg SimConfig) Report {
 func Detects(t March, f Fault) (bool, error) {
 	det, _, err := sim.DetectsFault(t, f, sim.DefaultConfig())
 	return det, err
+}
+
+// DetectsWith reports whether the march test detects the fault in every
+// scenario of an explicit configuration, returning an undetected witness
+// scenario when it does not.
+func DetectsWith(t March, f Fault, cfg SimConfig) (bool, *Witness, error) {
+	return sim.DetectsFault(t, f, cfg)
 }
 
 // ParseMarch parses a march test from its conventional notation, e.g.
@@ -156,6 +178,11 @@ func FaultListByName(name string) ([]Fault, error) {
 		return nil, fmt.Errorf("marchgen: unknown fault list %q (known: %v)", name, faultlist.Names())
 	}
 	return fs, nil
+}
+
+// FaultListNames lists the fault-list names FaultListByName understands.
+func FaultListNames() []string {
+	return faultlist.Names()
 }
 
 // SimpleFault wraps a fault primitive as a standalone fault.

@@ -1,7 +1,9 @@
 #!/bin/sh
 # Race-detector gate for the packages with concurrent hot paths: the
 # simulator's worker fan-out (Schedule.Simulate, Schedule.FullCoverage,
-# sync.Pool machine reuse) and the generator loops driving them.
+# sync.Pool machine reuse), the generator loops driving them, and the
+# marchd service layer (job engine worker pool, result cache, metrics,
+# concurrent HTTP clients).
 set -eu
 cd "$(dirname "$0")/.."
-exec go test -race ./internal/sim/... ./internal/core/...
+exec go test -race ./internal/sim/... ./internal/core/... ./internal/service/...

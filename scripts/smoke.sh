@@ -1,0 +1,96 @@
+#!/bin/sh
+# End-to-end smoke test for marchd: build the binary, start it on an
+# ephemeral port, run a generate round-trip (submit, poll, fetch result,
+# repeat for a cache hit) plus the read-only endpoints through curl, then
+# SIGTERM it and require a clean drain (exit 0).
+set -eu
+cd "$(dirname "$0")/.."
+
+TMP=$(mktemp -d)
+LOG="$TMP/marchd.log"
+BIN="$TMP/marchd"
+SRV_PID=""
+
+cleanup() {
+	[ -n "$SRV_PID" ] && kill -9 "$SRV_PID" 2>/dev/null || true
+	rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() {
+	echo "smoke: FAIL: $*" >&2
+	echo "--- marchd log ---" >&2
+	cat "$LOG" >&2 || true
+	exit 1
+}
+
+go build -o "$BIN" ./cmd/marchd
+
+"$BIN" -addr 127.0.0.1:0 2>"$LOG" &
+SRV_PID=$!
+
+# Scrape the resolved port from the startup announcement.
+ADDR=""
+i=0
+while [ $i -lt 100 ]; do
+	ADDR=$(sed -n 's/.*listening on \(.*\)/\1/p' "$LOG" | head -n1)
+	[ -n "$ADDR" ] && break
+	kill -0 "$SRV_PID" 2>/dev/null || fail "marchd died during startup"
+	sleep 0.1
+	i=$((i + 1))
+done
+[ -n "$ADDR" ] || fail "no listen address announced"
+BASE="http://$ADDR"
+echo "smoke: marchd up at $BASE"
+
+curl -fsS "$BASE/healthz" | grep -q '"ok"' || fail "healthz"
+curl -fsS "$BASE/v1/library" | grep -q 'March SL' || fail "library"
+curl -fsS "$BASE/v1/faultlists" | grep -q 'list2' || fail "faultlists"
+
+# Synchronous simulation: March SL fully covers fault list 2.
+curl -fsS -X POST "$BASE/v1/simulate" \
+	-d '{"march":{"name":"March SL"},"list":"list2"}' \
+	| grep -Eq '"coverage_percent": ?100' || fail "simulate coverage"
+
+# Async generation: submit, poll to completion, fetch the result.
+JOB=$(curl -fsS -X POST "$BASE/v1/generate" -d '{"list":"list2"}' \
+	| sed -n 's/.*"id": "\([^"]*\)".*/\1/p' | head -n1)
+[ -n "$JOB" ] || fail "generate returned no job id"
+echo "smoke: generation job $JOB submitted"
+
+i=0
+STATUS=""
+while [ $i -lt 300 ]; do
+	STATUS=$(curl -fsS "$BASE/v1/jobs/$JOB" | sed -n 's/.*"status": "\([^"]*\)".*/\1/p' | head -n1)
+	case "$STATUS" in
+	done) break ;;
+	failed | canceled) fail "job ended $STATUS" ;;
+	esac
+	sleep 0.1
+	i=$((i + 1))
+done
+[ "$STATUS" = "done" ] || fail "job stuck in state '$STATUS'"
+
+curl -fsS "$BASE/v1/jobs/$JOB/result" | grep -Eq '"coverage_percent": ?100' \
+	|| fail "generated march does not reach full coverage"
+
+# The repeat request must be served from the cache.
+HIT=$(curl -fsS -D - -o /dev/null -X POST "$BASE/v1/generate" -d '{"list":"list2"}' \
+	| tr -d '\r' | sed -n 's/^X-Cache: //p')
+[ "$HIT" = "hit" ] || fail "repeat request was not a cache hit (X-Cache: $HIT)"
+
+curl -fsS "$BASE/metrics" | grep -q '"cache_hits": 1' || fail "metrics cache_hits"
+echo "smoke: generate round-trip + cache hit OK"
+
+# Graceful shutdown: SIGTERM must drain and exit 0.
+kill -TERM "$SRV_PID"
+i=0
+while kill -0 "$SRV_PID" 2>/dev/null; do
+	[ $i -lt 300 ] || fail "marchd did not exit after SIGTERM"
+	sleep 0.1
+	i=$((i + 1))
+done
+grep -q 'exit 0' "$LOG" || fail "marchd did not exit cleanly (want 'exit 0' in log)"
+SRV_PID=""
+echo "smoke: clean SIGTERM drain"
+echo "smoke: PASS"
