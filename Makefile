@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-sim serve test-service smoke check
+.PHONY: build test vet fmt-check race bench bench-sim serve test-service smoke check
 
 build:
 	$(GO) build ./...
@@ -11,8 +11,15 @@ test:
 vet:
 	$(GO) vet ./...
 
-## race: the data-race gate for the concurrent simulator paths
-## (Schedule.Simulate / Schedule.FullCoverage worker fan-out, machine pool).
+## fmt-check: fail if any tracked Go file is not gofmt-clean.
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
+	fi
+
+## race: the data-race gate for the concurrent paths (simulator fan-out,
+## service layer, campaign engine + durable store).
 race:
 	./scripts/race.sh
 
@@ -28,12 +35,14 @@ bench-sim:
 serve:
 	$(GO) run ./cmd/marchd -addr :8080
 
-## test-service: the marchd service test suite (handlers, job engine, cache).
+## test-service: the marchd service test suite (handlers, job engine, cache,
+## campaign endpoints) plus the CLI front ends.
 test-service:
-	$(GO) test ./internal/service/ ./cmd/marchsim/
+	$(GO) test ./internal/service/ ./cmd/...
 
-## smoke: end-to-end marchd round-trip over HTTP (build, curl, SIGTERM drain).
+## smoke: end-to-end marchd + marchcamp round-trip (build, curl, SIGTERM drain).
 smoke:
 	./scripts/smoke.sh
 
-check: build vet test race smoke
+## check: the full local CI gate — build, vet, gofmt, tests, race, smoke.
+check: build vet fmt-check test race smoke

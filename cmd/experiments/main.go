@@ -20,6 +20,7 @@ import (
 	"marchgen"
 	"marchgen/internal/af"
 	"marchgen/internal/bist"
+	"marchgen/internal/buildinfo"
 	"marchgen/internal/defect"
 	"marchgen/internal/diagnose"
 	"marchgen/internal/faultlist"
@@ -34,7 +35,12 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "skip the generation-heavy sections")
 	benchSim := flag.String("bench-sim", "", "benchmark the fault simulator and write the results to `FILE`, then exit")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Fprint(os.Stdout, "experiments")
+		return
+	}
 
 	if *benchSim != "" {
 		fmt.Println("== Fault simulator throughput (compiled schedules vs pre-schedule baseline) ==")

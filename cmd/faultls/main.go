@@ -12,65 +12,87 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"marchgen/internal/buildinfo"
 	"marchgen/internal/defect"
 	"marchgen/internal/faultlist"
 	"marchgen/internal/fp"
 	"marchgen/internal/linked"
 )
 
+// Exit codes of the faultls command.
+const (
+	exitOK    = 0
+	exitUsage = 2
+)
+
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with the process plumbing factored out so tests can drive
+// the command end to end and assert on its exit code and output.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("faultls", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		classes = flag.Bool("classes", false, "list the functional fault model classes")
-		class   = flag.String("class", "", "list the fault primitives of one class (e.g. TF, CFds)")
-		list    = flag.String("list", "", "list the faults of a fault list (list1, list2, simple, ...)")
-		summary = flag.Bool("summary", false, "with -list: print per-kind counts only")
-		defects = flag.Bool("defects", false, "list the physical defect classes and their fault mappings")
+		classes = fs.Bool("classes", false, "list the functional fault model classes")
+		class   = fs.String("class", "", "list the fault primitives of one class (e.g. TF, CFds)")
+		list    = fs.String("list", "", "list the faults of a fault list (list1, list2, simple, ...)")
+		summary = fs.Bool("summary", false, "with -list: print per-kind counts only")
+		defects = fs.Bool("defects", false, "list the physical defect classes and their fault mappings")
+		version = fs.Bool("version", false, "print version and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
 
 	switch {
+	case *version:
+		buildinfo.Fprint(stdout, "faultls")
+
 	case *defects:
 		for _, k := range defect.Kinds() {
 			d := defect.Defect{Kind: k}
-			fmt.Printf("%s:\n", d)
+			fmt.Fprintf(stdout, "%s:\n", d)
 			for _, f := range d.FaultPrimitives() {
-				fmt.Printf("  %s\n", f.ID())
+				fmt.Fprintf(stdout, "  %s\n", f.ID())
 			}
 		}
 
 	case *classes:
-		fmt.Println("single-cell static fault models:")
+		fmt.Fprintln(stdout, "single-cell static fault models:")
 		for _, c := range fp.Classes() {
 			if c.IsCoupling() {
 				continue
 			}
-			fmt.Printf("  %-5s %d primitives, e.g. %s\n", c, len(fp.ByClass(c)), fp.ByClass(c)[0])
+			fmt.Fprintf(stdout, "  %-5s %d primitives, e.g. %s\n", c, len(fp.ByClass(c)), fp.ByClass(c)[0])
 		}
-		fmt.Println("two-cell (coupling) static fault models:")
+		fmt.Fprintln(stdout, "two-cell (coupling) static fault models:")
 		for _, c := range fp.Classes() {
 			if !c.IsCoupling() {
 				continue
 			}
-			fmt.Printf("  %-5s %d primitives, e.g. %s\n", c, len(fp.ByClass(c)), fp.ByClass(c)[0])
+			fmt.Fprintf(stdout, "  %-5s %d primitives, e.g. %s\n", c, len(fp.ByClass(c)), fp.ByClass(c)[0])
 		}
 
 	case *class != "":
 		c, err := fp.ParseClass(*class)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "faultls:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "faultls:", err)
+			return exitUsage
 		}
 		for _, f := range fp.ByClass(c) {
-			fmt.Println(f.ID())
+			fmt.Fprintln(stdout, f.ID())
 		}
 
 	case *list != "":
 		faults, ok := faultlist.ByName(*list)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "faultls: unknown fault list %q (known: %v)\n", *list, faultlist.Names())
-			os.Exit(2)
+			fmt.Fprintf(stderr, "faultls: unknown fault list %q (known: %v)\n", *list, faultlist.Names())
+			return exitUsage
 		}
 		if *summary {
 			counts := map[linked.Kind]int{}
@@ -80,19 +102,20 @@ func main() {
 			total := 0
 			for _, k := range []linked.Kind{linked.Simple, linked.LF1, linked.LF2aa, linked.LF2av, linked.LF2va, linked.LF3} {
 				if counts[k] > 0 {
-					fmt.Printf("  %-6s %d\n", k, counts[k])
+					fmt.Fprintf(stdout, "  %-6s %d\n", k, counts[k])
 					total += counts[k]
 				}
 			}
-			fmt.Printf("  total  %d\n", total)
-			return
+			fmt.Fprintf(stdout, "  total  %d\n", total)
+			return exitOK
 		}
 		for _, f := range faults {
-			fmt.Println(f.ID())
+			fmt.Fprintln(stdout, f.ID())
 		}
 
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return exitUsage
 	}
+	return exitOK
 }

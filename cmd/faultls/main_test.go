@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCmd(args ...string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestVersion(t *testing.T) {
+	code, out, _ := runCmd("-version")
+	if code != exitOK || !strings.HasPrefix(out, "faultls ") {
+		t.Fatalf("code=%d out=%q", code, out)
+	}
+}
+
+func TestNoArgsIsUsageError(t *testing.T) {
+	if code, _, _ := runCmd(); code != exitUsage {
+		t.Fatalf("exit = %d, want %d", code, exitUsage)
+	}
+}
+
+func TestClasses(t *testing.T) {
+	code, out, _ := runCmd("-classes")
+	if code != exitOK {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, want := range []string{
+		"single-cell static fault models:",
+		"two-cell (coupling) static fault models:",
+		"TF", "CFds",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestClassPrimitives(t *testing.T) {
+	code, out, _ := runCmd("-class", "TF")
+	if code != exitOK {
+		t.Fatalf("exit = %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 { // TF has exactly two primitives: <0w1;0/0/-> and <1w0;1/1/->
+		t.Fatalf("TF primitives = %d:\n%s", len(lines), out)
+	}
+	if code, _, stderr := runCmd("-class", "NOPE"); code != exitUsage || !strings.Contains(stderr, "faultls:") {
+		t.Fatalf("bad class: code=%d stderr=%q", code, stderr)
+	}
+}
+
+func TestListAndSummary(t *testing.T) {
+	code, out, _ := runCmd("-list", "list2")
+	if code != exitOK {
+		t.Fatalf("exit = %d", code)
+	}
+	if got := len(strings.Split(strings.TrimSpace(out), "\n")); got != 18 {
+		t.Fatalf("list2 faults = %d, want 18:\n%s", got, out)
+	}
+
+	code, sum, _ := runCmd("-list", "list2", "-summary")
+	if code != exitOK {
+		t.Fatalf("summary exit = %d", code)
+	}
+	if !strings.Contains(sum, "total  18") {
+		t.Fatalf("summary:\n%s", sum)
+	}
+
+	if code, _, stderr := runCmd("-list", "nope"); code != exitUsage || !strings.Contains(stderr, "unknown fault list") {
+		t.Fatalf("bad list: code=%d stderr=%q", code, stderr)
+	}
+}
+
+func TestDefects(t *testing.T) {
+	code, out, _ := runCmd("-defects")
+	if code != exitOK || !strings.Contains(out, ":") {
+		t.Fatalf("code=%d out:\n%s", code, out)
+	}
+}

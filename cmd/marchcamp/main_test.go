@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCmd(args ...string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// writeSpec drops a minimal one-unit spec file and returns its path.
+func writeSpec(t *testing.T, spec any) string {
+	t.Helper()
+	b, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestVersion(t *testing.T) {
+	code, out, _ := runCmd("-version")
+	if code != exitOK || !strings.HasPrefix(out, "marchcamp ") {
+		t.Fatalf("code=%d out=%q", code, out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{},                          // no subcommand
+		{"frobnicate"},              // unknown subcommand
+		{"plan"},                    // plan without -spec
+		{"run", "-spec", "nope"},    // run without -dir
+		{"run", "-dir", "d"},        // run without -spec
+		{"report"},                  // report without -dir
+		{"plan", "-spec", "/nope1"}, // unreadable spec
+	}
+	for _, args := range cases {
+		if code, _, _ := runCmd(args...); code != exitUsage {
+			t.Errorf("args %v: exit = %d, want %d", args, code, exitUsage)
+		}
+	}
+}
+
+func TestExampleIsAValidSpec(t *testing.T) {
+	code, out, _ := runCmd("example")
+	if code != exitOK {
+		t.Fatalf("exit = %d", code)
+	}
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, planOut, stderr := runCmd("plan", "-spec", path)
+	if code != exitOK {
+		t.Fatalf("plan of the example spec failed: %s", stderr)
+	}
+	if !strings.Contains(planOut, "campaign c-") || !strings.Contains(planOut, "shard") {
+		t.Fatalf("plan output:\n%s", planOut)
+	}
+}
+
+func TestInvalidSpecRejected(t *testing.T) {
+	path := writeSpec(t, map[string]any{"lists": []string{"no-such-list"}})
+	if code, _, stderr := runCmd("plan", "-spec", path); code != exitUsage || !strings.Contains(stderr, "unknown fault list") {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+	unknown := writeSpec(t, map[string]any{"lists": []string{"list2"}, "bogus_field": 1})
+	if code, _, _ := runCmd("plan", "-spec", unknown); code != exitUsage {
+		t.Fatalf("unknown spec field accepted")
+	}
+}
+
+func TestRunAndReportRoundTrip(t *testing.T) {
+	spec := writeSpec(t, map[string]any{"name": "cli-smoke", "lists": []string{"list2"}})
+	dir := t.TempDir()
+
+	code, out, stderr := runCmd("run", "-spec", spec, "-dir", dir, "-quiet")
+	if code != exitOK {
+		t.Fatalf("run exit = %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(out, "complete: 1 units in 1 shards") {
+		t.Fatalf("run output:\n%s", out)
+	}
+
+	// Re-running the identical spec is an idempotent no-op.
+	if code, out, _ = runCmd("run", "-spec", spec, "-dir", dir, "-quiet"); code != exitOK {
+		t.Fatalf("idempotent rerun exit = %d\n%s", code, out)
+	}
+
+	code, rep, stderr := runCmd("report", "-dir", dir)
+	if code != exitOK {
+		t.Fatalf("report exit = %d, stderr:\n%s", code, stderr)
+	}
+	for _, want := range []string{"cli-smoke", "list2", "1/1 units", "Generated tests:"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestReportAmbiguousRootNeedsID(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"alpha", "beta"} {
+		spec := writeSpec(t, map[string]any{"name": name, "lists": []string{"list2"}, "sizes": []int{3 + len(name)%2}})
+		if code, _, stderr := runCmd("run", "-spec", spec, "-dir", dir, "-quiet"); code != exitOK {
+			t.Fatalf("run %s: %s", name, stderr)
+		}
+	}
+	code, _, stderr := runCmd("report", "-dir", dir)
+	if code != exitError || !strings.Contains(stderr, "-id") {
+		t.Fatalf("ambiguous report: code=%d stderr=%q", code, stderr)
+	}
+}

@@ -4,10 +4,16 @@
 // request logging, /healthz and /metrics. See DESIGN.md §8 and the README
 // quick-start for the API.
 //
+// Campaigns: with -data pointing at a durable directory, POST /v1/campaigns
+// runs batch sweeps through the campaign engine (internal/campaign); an
+// interrupted campaign resumes from its checkpoint on re-POST, across
+// restarts of the daemon.
+//
 // Usage:
 //
 //	marchd -addr :8080
 //	marchd -addr 127.0.0.1:0 -workers 4 -cache 256
+//	marchd -addr :8080 -data /var/lib/marchd/campaigns
 //
 // Shutdown: SIGINT/SIGTERM stops accepting connections, drains in-flight
 // jobs up to -drain-timeout, and exits 0 on a clean drain.
@@ -26,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"marchgen/internal/buildinfo"
 	"marchgen/internal/service"
 )
 
@@ -39,9 +46,16 @@ func main() {
 		jobTimeout   = flag.Duration("job-timeout", 5*time.Minute, "maximum per-job generation deadline")
 		syncTimeout  = flag.Duration("sync-timeout", 60*time.Second, "request timeout of the synchronous endpoints")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "shutdown drain window for in-flight jobs")
+		dataDir      = flag.String("data", "", "campaign store root (default: marchd-campaigns under the OS temp dir)")
+		campaigns    = flag.Int("campaigns", 2, "maximum concurrently running campaigns")
 		quiet        = flag.Bool("quiet", false, "disable the per-request log")
+		version      = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Fprint(os.Stdout, "marchd")
+		return
+	}
 
 	logger := log.New(os.Stderr, "marchd: ", log.LstdFlags|log.Lmicroseconds)
 	reqLogger := logger
@@ -50,13 +64,15 @@ func main() {
 	}
 
 	srv := service.New(service.Config{
-		Workers:     *workers,
-		QueueDepth:  *queue,
-		CacheSize:   *cacheSize,
-		RetainJobs:  *retain,
-		JobTimeout:  *jobTimeout,
-		SyncTimeout: *syncTimeout,
-		Logger:      reqLogger,
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheSize:    *cacheSize,
+		RetainJobs:   *retain,
+		JobTimeout:   *jobTimeout,
+		SyncTimeout:  *syncTimeout,
+		DataDir:      *dataDir,
+		MaxCampaigns: *campaigns,
+		Logger:       reqLogger,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

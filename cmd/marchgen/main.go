@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"marchgen"
+	"marchgen/internal/buildinfo"
 )
 
 func main() {
@@ -26,8 +27,13 @@ func main() {
 		kinds      = flag.Bool("kinds", false, "print per-kind coverage breakdown")
 		ascii      = flag.Bool("ascii", false, "print the test with ASCII order markers instead of arrows")
 		asJSON     = flag.Bool("json", false, "emit the generated test and its certification report as JSON")
+		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Fprint(os.Stdout, "marchgen")
+		return
+	}
 
 	faults, err := marchgen.FaultListByName(*listName)
 	if err != nil {

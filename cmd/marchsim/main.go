@@ -24,6 +24,7 @@ import (
 	"os"
 
 	"marchgen"
+	"marchgen/internal/buildinfo"
 )
 
 // Exit codes of the marchsim command.
@@ -52,9 +53,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		asJSON    = fs.Bool("json", false, "emit the full report as JSON")
 		bistCells = fs.Int("bist", 0, "also print the BIST cost estimate for a memory of this many cells")
 		trace     = fs.Bool("trace", false, "for each missed fault printed, also replay its witness scenario step by step")
+		version   = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
+	}
+
+	if *version {
+		buildinfo.Fprint(stdout, "marchsim")
+		return exitFull
 	}
 
 	if *listTests {

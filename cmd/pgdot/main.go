@@ -9,22 +9,46 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"marchgen"
+	"marchgen/internal/buildinfo"
+)
+
+// Exit codes of the pgdot command.
+const (
+	exitOK    = 0
+	exitError = 1
+	exitUsage = 2
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with the process plumbing factored out so tests can drive
+// the command end to end and assert on its exit code and output.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pgdot", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		n       = flag.Int("n", 2, "memory cells of the model (2^n states)")
-		figure4 = flag.Bool("figure4", false, "render Figure 4: the pattern graph of the linked disturb coupling fault of eq. 12")
-		lfSpec  = flag.String("lf", "", "linked fault as \"KIND|<FP1>|<FP2>\" with KIND in LF1, LF2aa, LF2av, LF2va, LF3")
-		fpSpec  = flag.String("fp", "", "simple fault primitive in <S/F/R> notation")
-		out     = flag.String("o", "", "output file (default stdout)")
-		title   = flag.String("title", "", "graph title")
+		n       = fs.Int("n", 2, "memory cells of the model (2^n states)")
+		figure4 = fs.Bool("figure4", false, "render Figure 4: the pattern graph of the linked disturb coupling fault of eq. 12")
+		lfSpec  = fs.String("lf", "", "linked fault as \"KIND|<FP1>|<FP2>\" with KIND in LF1, LF2aa, LF2av, LF2va, LF3")
+		fpSpec  = fs.String("fp", "", "simple fault primitive in <S/F/R> notation")
+		out     = fs.String("o", "", "output file (default stdout)")
+		title   = fs.String("title", "", "graph title")
+		version = fs.Bool("version", false, "print version and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if *version {
+		buildinfo.Fprint(stdout, "pgdot")
+		return exitOK
+	}
 
 	var faults []marchgen.Fault
 	name := "G0"
@@ -32,16 +56,16 @@ func main() {
 	case *figure4:
 		f, err := marchgen.LinkFaults(marchgen.LF2aa, "<0w1;0/1/->", "<1w0;1/0/->")
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "pgdot:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "pgdot:", err)
+			return exitError
 		}
 		faults = append(faults, f)
 		name = "PGCF"
 	case *lfSpec != "":
 		parts := strings.Split(*lfSpec, "|")
 		if len(parts) != 3 {
-			fmt.Fprintln(os.Stderr, "pgdot: -lf wants \"KIND|<FP1>|<FP2>\"")
-			os.Exit(2)
+			fmt.Fprintln(stderr, "pgdot: -lf wants \"KIND|<FP1>|<FP2>\"")
+			return exitUsage
 		}
 		kinds := map[string]marchgen.FaultKind{
 			"LF1": marchgen.LF1, "LF2aa": marchgen.LF2aa, "LF2av": marchgen.LF2av,
@@ -49,21 +73,21 @@ func main() {
 		}
 		kind, ok := kinds[parts[0]]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "pgdot: unknown kind %q\n", parts[0])
-			os.Exit(2)
+			fmt.Fprintf(stderr, "pgdot: unknown kind %q\n", parts[0])
+			return exitUsage
 		}
 		f, err := marchgen.LinkFaults(kind, parts[1], parts[2])
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "pgdot:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "pgdot:", err)
+			return exitUsage
 		}
 		faults = append(faults, f)
 		name = "PG"
 	case *fpSpec != "":
 		f, err := marchgen.SimpleFault(*fpSpec)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "pgdot:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "pgdot:", err)
+			return exitUsage
 		}
 		faults = append(faults, f)
 		name = "PG"
@@ -72,18 +96,19 @@ func main() {
 		name = *title
 	}
 
-	w := os.Stdout
+	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "pgdot:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "pgdot:", err)
+			return exitError
 		}
 		defer f.Close()
 		w = f
 	}
 	if err := marchgen.PatternDOT(w, *n, faults, name); err != nil {
-		fmt.Fprintln(os.Stderr, "pgdot:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "pgdot:", err)
+		return exitError
 	}
+	return exitOK
 }

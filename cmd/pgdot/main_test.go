@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCmd(args ...string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestVersion(t *testing.T) {
+	code, out, _ := runCmd("-version")
+	if code != exitOK || !strings.HasPrefix(out, "pgdot ") {
+		t.Fatalf("code=%d out=%q", code, out)
+	}
+}
+
+func TestModelGraphDefault(t *testing.T) {
+	code, out, _ := runCmd("-n", "2")
+	if code != exitOK {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "digraph") || !strings.Contains(out, "G0") {
+		t.Fatalf("not a DOT model graph:\n%s", out)
+	}
+}
+
+func TestFigure4(t *testing.T) {
+	code, out, _ := runCmd("-figure4")
+	if code != exitOK {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "PGCF") {
+		t.Fatalf("figure 4 graph missing PGCF title:\n%s", out)
+	}
+}
+
+func TestCustomLinkedFault(t *testing.T) {
+	code, out, _ := runCmd("-n", "2", "-lf", "LF2aa|<0w1;0/1/->|<1w0;1/0/->", "-title", "Custom")
+	if code != exitOK || !strings.Contains(out, "Custom") {
+		t.Fatalf("code=%d out:\n%s", code, out)
+	}
+}
+
+func TestBadSpecsAreUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-lf", "no-pipes-here"},
+		{"-lf", "NOPE|<0w1;0/1/->|<1w0;1/0/->"},
+		{"-lf", "LF2aa|garbage|garbage"},
+		{"-fp", "garbage"},
+	}
+	for _, args := range cases {
+		if code, _, _ := runCmd(args...); code != exitUsage {
+			t.Errorf("args %v: exit = %d, want %d", args, code, exitUsage)
+		}
+	}
+}
+
+func TestOutputFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.dot")
+	code, out, stderr := runCmd("-n", "2", "-o", path)
+	if code != exitOK {
+		t.Fatalf("exit = %d, stderr=%q", code, stderr)
+	}
+	if out != "" {
+		t.Fatalf("stdout not empty with -o: %q", out)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "digraph") {
+		t.Fatalf("file content:\n%s", b)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"marchgen"
+	"marchgen/internal/buildinfo"
 	"marchgen/internal/faultlist"
 	"marchgen/internal/march"
 	"marchgen/internal/report"
@@ -26,7 +27,12 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "skip the aggressive (March RABL profile) row")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Fprint(os.Stdout, "table1")
+		return
+	}
 
 	list1 := faultlist.List1()
 	list2 := faultlist.List2()

@@ -1,0 +1,59 @@
+// Package buildinfo is the one shared implementation behind every binary's
+// -version flag: it renders the module version and VCS state embedded by the
+// Go toolchain (runtime/debug.ReadBuildInfo), so all cmd/ tools report their
+// provenance identically without linker -X plumbing.
+package buildinfo
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+// readBuildInfo is swapped in tests to exercise the no-build-info path.
+var readBuildInfo = debug.ReadBuildInfo
+
+// Version returns the best available version string: the module version for
+// released builds, or "devel" refined with the VCS revision (and a "+dirty"
+// marker) when built from a checkout. "unknown" when the binary carries no
+// build information at all (e.g. built without module support).
+func Version() string {
+	bi, ok := readBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	v := bi.Main.Version
+	if v != "" && v != "(devel)" {
+		// Released or pseudo-versioned build: the toolchain-stamped version
+		// already encodes the revision.
+		return v
+	}
+	v = "devel"
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		v += "-" + rev
+		if dirty {
+			v += "+dirty"
+		}
+	}
+	return v
+}
+
+// Fprint writes the standard one-line version banner every cmd/ binary
+// prints for -version: name, version, and the toolchain/platform triple.
+func Fprint(w io.Writer, name string) {
+	fmt.Fprintf(w, "%s %s (%s %s/%s)\n", name, Version(), runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}

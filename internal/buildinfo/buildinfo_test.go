@@ -1,0 +1,71 @@
+package buildinfo
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+func TestVersionNeverEmpty(t *testing.T) {
+	if Version() == "" {
+		t.Fatal("Version() returned an empty string")
+	}
+}
+
+func TestVersionWithoutBuildInfo(t *testing.T) {
+	old := readBuildInfo
+	defer func() { readBuildInfo = old }()
+	readBuildInfo = func() (*debug.BuildInfo, bool) { return nil, false }
+	if got := Version(); got != "unknown" {
+		t.Fatalf("Version() without build info = %q, want %q", got, "unknown")
+	}
+}
+
+func TestVersionVCSRefinement(t *testing.T) {
+	old := readBuildInfo
+	defer func() { readBuildInfo = old }()
+	readBuildInfo = func() (*debug.BuildInfo, bool) {
+		return &debug.BuildInfo{
+			Main: debug.Module{Version: "(devel)"},
+			Settings: []debug.BuildSetting{
+				{Key: "vcs.revision", Value: "0123456789abcdef0123"},
+				{Key: "vcs.modified", Value: "true"},
+			},
+		}, true
+	}
+	got := Version()
+	if got != "devel-0123456789ab+dirty" {
+		t.Fatalf("Version() = %q, want %q", got, "devel-0123456789ab+dirty")
+	}
+}
+
+func TestVersionPseudoVersionPassesThrough(t *testing.T) {
+	old := readBuildInfo
+	defer func() { readBuildInfo = old }()
+	// A toolchain-stamped pseudo-version already encodes the revision; it
+	// must not be refined a second time.
+	readBuildInfo = func() (*debug.BuildInfo, bool) {
+		return &debug.BuildInfo{
+			Main: debug.Module{Version: "v0.0.0-20260805233911-0123456789ab"},
+			Settings: []debug.BuildSetting{
+				{Key: "vcs.revision", Value: "0123456789abcdef0123"},
+				{Key: "vcs.modified", Value: "true"},
+			},
+		}, true
+	}
+	if got := Version(); got != "v0.0.0-20260805233911-0123456789ab" {
+		t.Fatalf("Version() = %q, want the pseudo-version untouched", got)
+	}
+}
+
+func TestFprint(t *testing.T) {
+	var b strings.Builder
+	Fprint(&b, "marchcamp")
+	out := b.String()
+	if !strings.HasPrefix(out, "marchcamp ") || !strings.Contains(out, "go") {
+		t.Fatalf("Fprint banner = %q", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatalf("banner missing trailing newline: %q", out)
+	}
+}

@@ -1,0 +1,131 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"marchgen/internal/march"
+	"marchgen/internal/report"
+	"marchgen/internal/store"
+)
+
+// Decode parses the committed records of a campaign store back into unit
+// results, ordered by plan sequence.
+func Decode(recs []store.Record) ([]UnitResult, error) {
+	out := make([]UnitResult, 0, len(recs))
+	for _, r := range recs {
+		var u UnitResult
+		if err := json.Unmarshal(r.Body, &u); err != nil {
+			return nil, fmt.Errorf("campaign: record %s: %w", r.ID, err)
+		}
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Unit.Seq < out[j].Unit.Seq })
+	return out, nil
+}
+
+// RenderMatrix writes the campaign's coverage/length matrix: one row per
+// unit of the sweep, with the Table 1 comparisons where they apply (the
+// length improvement over the published March SL for list1 targets and over
+// March LF1 for list2 targets — the paper's Table 1 is the
+// list1/list2 × standard/aggressive corner of this matrix).
+func RenderMatrix(w io.Writer, title string, results []UnitResult) error {
+	t := &report.Table{
+		Title: title,
+		Header: []string{"List", "Profile", "Order", "n", "w", "Topo",
+			"Len", "Coverage", "vs SL", "vs LF1", "BIST cyc", "1-order", "Word", "Error"},
+	}
+	for _, r := range results {
+		u := r.Unit
+		if r.Error != "" {
+			t.AddRow(u.List, u.Profile, u.Order, fmt.Sprint(u.Size), fmt.Sprint(u.Width),
+				topoCell(u), "-", "-", "-", "-", "-", "-", "-", r.Error)
+			continue
+		}
+		vsSL, vsLF1 := "-", "-"
+		switch u.List {
+		case "list1":
+			vsSL = report.Percent(report.Improvement(march.MarchSL.Length(), r.Length))
+		case "list2":
+			vsLF1 = report.Percent(report.Improvement(march.MarchLF1.Length(), r.Length))
+		}
+		wordCell := "-"
+		if r.Word != nil {
+			wordCell = fmt.Sprintf("%d/%d", r.Word.Detected, r.Word.Faults)
+		}
+		t.AddRow(u.List, u.Profile, u.Order, fmt.Sprint(u.Size), fmt.Sprint(u.Width),
+			topoCell(u),
+			fmt.Sprint(r.Length),
+			fmt.Sprintf("%d/%d", r.Coverage.Detected, r.Coverage.Total),
+			vsSL, vsLF1,
+			fmt.Sprint(r.BIST.Cycles),
+			fmt.Sprint(r.BIST.SingleOrder),
+			wordCell, "")
+	}
+	return t.Render(w)
+}
+
+func topoCell(u Unit) string {
+	if u.Topology == "" {
+		return "-"
+	}
+	return u.Topology
+}
+
+// RenderTests writes the generated tests of a campaign, one per distinct
+// generator coordinate (units differing only in width/topology share one
+// generated test, so duplicates are collapsed).
+func RenderTests(w io.Writer, results []UnitResult) error {
+	seen := make(map[string]bool)
+	for _, r := range results {
+		if r.Error != "" || r.Test == "" {
+			continue
+		}
+		key := fmt.Sprintf("%s|%s|%s|%d", r.Unit.List, r.Unit.Profile, r.Unit.Order, r.Unit.Size)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if _, err := fmt.Fprintf(w, "%-8s %-10s %-5s n=%-2d %3dn  %s\n",
+			r.Unit.List, r.Unit.Profile, r.Unit.Order, r.Unit.Size, r.Length, r.Test); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Report loads a campaign directory and writes the matrix and the
+// generated-test listing: the implementation behind `marchcamp report`.
+func Report(w io.Writer, dir string) error {
+	sf, err := LoadSpecFile(dir)
+	if err != nil {
+		return err
+	}
+	cp, recs, err := store.Read(dir)
+	if err != nil {
+		return err
+	}
+	results, err := Decode(recs)
+	if err != nil {
+		return err
+	}
+	total := sf.Spec.Units()
+	shards := len(Plan(sf.Spec))
+	title := fmt.Sprintf("Campaign %s (%s): %d/%d units in %d/%d shards committed",
+		sf.ID, displayName(sf.Spec), len(results), total, cp.Shards, shards)
+	if err := RenderMatrix(w, title, results); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Generated tests:")
+	return RenderTests(w, results)
+}
+
+func displayName(s Spec) string {
+	if s.Name == "" {
+		return "unnamed"
+	}
+	return s.Name
+}

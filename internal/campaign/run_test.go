@@ -1,0 +1,220 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"marchgen/internal/store"
+)
+
+// sweepSpec is the multi-unit spec the resume tests interrupt: six units
+// (three order constraints × two memory sizes) in six single-unit shards,
+// so there are many distinct kill points.
+func sweepSpec() Spec {
+	return Spec{
+		Name:      "resume-sweep",
+		Lists:     []string{"list2"},
+		Orders:    []string{"free", "up", "down"},
+		Sizes:     []int{3, 4},
+		ShardSize: 1,
+	}
+}
+
+func resultsBytes(t *testing.T, spec Spec, root string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(store.DataPath(spec.Dir(root)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestRunSingleUnitCampaign(t *testing.T) {
+	root := t.TempDir()
+	spec := Spec{Name: "tiny", Lists: []string{"list2"}}
+	sum, err := Run(context.Background(), spec, root, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Units != 1 || sum.Shards != 1 || sum.UnitErrors != 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	_, recs, err := store.Read(spec.Dir(root))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := Decode(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if r.Error != "" {
+		t.Fatalf("unit error: %s", r.Error)
+	}
+	if r.Coverage.Detected != r.Coverage.Total || r.Coverage.Total != 18 {
+		t.Fatalf("coverage = %+v, want full coverage of the 18 list2 faults", r.Coverage)
+	}
+	if r.Length == 0 || r.Test == "" || r.BIST.Cycles == 0 {
+		t.Fatalf("result incomplete: %+v", r)
+	}
+	// Re-running a complete campaign is idempotent: same summary, no work.
+	again, err := Run(context.Background(), spec, root, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Units != 1 || again.ResumedFrom != 1 {
+		t.Fatalf("idempotent rerun summary = %+v", again)
+	}
+}
+
+// TestKillResumeByteIdentical is the acceptance-criteria integration test:
+// a campaign killed mid-run (after some shards committed, with a torn
+// partial append in the data file — the on-disk state SIGKILL between and
+// during shard commits leaves behind) must, after `--resume`, produce a
+// result set byte-identical to an uninterrupted run of the same spec.
+func TestKillResumeByteIdentical(t *testing.T) {
+	spec := sweepSpec()
+
+	// Reference: one uninterrupted run.
+	refRoot := t.TempDir()
+	refSum, err := Run(context.Background(), spec, refRoot, RunOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refSum.Units != 6 || refSum.Shards != 6 {
+		t.Fatalf("reference summary = %+v", refSum)
+	}
+	ref := resultsBytes(t, spec, refRoot)
+
+	// Interrupted: cancel the run once two shards have committed.
+	killRoot := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var committed atomic.Int32
+	_, err = Run(ctx, spec, killRoot, RunOptions{
+		Workers: 2,
+		OnEvent: func(ev Event) {
+			if ev.Kind == EventShardCommitted && committed.Add(1) == 2 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run error = %v, want context.Canceled", err)
+	}
+	dir := spec.Dir(killRoot)
+	cp, _, err := store.Read(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Shards < 2 || cp.Shards >= 6 {
+		t.Fatalf("kill point left %d shards committed, want a genuine mid-run state", cp.Shards)
+	}
+	// SIGKILL mid-append: leave a torn half-record past the checkpoint.
+	f, err := os.OpenFile(store.DataPath(dir), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"id":"u-torn","shard":99,"seq":`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Without resume, continuing is refused.
+	if _, err := Run(context.Background(), spec, killRoot, RunOptions{}); !errors.Is(err, ErrNeedsResume) {
+		t.Fatalf("rerun without resume: err = %v, want ErrNeedsResume", err)
+	}
+
+	// Resume and finish.
+	sum, err := Run(context.Background(), spec, killRoot, RunOptions{Workers: 4, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Units != 6 || sum.Shards != 6 {
+		t.Fatalf("resumed summary = %+v", sum)
+	}
+	if sum.ResumedFrom != int(cp.Shards) {
+		t.Fatalf("resumed from %d shards, checkpoint said %d", sum.ResumedFrom, cp.Shards)
+	}
+
+	got := resultsBytes(t, spec, killRoot)
+	if string(got) != string(ref) {
+		t.Fatalf("resumed result set differs from uninterrupted run:\n got %d bytes\nwant %d bytes", len(got), len(ref))
+	}
+}
+
+func TestRunRejectsInvalidSpec(t *testing.T) {
+	if _, err := Run(context.Background(), Spec{Lists: []string{"nope"}}, t.TempDir(), RunOptions{}); err == nil {
+		t.Fatal("invalid spec ran")
+	}
+}
+
+func TestSpecFileWritten(t *testing.T) {
+	root := t.TempDir()
+	spec := Spec{Name: "meta", Lists: []string{"list2"}}
+	if _, err := Run(context.Background(), spec, root, RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	sf, err := LoadSpecFile(spec.Dir(root))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf.ID != spec.ID() || sf.Hash != spec.Hash() || sf.Spec.Name != "meta" {
+		t.Fatalf("spec file = %+v", sf)
+	}
+	if len(sf.Spec.Profiles) == 0 {
+		t.Fatal("spec file does not hold the canonical spec")
+	}
+}
+
+func TestReportRenders(t *testing.T) {
+	root := t.TempDir()
+	spec := Spec{Name: "rep", Lists: []string{"list2"}, Widths: []int{1, 4}, Topologies: []string{"", "8x8"}}
+	if _, err := Run(context.Background(), spec, root, RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := Report(&b, spec.Dir(root)); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Campaign " + spec.ID(), "list2", "8x8", "4/4 units", "Generated tests:", "vs LF1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRecordsRoundTripThroughStore(t *testing.T) {
+	root := t.TempDir()
+	spec := Spec{Lists: []string{"list2"}, Widths: []int{4}}
+	if _, err := Run(context.Background(), spec, root, RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err := store.Read(spec.Dir(root))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	var doc UnitResult
+	if err := json.Unmarshal(recs[0].Body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Word == nil || doc.Word.Width != 4 || doc.Word.Faults == 0 {
+		t.Fatalf("word evaluation missing: %+v", doc.Word)
+	}
+	if doc.Word.Detected != doc.Word.Faults {
+		t.Logf("note: word coverage %d/%d (informational)", doc.Word.Detected, doc.Word.Faults)
+	}
+	if _, err := os.Stat(filepath.Join(spec.Dir(root), "index.json")); err != nil {
+		t.Fatalf("index.json not written: %v", err)
+	}
+}

@@ -1,0 +1,283 @@
+// Package campaign is the batch sweep engine (DESIGN.md §9): it expands a
+// declarative Spec — the cross-product of fault lists, generator profiles,
+// address-order constraints, memory sizes, word widths and array topologies —
+// into a deterministic shard plan, executes the shards on a bounded worker
+// pool, and records every unit result in the durable append-only store of
+// internal/store. A killed campaign resumes from its last atomic checkpoint
+// and produces a result set byte-identical to an uninterrupted run.
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"marchgen/internal/core"
+	"marchgen/internal/faultlist"
+	"marchgen/internal/topo"
+)
+
+// specSchema versions the campaign identity derivation. Bump it whenever
+// the canonical spec encoding, the unit encoding, or the result document
+// changes shape: old store directories then refuse to resume instead of
+// mixing incompatible records.
+const specSchema = "marchcamp/spec/v1"
+
+// Generator profiles a spec may sweep.
+const (
+	ProfileStandard   = "standard"   // default minimization (March ABL profile)
+	ProfileAggressive = "aggressive" // deeper minimization (March RABL profile)
+)
+
+// Spec declares a campaign: every axis is a list of values and the campaign
+// is their full cross-product, one generated-and-certified march test per
+// combination. Omitted axes default to a single neutral value, so the
+// smallest useful spec is just {"lists": ["list2"]}.
+type Spec struct {
+	// Name labels the campaign in reports; it does not enter the identity.
+	Name string `json:"name,omitempty"`
+	// Lists are the named fault lists to target (faultlist.Names()).
+	Lists []string `json:"lists"`
+	// Profiles selects minimization depth: "standard" and/or "aggressive".
+	Profiles []string `json:"profiles,omitempty"`
+	// Orders are generator order constraints: "free", "up", "down".
+	Orders []string `json:"orders,omitempty"`
+	// Sizes are memory sizes n (cells) for the exhaustive certification
+	// configuration. Default [4], the paper's configuration.
+	Sizes []int `json:"sizes,omitempty"`
+	// Widths are word widths: width 1 is the paper's bit-oriented memory;
+	// width w > 1 additionally evaluates the generated test on the
+	// intra-word faults of a w-bit word with the standard log2(w)+1 data
+	// backgrounds.
+	Widths []int `json:"widths,omitempty"`
+	// Topologies are array shapes "RxC" (e.g. "8x8"); each unit reports the
+	// BIST application cost on that array and how much physical adjacency
+	// the shape hides from logical address order.
+	Topologies []string `json:"topologies,omitempty"`
+	// ShardSize is the number of units per shard (the checkpoint
+	// granularity). Default 4.
+	ShardSize int `json:"shard_size,omitempty"`
+}
+
+// Canonical returns the spec with every default made explicit and
+// duplicate axis values removed (first occurrence wins). Axis order is
+// preserved — it determines the deterministic unit order — and the result
+// is idempotent: the canonical form is what Hash digests and what the
+// store binds to.
+func (s Spec) Canonical() Spec {
+	s.Lists = dedup(s.Lists)
+	s.Profiles = dedup(s.Profiles)
+	if len(s.Profiles) == 0 {
+		s.Profiles = []string{ProfileStandard}
+	}
+	s.Orders = dedup(s.Orders)
+	if len(s.Orders) == 0 {
+		s.Orders = []string{"free"}
+	}
+	s.Sizes = dedupInts(s.Sizes)
+	if len(s.Sizes) == 0 {
+		s.Sizes = []int{4}
+	}
+	s.Widths = dedupInts(s.Widths)
+	if len(s.Widths) == 0 {
+		s.Widths = []int{1}
+	}
+	s.Topologies = dedup(s.Topologies)
+	if len(s.Topologies) == 0 {
+		s.Topologies = []string{""}
+	}
+	if s.ShardSize <= 0 {
+		s.ShardSize = 4
+	}
+	return s
+}
+
+// Validate checks every axis value against the packages that will consume
+// it, so a bad spec fails before any work is scheduled.
+func (s Spec) Validate() error {
+	c := s.Canonical()
+	if len(c.Lists) == 0 {
+		return fmt.Errorf("campaign: spec names no fault lists")
+	}
+	for _, l := range c.Lists {
+		if _, ok := faultlist.ByName(l); !ok {
+			return fmt.Errorf("campaign: unknown fault list %q (known: %v)", l, faultlist.Names())
+		}
+	}
+	for _, p := range c.Profiles {
+		if p != ProfileStandard && p != ProfileAggressive {
+			return fmt.Errorf("campaign: unknown profile %q (want %q or %q)", p, ProfileStandard, ProfileAggressive)
+		}
+	}
+	for _, o := range c.Orders {
+		if _, err := core.ParseOrderConstraint(o); err != nil {
+			return fmt.Errorf("campaign: %v", err)
+		}
+	}
+	for _, n := range c.Sizes {
+		if n < 3 || n > 16 {
+			return fmt.Errorf("campaign: memory size %d out of range [3,16]", n)
+		}
+	}
+	for _, w := range c.Widths {
+		if w < 1 || w > 64 {
+			return fmt.Errorf("campaign: word width %d out of range [1,64]", w)
+		}
+	}
+	for _, t := range c.Topologies {
+		if t == "" {
+			continue
+		}
+		if _, err := ParseTopology(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Hash returns the campaign's content address: the SHA-256 of the
+// schema-versioned canonical spec (minus the display name). Two specs that
+// differ only in spelling — omitted vs explicit defaults, duplicated axis
+// values — hash identically.
+func (s Spec) Hash() string {
+	c := s.Canonical()
+	c.Name = ""
+	payload := struct {
+		Schema string `json:"schema"`
+		Spec   Spec   `json:"spec"`
+	}{specSchema, c}
+	b, err := json.Marshal(payload)
+	if err != nil {
+		panic(fmt.Sprintf("campaign: spec hash: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// ID returns the campaign identifier derived from the spec hash — the
+// directory name under the store root and the {id} of the marchd API.
+func (s Spec) ID() string { return "c-" + s.Hash()[:16] }
+
+// ParseTopology parses an array shape "RxC" into a topology.
+func ParseTopology(spec string) (topo.Topology, error) {
+	r, c, ok := strings.Cut(spec, "x")
+	if !ok {
+		return topo.Topology{}, fmt.Errorf("campaign: topology %q: want \"RxC\" (e.g. \"8x8\")", spec)
+	}
+	rows, err1 := strconv.Atoi(strings.TrimSpace(r))
+	cols, err2 := strconv.Atoi(strings.TrimSpace(c))
+	if err1 != nil || err2 != nil {
+		return topo.Topology{}, fmt.Errorf("campaign: topology %q: want \"RxC\" (e.g. \"8x8\")", spec)
+	}
+	t, err := topo.New(rows, cols)
+	if err != nil {
+		return topo.Topology{}, fmt.Errorf("campaign: topology %q: %v", spec, err)
+	}
+	return t, nil
+}
+
+// Unit is one point of the cross-product: the coordinates of a single
+// generate-and-certify run. Units are ordered and numbered by the
+// deterministic expansion of the canonical spec.
+type Unit struct {
+	Seq      int    `json:"seq"`
+	List     string `json:"list"`
+	Profile  string `json:"profile"`
+	Order    string `json:"order"`
+	Size     int    `json:"size"`
+	Width    int    `json:"width"`
+	Topology string `json:"topology,omitempty"`
+}
+
+// ID returns the unit's content address: a SHA-256 over the
+// schema-versioned axes (not the sequence number, so the same coordinates
+// address the same result across campaigns).
+func (u Unit) ID() string {
+	key := u
+	key.Seq = 0
+	payload := struct {
+		Schema string `json:"schema"`
+		Unit   Unit   `json:"unit"`
+	}{specSchema, key}
+	b, err := json.Marshal(payload)
+	if err != nil {
+		panic(fmt.Sprintf("campaign: unit id: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return "u-" + hex.EncodeToString(sum[:12])
+}
+
+// Shard is a contiguous slice of the unit sequence: the unit of scheduling,
+// commitment and resumption.
+type Shard struct {
+	ID    int
+	Units []Unit
+}
+
+// Plan expands the spec into its deterministic shard plan. The unit order
+// is the nested iteration list → profile → order → size → width → topology
+// over the canonical axes; shards are consecutive runs of ShardSize units.
+// Equal canonical specs always produce identical plans — this is what makes
+// checkpoints portable across processes.
+func Plan(s Spec) []Shard {
+	c := s.Canonical()
+	var units []Unit
+	for _, list := range c.Lists {
+		for _, prof := range c.Profiles {
+			for _, ord := range c.Orders {
+				for _, size := range c.Sizes {
+					for _, width := range c.Widths {
+						for _, tp := range c.Topologies {
+							units = append(units, Unit{
+								Seq: len(units), List: list, Profile: prof,
+								Order: ord, Size: size, Width: width, Topology: tp,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	var shards []Shard
+	for start := 0; start < len(units); start += c.ShardSize {
+		end := start + c.ShardSize
+		if end > len(units) {
+			end = len(units)
+		}
+		shards = append(shards, Shard{ID: len(shards), Units: units[start:end]})
+	}
+	return shards
+}
+
+// Units counts the plan's units without materializing shards.
+func (s Spec) Units() int {
+	c := s.Canonical()
+	return len(c.Lists) * len(c.Profiles) * len(c.Orders) * len(c.Sizes) * len(c.Widths) * len(c.Topologies)
+}
+
+func dedup(in []string) []string {
+	var out []string
+	seen := make(map[string]bool, len(in))
+	for _, v := range in {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func dedupInts(in []int) []int {
+	var out []int
+	seen := make(map[int]bool, len(in))
+	for _, v := range in {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}

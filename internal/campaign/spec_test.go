@@ -1,0 +1,124 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCanonicalFillsDefaults(t *testing.T) {
+	c := Spec{Lists: []string{"list2", "list2"}}.Canonical()
+	if len(c.Lists) != 1 {
+		t.Fatalf("duplicate axis values not removed: %v", c.Lists)
+	}
+	if got := [][]string{c.Profiles, c.Orders}; got[0][0] != ProfileStandard || got[1][0] != "free" {
+		t.Fatalf("defaults = %v", got)
+	}
+	if c.Sizes[0] != 4 || c.Widths[0] != 1 || c.Topologies[0] != "" || c.ShardSize != 4 {
+		t.Fatalf("canonical = %+v", c)
+	}
+}
+
+func TestHashSpellingInsensitive(t *testing.T) {
+	a := Spec{Name: "a", Lists: []string{"list2"}}
+	b := Spec{
+		Name: "something else entirely", Lists: []string{"list2", "list2"},
+		Profiles: []string{ProfileStandard}, Orders: []string{"free"},
+		Sizes: []int{4}, Widths: []int{1}, Topologies: []string{""}, ShardSize: 4,
+	}
+	if a.Hash() != b.Hash() {
+		t.Fatal("omitted vs explicit defaults changed the spec hash")
+	}
+	c := Spec{Lists: []string{"list2"}, Sizes: []int{5}}
+	if a.Hash() == c.Hash() {
+		t.Fatal("different axes hashed identically")
+	}
+	if !strings.HasPrefix(a.ID(), "c-") || len(a.ID()) != 18 {
+		t.Fatalf("ID = %q", a.ID())
+	}
+}
+
+func TestPlanDeterministicAndSharded(t *testing.T) {
+	s := Spec{
+		Lists:  []string{"list2", "simple1"},
+		Orders: []string{"free", "up"}, Sizes: []int{3, 4}, ShardSize: 3,
+	}
+	if got, want := s.Units(), 2*2*2; got != want {
+		t.Fatalf("Units() = %d, want %d", got, want)
+	}
+	p1, p2 := Plan(s), Plan(s)
+	if len(p1) != 3 { // ceil(8/3)
+		t.Fatalf("shards = %d, want 3", len(p1))
+	}
+	seq := 0
+	for i, sh := range p1 {
+		if sh.ID != i {
+			t.Fatalf("shard %d has ID %d", i, sh.ID)
+		}
+		for j, u := range sh.Units {
+			if u.Seq != seq {
+				t.Fatalf("unit order broken at shard %d unit %d: seq %d, want %d", i, j, u.Seq, seq)
+			}
+			if u2 := p2[i].Units[j]; u2 != u || u2.ID() != u.ID() {
+				t.Fatalf("plan not deterministic: %+v vs %+v", u, u2)
+			}
+			seq++
+		}
+	}
+	// The first unit is the innermost-axes origin.
+	first := p1[0].Units[0]
+	if first.List != "list2" || first.Order != "free" || first.Size != 3 {
+		t.Fatalf("first unit = %+v", first)
+	}
+}
+
+func TestUnitIDIgnoresSeq(t *testing.T) {
+	a := Unit{Seq: 0, List: "list2", Profile: ProfileStandard, Order: "free", Size: 4, Width: 1}
+	b := a
+	b.Seq = 17
+	if a.ID() != b.ID() {
+		t.Fatal("unit ID depends on plan position")
+	}
+	c := a
+	c.Width = 4
+	if a.ID() == c.ID() {
+		t.Fatal("unit ID ignores the width axis")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Spec{
+		{},
+		{Lists: []string{"nope"}},
+		{Lists: []string{"list2"}, Profiles: []string{"fastest"}},
+		{Lists: []string{"list2"}, Orders: []string{"sideways"}},
+		{Lists: []string{"list2"}, Sizes: []int{2}},
+		{Lists: []string{"list2"}, Widths: []int{0}},
+		{Lists: []string{"list2"}, Topologies: []string{"8by8"}},
+		{Lists: []string{"list2"}, Topologies: []string{"0x8"}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %d (%+v) validated", i, s)
+		}
+	}
+	ok := Spec{
+		Lists: []string{"list2", "simple"}, Profiles: []string{ProfileAggressive},
+		Orders: []string{"up", "down"}, Sizes: []int{4, 5},
+		Widths: []int{1, 4}, Topologies: []string{"8x8", "4x16"},
+	}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}
+
+func TestParseTopology(t *testing.T) {
+	tp, err := ParseTopology("4x8")
+	if err != nil || tp.Rows != 4 || tp.Cols != 8 {
+		t.Fatalf("ParseTopology = %+v, %v", tp, err)
+	}
+	for _, bad := range []string{"", "4", "x", "4x", "ax8", "-1x8"} {
+		if _, err := ParseTopology(bad); err == nil {
+			t.Errorf("ParseTopology(%q) accepted", bad)
+		}
+	}
+}

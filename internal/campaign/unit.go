@@ -1,0 +1,180 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"marchgen/internal/bist"
+	"marchgen/internal/core"
+	"marchgen/internal/faultlist"
+	"marchgen/internal/sim"
+	"marchgen/internal/word"
+)
+
+// defaultBISTCells is the array size BIST costs are estimated for when the
+// unit names no topology, and the cycle charge per delay operation. Both are
+// fixed constants so result documents stay deterministic.
+const (
+	defaultBISTCells = 1024
+	bistDelayCycles  = 1000
+)
+
+// CoverageJSON is the detected/total pair of a certification run.
+type CoverageJSON struct {
+	Detected int `json:"detected"`
+	Total    int `json:"total"`
+}
+
+// BISTJSON is the wire form of a BIST cost estimate.
+type BISTJSON struct {
+	Cells         int   `json:"cells"`
+	Cycles        int64 `json:"cycles"`
+	Elements      int   `json:"elements"`
+	OrderSwitches int   `json:"order_switches"`
+	SingleOrder   bool  `json:"single_order"`
+}
+
+// WordJSON is the word-oriented evaluation of a unit with width > 1: the
+// generated test run against the march-testable intra-word faults of a
+// width-bit word under the standard data-background set.
+type WordJSON struct {
+	Width       int `json:"width"`
+	Backgrounds int `json:"backgrounds"`
+	Faults      int `json:"faults"`
+	Detected    int `json:"detected"`
+}
+
+// TopoJSON reports how the array shape interacts with logical address
+// order: the number of logically adjacent address pairs that are not
+// physically adjacent (what scrambled/wide arrays hide from march tests).
+type TopoJSON struct {
+	Rows        int `json:"rows"`
+	Cols        int `json:"cols"`
+	RemotePairs int `json:"logically_adjacent_physically_remote"`
+}
+
+// UnitResult is the deterministic result document of one unit: everything
+// in it is a pure function of the unit coordinates, so two runs of the same
+// unit marshal to byte-identical records. Wall-clock timings are
+// deliberately absent — they go to progress events and logs, never to the
+// store.
+type UnitResult struct {
+	Unit     Unit         `json:"unit"`
+	Test     string       `json:"test"`
+	Length   int          `json:"length"`
+	Coverage CoverageJSON `json:"coverage"`
+	// Simulations is the generator's candidate-evaluation count (the
+	// search-effort column of the sweep).
+	Simulations int       `json:"simulations"`
+	BIST        BISTJSON  `json:"bist"`
+	Word        *WordJSON `json:"word,omitempty"`
+	Topo        *TopoJSON `json:"topo,omitempty"`
+	// Error records a unit-level failure (e.g. a fault list the constrained
+	// generator cannot cover). Failed units are results, not run aborts: the
+	// error text is deterministic and the sweep continues.
+	Error string `json:"error,omitempty"`
+}
+
+// runUnit executes one unit: generate a march test for the unit's fault
+// list under its profile/order constraints, certify it on a Size-cell
+// memory, then evaluate the word-width and topology views. The returned
+// document is deterministic; err is non-nil only for infrastructure
+// failures (context cancellation), never for fault-coverage outcomes.
+func runUnit(ctx context.Context, u Unit) (UnitResult, error) {
+	gen, err := generateForUnit(ctx, u)
+	return buildResult(ctx, u, gen, err)
+}
+
+// generateForUnit is the generation step alone: the part units sharing
+// (list, profile, order, size) coordinates can reuse (see genMemo).
+func generateForUnit(ctx context.Context, u Unit) (core.Result, error) {
+	faults, ok := faultlist.ByName(u.List)
+	if !ok {
+		return core.Result{}, fmt.Errorf("unknown fault list %q", u.List)
+	}
+	constraint, err := core.ParseOrderConstraint(u.Order)
+	if err != nil {
+		return core.Result{}, err
+	}
+	opts := core.Options{
+		Name:        fmt.Sprintf("March CAMP(%s,%s,%s,n=%d)", u.List, u.Profile, u.Order, u.Size),
+		Aggressive:  u.Profile == ProfileAggressive,
+		Orders:      constraint,
+		FinalConfig: sim.Config{Size: u.Size, ExhaustiveOrders: true},
+	}
+	return core.GenerateContext(ctx, faults, opts)
+}
+
+// buildResult derives the unit's result document from its generation
+// outcome: certification coverage, BIST cost on the unit's topology, and
+// the word-oriented evaluation. Generation failures with a deterministic
+// cause become recorded unit errors; context failures abort the run.
+func buildResult(ctx context.Context, u Unit, gen core.Result, err error) (UnitResult, error) {
+	res := UnitResult{Unit: u}
+	if err != nil {
+		if ctx.Err() != nil {
+			return res, ctx.Err()
+		}
+		res.Error = err.Error()
+		return res, nil
+	}
+	res.Test = gen.Test.String()
+	res.Length = gen.Test.Length()
+	res.Coverage = CoverageJSON{Detected: gen.Report.Detected(), Total: gen.Report.Total()}
+	res.Simulations = gen.Stats.Simulations
+
+	bistCells := defaultBISTCells
+	if u.Topology != "" {
+		tp, err := ParseTopology(u.Topology)
+		if err != nil {
+			res.Error = err.Error()
+			return res, nil
+		}
+		bistCells = tp.Cells()
+		remote, err := tp.LogicallyAdjacentPhysicallyRemote()
+		if err != nil {
+			res.Error = err.Error()
+			return res, nil
+		}
+		res.Topo = &TopoJSON{Rows: tp.Rows, Cols: tp.Cols, RemotePairs: remote}
+	}
+	cost := bist.Estimate(gen.Test, bistCells, bistDelayCycles)
+	res.BIST = BISTJSON{
+		Cells:         bistCells,
+		Cycles:        cost.Cycles,
+		Elements:      cost.Elements,
+		OrderSwitches: cost.OrderSwitches,
+		SingleOrder:   cost.SingleOrder,
+	}
+
+	if u.Width > 1 {
+		wfaults := word.TestableIntraWordFaults(u.Width)
+		bgs, err := word.Backgrounds(u.Width)
+		if err != nil {
+			res.Error = err.Error()
+			return res, nil
+		}
+		detected, err := word.Coverage(gen.Test, wfaults, bgs, word.Config{Words: 2, Width: u.Width})
+		if err != nil {
+			res.Error = err.Error()
+			return res, nil
+		}
+		res.Word = &WordJSON{
+			Width: u.Width, Backgrounds: len(bgs),
+			Faults: len(wfaults), Detected: detected,
+		}
+	}
+	return res, nil
+}
+
+// marshalResult renders a unit result for the store. Encoding goes through
+// one fixed struct so field order — and therefore the byte-identity
+// guarantee — is pinned here.
+func marshalResult(r UnitResult) (json.RawMessage, error) {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: unit %s: %w", r.Unit.ID(), err)
+	}
+	return b, nil
+}

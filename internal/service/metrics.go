@@ -31,6 +31,11 @@ type metrics struct {
 	jobsFailed    int64
 	jobsCanceled  int64
 
+	campaignsSubmitted   int64
+	campaignsDone        int64
+	campaignsFailed      int64
+	campaignsInterrupted int64
+
 	genCount   int64
 	genSum     float64 // seconds
 	genBuckets []int64 // cumulative-style counts per latencyBuckets entry, +Inf last
@@ -80,6 +85,25 @@ func (m *metrics) jobTerminal(status JobStatus) {
 	m.mu.Unlock()
 }
 
+func (m *metrics) campaignSubmitted() {
+	m.mu.Lock()
+	m.campaignsSubmitted++
+	m.mu.Unlock()
+}
+
+func (m *metrics) campaignTerminal(status string) {
+	m.mu.Lock()
+	switch status {
+	case CampaignDone:
+		m.campaignsDone++
+	case CampaignFailed:
+		m.campaignsFailed++
+	case CampaignInterrupted:
+		m.campaignsInterrupted++
+	}
+	m.mu.Unlock()
+}
+
 // observeGenerate records one completed generation's wall-clock latency.
 func (m *metrics) observeGenerate(d time.Duration) {
 	s := d.Seconds()
@@ -102,17 +126,23 @@ type HistogramSnapshot struct {
 
 // MetricsSnapshot is the /metrics document.
 type MetricsSnapshot struct {
-	Requests      map[string]int64  `json:"requests"`
-	Statuses      map[string]int64  `json:"responses_by_status"`
-	CacheHits     int64             `json:"cache_hits"`
-	CacheMisses   int64             `json:"cache_misses"`
-	CacheEntries  int               `json:"cache_entries"`
-	JobsSubmitted int64             `json:"jobs_submitted"`
-	JobsDone      int64             `json:"jobs_done"`
-	JobsFailed    int64             `json:"jobs_failed"`
-	JobsCanceled  int64             `json:"jobs_canceled"`
-	QueueDepth    int               `json:"job_queue_depth"`
-	Generate      HistogramSnapshot `json:"generate_latency"`
+	Requests      map[string]int64 `json:"requests"`
+	Statuses      map[string]int64 `json:"responses_by_status"`
+	CacheHits     int64            `json:"cache_hits"`
+	CacheMisses   int64            `json:"cache_misses"`
+	CacheEntries  int              `json:"cache_entries"`
+	JobsSubmitted int64            `json:"jobs_submitted"`
+	JobsDone      int64            `json:"jobs_done"`
+	JobsFailed    int64            `json:"jobs_failed"`
+	JobsCanceled  int64            `json:"jobs_canceled"`
+	QueueDepth    int              `json:"job_queue_depth"`
+
+	CampaignsSubmitted   int64 `json:"campaigns_submitted"`
+	CampaignsDone        int64 `json:"campaigns_done"`
+	CampaignsFailed      int64 `json:"campaigns_failed"`
+	CampaignsInterrupted int64 `json:"campaigns_interrupted"`
+
+	Generate HistogramSnapshot `json:"generate_latency"`
 }
 
 // snapshot copies the registry; queueDepth and cacheEntries are sampled by
@@ -131,6 +161,12 @@ func (m *metrics) snapshot(queueDepth, cacheEntries int) MetricsSnapshot {
 		JobsFailed:    m.jobsFailed,
 		JobsCanceled:  m.jobsCanceled,
 		QueueDepth:    queueDepth,
+
+		CampaignsSubmitted:   m.campaignsSubmitted,
+		CampaignsDone:        m.campaignsDone,
+		CampaignsFailed:      m.campaignsFailed,
+		CampaignsInterrupted: m.campaignsInterrupted,
+
 		Generate: HistogramSnapshot{
 			Count:   m.genCount,
 			SumSecs: m.genSum,

@@ -27,6 +27,8 @@ import (
 	"context"
 	"log"
 	"net/http"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
@@ -48,8 +50,31 @@ type Config struct {
 	// SyncTimeout is the request-scoped timeout of the synchronous
 	// endpoints (simulate, detects); 0 means 60 seconds.
 	SyncTimeout time.Duration
+	// DataDir is the durable root of the campaign result stores (one
+	// subdirectory per campaign); "" means a "marchd-campaigns" directory
+	// under the OS temp dir.
+	DataDir string
+	// MaxCampaigns bounds concurrently running campaigns; 0 means 2.
+	MaxCampaigns int
+	// CampaignWorkers bounds concurrent shards per campaign; 0 means
+	// GOMAXPROCS.
+	CampaignWorkers int
 	// Logger receives the structured request log; nil disables logging.
 	Logger *log.Logger
+}
+
+func (c Config) dataDir() string {
+	if c.DataDir == "" {
+		return filepath.Join(os.TempDir(), "marchd-campaigns")
+	}
+	return c.DataDir
+}
+
+func (c Config) maxCampaigns() int {
+	if c.MaxCampaigns <= 0 {
+		return 2
+	}
+	return c.MaxCampaigns
 }
 
 func (c Config) workers() int {
@@ -90,12 +115,13 @@ func (c Config) syncTimeout() time.Duration {
 // Server is the marchd HTTP service: job engine + result cache + metrics
 // behind a request-logging handler.
 type Server struct {
-	cfg     Config
-	jobs    *jobEngine
-	cache   *resultCache
-	metrics *metrics
-	logger  *log.Logger
-	handler http.Handler
+	cfg       Config
+	jobs      *jobEngine
+	cache     *resultCache
+	campaigns *campaignManager
+	metrics   *metrics
+	logger    *log.Logger
+	handler   http.Handler
 
 	// inflight deduplicates concurrent generation requests: cache key →
 	// job id of the queued/running job computing that key.
@@ -117,6 +143,8 @@ func New(cfg Config) *Server {
 		s.metrics.jobTerminal(j.snapshot(false).Status)
 		s.clearInflight(j.id)
 	}
+	s.campaigns = newCampaignManager(cfg.dataDir(), cfg.maxCampaigns(), cfg.CampaignWorkers)
+	s.campaigns.onTerminal = s.metrics.campaignTerminal
 
 	mux := http.NewServeMux()
 	s.route(mux, "POST /v1/generate", s.handleGenerate)
@@ -127,6 +155,11 @@ func New(cfg Config) *Server {
 	s.route(mux, "GET /v1/jobs/{id}", s.handleJobGet)
 	s.route(mux, "GET /v1/jobs/{id}/result", s.handleJobResult)
 	s.route(mux, "DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.route(mux, "POST /v1/campaigns", s.handleCampaignSubmit)
+	s.route(mux, "GET /v1/campaigns", s.handleCampaignList)
+	s.route(mux, "GET /v1/campaigns/{id}", s.handleCampaignGet)
+	s.route(mux, "GET /v1/campaigns/{id}/results", s.handleCampaignResults)
+	s.route(mux, "DELETE /v1/campaigns/{id}", s.handleCampaignCancel)
 	s.route(mux, "GET /healthz", s.handleHealthz)
 	s.route(mux, "GET /metrics", s.handleMetrics)
 	s.handler = s.logging(mux)
@@ -136,12 +169,18 @@ func New(cfg Config) *Server {
 // Handler returns the service's root handler.
 func (s *Server) Handler() http.Handler { return s.handler }
 
-// Shutdown drains the job engine: no new jobs are accepted, queued and
-// running jobs finish until ctx expires, then the stragglers are canceled.
-// The HTTP listener itself is the caller's to close (net/http.Server owns
-// connection draining; this owns job draining).
+// Shutdown drains the job engine and the campaign manager: no new work is
+// accepted, in-flight work finishes until ctx expires, then the stragglers
+// are canceled (interrupted campaigns keep their last checkpoint and are
+// resumable). The HTTP listener itself is the caller's to close
+// (net/http.Server owns connection draining; this owns work draining).
 func (s *Server) Shutdown(ctx context.Context) error {
-	return s.jobs.Shutdown(ctx)
+	jobErr := s.jobs.Shutdown(ctx)
+	campErr := s.campaigns.Shutdown(ctx)
+	if jobErr != nil {
+		return jobErr
+	}
+	return campErr
 }
 
 // route registers a handler and counts its requests under the route's

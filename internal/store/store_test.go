@@ -1,0 +1,146 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func rec(seq, shard int, id string) Record {
+	body, _ := json.Marshal(map[string]int{"seq": seq})
+	return Record{ID: id, Shard: shard, Seq: seq, Body: body}
+}
+
+func TestAppendCommitRead(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, "h1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Append(rec(i, 0, string(rune('a'+i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cp, recs, err := Read(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Shards != 1 || cp.Records != 3 {
+		t.Fatalf("checkpoint = %+v", cp)
+	}
+	if len(recs) != 3 || recs[2].ID != "c" || recs[2].Seq != 2 {
+		t.Fatalf("records = %+v", recs)
+	}
+}
+
+func TestUncommittedTailTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, "h1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(rec(0, 0, "a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	// A kill mid-append leaves uncommitted garbage: a whole record plus a
+	// torn partial line.
+	if err := s.Append(rec(1, 1, "b")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	f, err := os.OpenFile(filepath.Join(dir, dataName), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"id":"torn","sh`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := Open(dir, "h1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	recs, err := s2.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].ID != "a" {
+		t.Fatalf("recovered records = %+v, want only the committed prefix", recs)
+	}
+	if s2.Has("b") || s2.Has("torn") {
+		t.Fatal("uncommitted records survived recovery")
+	}
+	st, err := os.Stat(filepath.Join(dir, dataName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != s2.Checkpoint().Bytes {
+		t.Fatalf("data file %d bytes, checkpoint %d: tail not truncated", st.Size(), s2.Checkpoint().Bytes)
+	}
+}
+
+func TestResumeAppendsAfterCommittedPrefix(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, "h1")
+	s.Append(rec(0, 0, "a"))
+	s.Commit(1)
+	s.Close()
+
+	s2, err := Open(dir, "h1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Has("a") {
+		t.Fatal("index not rebuilt on open")
+	}
+	s2.Append(rec(1, 1, "b"))
+	s2.Commit(2)
+	s2.Close()
+
+	cp, recs, err := Read(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Shards != 2 || len(recs) != 2 || recs[1].ID != "b" {
+		t.Fatalf("cp=%+v recs=%+v", cp, recs)
+	}
+}
+
+func TestSpecMismatchRefused(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, "h1")
+	s.Close()
+	if _, err := Open(dir, "h2"); !errors.Is(err, ErrSpecMismatch) {
+		t.Fatalf("Open with wrong hash: err = %v, want ErrSpecMismatch", err)
+	}
+}
+
+func TestMissingDataBytesIsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, "h1")
+	s.Append(rec(0, 0, "a"))
+	s.Commit(1)
+	s.Close()
+	// Simulate data loss under the checkpoint.
+	if err := os.Truncate(filepath.Join(dir, dataName), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, "h1"); err == nil {
+		t.Fatal("Open accepted a data file shorter than the checkpoint")
+	}
+}

@@ -1,9 +1,10 @@
 #!/bin/sh
 # Race-detector gate for the packages with concurrent hot paths: the
 # simulator's worker fan-out (Schedule.Simulate, Schedule.FullCoverage,
-# sync.Pool machine reuse), the generator loops driving them, and the
-# marchd service layer (job engine worker pool, result cache, metrics,
-# concurrent HTTP clients).
+# sync.Pool machine reuse), the generator loops driving them, the marchd
+# service layer (job engine worker pool, result cache, metrics, concurrent
+# HTTP clients), and the campaign engine (shard worker pool, in-order
+# committer, generation memo) with its durable store.
 set -eu
 cd "$(dirname "$0")/.."
-exec go test -race ./internal/sim/... ./internal/core/... ./internal/service/...
+exec go test -race ./internal/sim/... ./internal/core/... ./internal/service/... ./internal/campaign/... ./internal/store/...

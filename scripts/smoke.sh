@@ -1,8 +1,10 @@
 #!/bin/sh
-# End-to-end smoke test for marchd: build the binary, start it on an
-# ephemeral port, run a generate round-trip (submit, poll, fetch result,
-# repeat for a cache hit) plus the read-only endpoints through curl, then
-# SIGTERM it and require a clean drain (exit 0).
+# End-to-end smoke test for marchd and marchcamp: build marchd, start it on
+# an ephemeral port, run a generate round-trip (submit, poll, fetch result,
+# repeat for a cache hit, assert the latency histogram recorded it) plus a
+# campaign round-trip and the read-only endpoints through curl, then SIGTERM
+# it and require a clean drain (exit 0). Finishes with a marchcamp
+# run + report round-trip over the same campaign engine.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -26,7 +28,7 @@ fail() {
 
 go build -o "$BIN" ./cmd/marchd
 
-"$BIN" -addr 127.0.0.1:0 2>"$LOG" &
+"$BIN" -addr 127.0.0.1:0 -data "$TMP/campaigns" 2>"$LOG" &
 SRV_PID=$!
 
 # Scrape the resolved port from the startup announcement.
@@ -80,7 +82,37 @@ HIT=$(curl -fsS -D - -o /dev/null -X POST "$BASE/v1/generate" -d '{"list":"list2
 [ "$HIT" = "hit" ] || fail "repeat request was not a cache hit (X-Cache: $HIT)"
 
 curl -fsS "$BASE/metrics" | grep -q '"cache_hits": 1' || fail "metrics cache_hits"
-echo "smoke: generate round-trip + cache hit OK"
+
+# After a completed generation, the latency histogram must have recorded it:
+# a non-zero observation count under "generate_latency".
+GEN_COUNT=$(curl -fsS "$BASE/metrics" \
+	| sed -n '/"generate_latency"/,/}/p' \
+	| sed -n 's/.*"count": \([0-9][0-9]*\).*/\1/p' | head -n1)
+[ -n "$GEN_COUNT" ] && [ "$GEN_COUNT" -ge 1 ] \
+	|| fail "generation latency histogram empty (count: '${GEN_COUNT:-missing}')"
+echo "smoke: generate round-trip + cache hit + latency histogram OK"
+
+# Campaign round-trip over the HTTP API: submit a one-unit sweep, poll to
+# completion, fetch its committed results.
+CAMP=$(curl -fsS -X POST "$BASE/v1/campaigns" \
+	-d '{"name":"smoke","lists":["list2"]}' \
+	| sed -n 's/.*"id": "\(c-[^"]*\)".*/\1/p' | head -n1)
+[ -n "$CAMP" ] || fail "campaign submit returned no id"
+i=0
+CSTATUS=""
+while [ $i -lt 300 ]; do
+	CSTATUS=$(curl -fsS "$BASE/v1/campaigns/$CAMP" | sed -n 's/.*"status": "\([^"]*\)".*/\1/p' | head -n1)
+	case "$CSTATUS" in
+	done) break ;;
+	failed | interrupted) fail "campaign ended $CSTATUS" ;;
+	esac
+	sleep 0.1
+	i=$((i + 1))
+done
+[ "$CSTATUS" = "done" ] || fail "campaign stuck in state '$CSTATUS'"
+curl -fsS "$BASE/v1/campaigns/$CAMP/results" | grep -q '"id": *"u-' || fail "campaign results empty"
+curl -fsS "$BASE/metrics" | grep -q '"campaigns_done": 1' || fail "metrics campaigns_done"
+echo "smoke: campaign round-trip OK"
 
 # Graceful shutdown: SIGTERM must drain and exit 0.
 kill -TERM "$SRV_PID"
@@ -93,4 +125,16 @@ done
 grep -q 'exit 0' "$LOG" || fail "marchd did not exit cleanly (want 'exit 0' in log)"
 SRV_PID=""
 echo "smoke: clean SIGTERM drain"
+
+# marchcamp CLI: a minimal run + report round-trip over the same engine.
+CAMPBIN="$TMP/marchcamp"
+go build -o "$CAMPBIN" ./cmd/marchcamp
+"$CAMPBIN" example >"$TMP/sweep.json" || fail "marchcamp example"
+cat >"$TMP/mini.json" <<'EOF'
+{"name":"smoke-mini","lists":["list2"],"orders":["free","up"],"shard_size":1}
+EOF
+"$CAMPBIN" run -spec "$TMP/mini.json" -dir "$TMP/camp" -quiet \
+	| grep -q 'complete: 2 units in 2 shards' || fail "marchcamp run"
+"$CAMPBIN" report -dir "$TMP/camp" | grep -q 'Generated tests:' || fail "marchcamp report"
+echo "smoke: marchcamp run + report OK"
 echo "smoke: PASS"
