@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt-check race bench bench-sim serve test-service smoke check
+.PHONY: build test vet fmt-check race bench bench-sim serve test-service smoke chaos check
 
 build:
 	$(GO) build ./...
@@ -44,5 +44,14 @@ test-service:
 smoke:
 	./scripts/smoke.sh
 
-## check: the full local CI gate — build, vet, gofmt, tests, race, smoke.
-check: build vet fmt-check test race smoke
+## chaos: the fault-injection gate (DESIGN.md §10) — the iofault injector
+## suite, the crash-matrix byte-identical-resume sweep over every I/O op,
+## the torn-tail fuzz seeds, panic containment in the job engine and HTTP
+## layer, and the retrying marchctl client against a flaky server.
+chaos:
+	$(GO) test -count=1 ./internal/iofault/ ./internal/retry/ ./cmd/marchctl/
+	$(GO) test -count=1 -run 'TestCrashMatrix|TestFaultMatrix|TestENOSPC|TestRunContainsPanicking|TestCrashError|FuzzOpenTornTail|TestJobEnginePanicContained|TestRoutePanic|TestEncodeError' \
+		./internal/campaign/ ./internal/store/ ./internal/service/
+
+## check: the full local CI gate — build, vet, gofmt, tests, race, chaos, smoke.
+check: build vet fmt-check test race chaos smoke

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"marchgen/internal/retry"
+)
+
+// client is the retrying marchd client. Every request runs behind
+// retry.Do: transport errors (connection refused, reset mid-response) and
+// backpressure statuses (502/503/504) are retried with full-jitter
+// backoff, honoring the server's Retry-After header when it sends one;
+// every other status is returned to the caller as the final answer.
+//
+// Retrying mutating requests is safe because marchd's mutations are
+// idempotent by construction: generation jobs are deduplicated on their
+// content-addressed cache key and campaigns are content-addressed on
+// their spec hash, so a retried submit lands on the same job or campaign.
+type client struct {
+	base string // e.g. "http://127.0.0.1:8080", no trailing slash
+	hc   *http.Client
+	pol  retry.Policy
+	poll time.Duration // status poll interval for -wait
+}
+
+func newClient(addr string, retries int, poll time.Duration) *client {
+	return &client{
+		base: strings.TrimRight(addr, "/"),
+		hc:   &http.Client{},
+		pol:  retry.Policy{MaxAttempts: retries},
+		poll: poll,
+	}
+}
+
+// response is the terminal outcome of a retried request.
+type response struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// transientStatus reports whether an HTTP status is worth retrying: the
+// gateway/backpressure family only. 4xx are caller errors, other 5xx are
+// server bugs a retry will not fix.
+func transientStatus(status int) bool {
+	switch status {
+	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// retryAfter parses a Retry-After header (seconds form). The HTTP-date
+// form is not produced by marchd and falls back to ok=false.
+func retryAfter(h http.Header) (time.Duration, bool) {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0, false
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0, false
+	}
+	return time.Duration(secs) * time.Second, true
+}
+
+// do performs one logical request with retries. body may be nil; it is
+// replayed verbatim on every attempt.
+func (c *client) do(ctx context.Context, method, path string, body []byte) (*response, error) {
+	var out *response
+	err := retry.Do(ctx, c.pol, func(ctx context.Context) error {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return retry.Permanent(err)
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return err // transport error: retryable
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err // reset mid-body: retryable
+		}
+		if transientStatus(resp.StatusCode) {
+			err := fmt.Errorf("%s %s: HTTP %d: %s", method, path, resp.StatusCode, compactBody(data))
+			if d, ok := retryAfter(resp.Header); ok {
+				return retry.After(err, d)
+			}
+			return err
+		}
+		out = &response{status: resp.StatusCode, header: resp.Header, body: data}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// getJSON GETs path and decodes the body into v when the status is 200.
+func (c *client) getJSON(ctx context.Context, path string, v any) (*response, error) {
+	resp, err := c.do(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return nil, err
+	}
+	if resp.status == http.StatusOK && v != nil {
+		if err := json.Unmarshal(resp.body, v); err != nil {
+			return resp, fmt.Errorf("GET %s: bad response body: %v", path, err)
+		}
+	}
+	return resp, nil
+}
+
+// compactBody renders a response body for an error message: the server's
+// JSON error field when present, else the (truncated) raw body.
+func compactBody(data []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	s := strings.TrimSpace(string(data))
+	if len(s) > 200 {
+		s = s[:200] + "..."
+	}
+	return s
+}
+
+// apiErrorOf extracts the server's error message from a non-2xx response.
+func apiErrorOf(resp *response) string {
+	return compactBody(resp.body)
+}
+
+// sleepCtx waits d or until ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

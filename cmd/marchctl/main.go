@@ -1,0 +1,380 @@
+// Command marchctl is the retrying command-line client of marchd: it
+// submits generation jobs, waits for and fetches their results, runs
+// synchronous simulations, and drives sweep campaigns — riding out
+// transient failures (503 backpressure, connection resets, gateway
+// errors) with bounded exponential backoff and full jitter
+// (internal/retry), honoring the server's Retry-After header.
+//
+// Retried submits are safe: marchd deduplicates generation jobs on their
+// content-addressed cache key and campaigns on their spec hash, so a
+// replayed request lands on the work already in flight.
+//
+// Usage:
+//
+//	marchctl [-addr URL] [-retries N] [-timeout D] <command> [flags]
+//
+//	marchctl submit -list list2 -wait
+//	marchctl wait <job-id>
+//	marchctl result <job-id>
+//	marchctl simulate -march "March SL" -list list1
+//	marchctl campaign -spec sweep.json -wait
+//
+// Exit codes (for scripts and CI):
+//
+//	0  success
+//	1  the server rejected the request or the job/campaign failed
+//	2  usage error (bad flags or arguments)
+//	3  transport failure after exhausting retries
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"marchgen/internal/buildinfo"
+)
+
+// Exit codes of the marchctl command.
+const (
+	exitOK        = 0 // success
+	exitRemote    = 1 // server-side rejection or failed job/campaign
+	exitUsage     = 2 // flag / argument errors
+	exitTransport = 3 // retries exhausted without a terminal answer
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with the process plumbing factored out so tests can drive
+// the command end to end against an httptest server and assert on exit
+// codes and output.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("marchctl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr    = fs.String("addr", "http://127.0.0.1:8080", "marchd base URL")
+		retries = fs.Int("retries", 4, "attempts per request before giving up")
+		timeout = fs.Duration("timeout", 5*time.Minute, "overall deadline for the whole command")
+		poll    = fs.Duration("poll", 200*time.Millisecond, "status poll interval for -wait")
+		version = fs.Bool("version", false, "print version and exit")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: marchctl [flags] <submit|wait|result|simulate|campaign> [command flags]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if *version {
+		buildinfo.Fprint(stdout, "marchctl")
+		return exitOK
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		fs.Usage()
+		return exitUsage
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	c := newClient(*addr, *retries, *poll)
+
+	switch rest[0] {
+	case "submit":
+		return cmdSubmit(ctx, c, rest[1:], stdout, stderr)
+	case "wait":
+		return cmdWait(ctx, c, rest[1:], stdout, stderr)
+	case "result":
+		return cmdResult(ctx, c, rest[1:], stdout, stderr)
+	case "simulate":
+		return cmdSimulate(ctx, c, rest[1:], stdout, stderr)
+	case "campaign":
+		return cmdCampaign(ctx, c, rest[1:], stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "marchctl: unknown command %q\n", rest[0])
+		fs.Usage()
+		return exitUsage
+	}
+}
+
+// jobView mirrors the service's job snapshot wire form.
+type jobView struct {
+	ID     string          `json:"id"`
+	Status string          `json:"status"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+func (j jobView) terminal() bool {
+	return j.Status == "done" || j.Status == "failed" || j.Status == "canceled"
+}
+
+// cmdSubmit posts a generation request. A cache hit answers immediately;
+// a miss enqueues a job, and -wait polls it to completion and prints the
+// result document.
+func cmdSubmit(ctx context.Context, c *client, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("marchctl submit", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list      = fs.String("list", "", "fault list to generate a march test for (list1, list2, simple, ...)")
+		timeoutMS = fs.Int64("timeout-ms", 0, "per-job deadline in milliseconds (0 = server default)")
+		wait      = fs.Bool("wait", false, "poll the job to completion and print its result")
+	)
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if *list == "" {
+		fmt.Fprintln(stderr, "marchctl submit: need -list")
+		return exitUsage
+	}
+	body, err := json.Marshal(struct {
+		List      string `json:"list"`
+		TimeoutMS int64  `json:"timeout_ms,omitempty"`
+	}{*list, *timeoutMS})
+	if err != nil {
+		fmt.Fprintln(stderr, "marchctl:", err)
+		return exitUsage
+	}
+	resp, err := c.do(ctx, "POST", "/v1/generate", body)
+	if err != nil {
+		fmt.Fprintln(stderr, "marchctl:", err)
+		return exitTransport
+	}
+	switch resp.status {
+	case 200: // cache hit: the result document itself
+		fmt.Fprintln(stdout, string(resp.body))
+		return exitOK
+	case 202:
+		var accepted struct {
+			Job  jobView `json:"job"`
+			Poll string  `json:"poll"`
+		}
+		if err := json.Unmarshal(resp.body, &accepted); err != nil {
+			fmt.Fprintln(stderr, "marchctl: bad 202 body:", err)
+			return exitRemote
+		}
+		if !*wait {
+			fmt.Fprintf(stdout, "job %s %s; poll with: marchctl wait %s\n", accepted.Job.ID, accepted.Job.Status, accepted.Job.ID)
+			return exitOK
+		}
+		return waitAndPrintResult(ctx, c, accepted.Job.ID, stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "marchctl: submit rejected: HTTP %d: %s\n", resp.status, apiErrorOf(resp))
+		return exitRemote
+	}
+}
+
+// waitJob polls the job until it reaches a terminal state.
+func waitJob(ctx context.Context, c *client, id string) (jobView, error) {
+	for {
+		var j jobView
+		resp, err := c.getJSON(ctx, "/v1/jobs/"+id, &j)
+		if err != nil {
+			return jobView{}, err
+		}
+		if resp.status != 200 {
+			return jobView{}, fmt.Errorf("HTTP %d: %s", resp.status, apiErrorOf(resp))
+		}
+		if j.terminal() {
+			return j, nil
+		}
+		if err := sleepCtx(ctx, c.poll); err != nil {
+			return jobView{}, err
+		}
+	}
+}
+
+// waitAndPrintResult polls a job to completion and prints its result
+// document (fetched from the result endpoint: the exact cached bytes).
+func waitAndPrintResult(ctx context.Context, c *client, id string, stdout, stderr io.Writer) int {
+	j, err := waitJob(ctx, c, id)
+	if err != nil {
+		fmt.Fprintln(stderr, "marchctl:", err)
+		return exitTransport
+	}
+	if j.Status != "done" {
+		fmt.Fprintf(stderr, "marchctl: job %s %s: %s\n", j.ID, j.Status, j.Error)
+		return exitRemote
+	}
+	resp, err := c.do(ctx, "GET", "/v1/jobs/"+id+"/result", nil)
+	if err != nil {
+		fmt.Fprintln(stderr, "marchctl:", err)
+		return exitTransport
+	}
+	if resp.status != 200 {
+		fmt.Fprintf(stderr, "marchctl: result: HTTP %d: %s\n", resp.status, apiErrorOf(resp))
+		return exitRemote
+	}
+	fmt.Fprintln(stdout, string(resp.body))
+	return exitOK
+}
+
+// cmdWait polls a job id to completion and prints the final snapshot.
+func cmdWait(ctx context.Context, c *client, args []string, stdout, stderr io.Writer) int {
+	if len(args) != 1 {
+		fmt.Fprintln(stderr, "usage: marchctl wait <job-id>")
+		return exitUsage
+	}
+	j, err := waitJob(ctx, c, args[0])
+	if err != nil {
+		fmt.Fprintln(stderr, "marchctl:", err)
+		return exitTransport
+	}
+	out, _ := json.MarshalIndent(j, "", "  ")
+	fmt.Fprintln(stdout, string(out))
+	if j.Status != "done" {
+		return exitRemote
+	}
+	return exitOK
+}
+
+// cmdResult fetches a done job's result document.
+func cmdResult(ctx context.Context, c *client, args []string, stdout, stderr io.Writer) int {
+	if len(args) != 1 {
+		fmt.Fprintln(stderr, "usage: marchctl result <job-id>")
+		return exitUsage
+	}
+	resp, err := c.do(ctx, "GET", "/v1/jobs/"+args[0]+"/result", nil)
+	if err != nil {
+		fmt.Fprintln(stderr, "marchctl:", err)
+		return exitTransport
+	}
+	if resp.status != 200 {
+		fmt.Fprintf(stderr, "marchctl: HTTP %d: %s\n", resp.status, apiErrorOf(resp))
+		return exitRemote
+	}
+	fmt.Fprintln(stdout, string(resp.body))
+	return exitOK
+}
+
+// cmdSimulate runs a synchronous fault simulation.
+func cmdSimulate(ctx context.Context, c *client, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("marchctl simulate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		march = fs.String("march", "", "library march test to simulate")
+		spec  = fs.String("spec", "", "march test in notation form")
+		list  = fs.String("list", "list1", "fault list to simulate against")
+	)
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if *march == "" && *spec == "" {
+		fmt.Fprintln(stderr, "marchctl simulate: need -march or -spec")
+		return exitUsage
+	}
+	body, err := json.Marshal(struct {
+		March struct {
+			Name string `json:"name,omitempty"`
+			Spec string `json:"spec,omitempty"`
+		} `json:"march"`
+		List string `json:"list"`
+	}{struct {
+		Name string `json:"name,omitempty"`
+		Spec string `json:"spec,omitempty"`
+	}{*march, *spec}, *list})
+	if err != nil {
+		fmt.Fprintln(stderr, "marchctl:", err)
+		return exitUsage
+	}
+	resp, err := c.do(ctx, "POST", "/v1/simulate", body)
+	if err != nil {
+		fmt.Fprintln(stderr, "marchctl:", err)
+		return exitTransport
+	}
+	if resp.status != 200 {
+		fmt.Fprintf(stderr, "marchctl: HTTP %d: %s\n", resp.status, apiErrorOf(resp))
+		return exitRemote
+	}
+	fmt.Fprintln(stdout, string(resp.body))
+	return exitOK
+}
+
+// campaignView mirrors the service's campaign snapshot wire form (the
+// fields marchctl reads; the full document is printed verbatim).
+type campaignView struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+}
+
+func (cv campaignView) terminal() bool {
+	return cv.Status == "done" || cv.Status == "failed" || cv.Status == "interrupted"
+}
+
+// cmdCampaign submits a campaign spec (a JSON file, or "-" for stdin) and
+// optionally polls it to completion.
+func cmdCampaign(ctx context.Context, c *client, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("marchctl campaign", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		specFile = fs.String("spec", "", "campaign spec JSON file (\"-\" reads stdin)")
+		wait     = fs.Bool("wait", false, "poll the campaign to completion")
+	)
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if *specFile == "" {
+		fmt.Fprintln(stderr, "marchctl campaign: need -spec")
+		return exitUsage
+	}
+	var (
+		body []byte
+		err  error
+	)
+	if *specFile == "-" {
+		body, err = io.ReadAll(os.Stdin)
+	} else {
+		body, err = os.ReadFile(*specFile)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "marchctl:", err)
+		return exitUsage
+	}
+	resp, err := c.do(ctx, "POST", "/v1/campaigns", body)
+	if err != nil {
+		fmt.Fprintln(stderr, "marchctl:", err)
+		return exitTransport
+	}
+	if resp.status != 200 && resp.status != 202 {
+		fmt.Fprintf(stderr, "marchctl: campaign rejected: HTTP %d: %s\n", resp.status, apiErrorOf(resp))
+		return exitRemote
+	}
+	var cv campaignView
+	if err := json.Unmarshal(resp.body, &cv); err != nil {
+		fmt.Fprintln(stderr, "marchctl: bad campaign body:", err)
+		return exitRemote
+	}
+	if !*wait {
+		fmt.Fprintln(stdout, string(resp.body))
+		return exitOK
+	}
+	for !cv.terminal() {
+		if err := sleepCtx(ctx, c.poll); err != nil {
+			fmt.Fprintln(stderr, "marchctl:", err)
+			return exitTransport
+		}
+		r, err := c.getJSON(ctx, "/v1/campaigns/"+cv.ID, &cv)
+		if err != nil {
+			fmt.Fprintln(stderr, "marchctl:", err)
+			return exitTransport
+		}
+		if r.status != 200 {
+			fmt.Fprintf(stderr, "marchctl: HTTP %d: %s\n", r.status, apiErrorOf(r))
+			return exitRemote
+		}
+		resp = r
+	}
+	fmt.Fprintln(stdout, string(resp.body))
+	if cv.Status != "done" {
+		fmt.Fprintf(stderr, "marchctl: campaign %s %s: %s\n", cv.ID, cv.Status, cv.Error)
+		return exitRemote
+	}
+	return exitOK
+}

@@ -1,0 +1,311 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"marchgen/internal/retry"
+	"marchgen/internal/service"
+)
+
+// flaky wraps a handler with injected transient failures: the first
+// failFirst requests are sabotaged (503 + Retry-After, or a raw
+// connection close), everything after passes through. It is the test
+// double of a marchd instance under backpressure or a flaky network.
+type flaky struct {
+	next      http.Handler
+	failFirst int
+	reset     bool // true: hijack and close the conn; false: 503 + Retry-After: 0
+
+	mu   sync.Mutex
+	seen int
+}
+
+func (f *flaky) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	f.seen++
+	sabotage := f.seen <= f.failFirst
+	f.mu.Unlock()
+	if !sabotage {
+		f.next.ServeHTTP(w, r)
+		return
+	}
+	if f.reset {
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			panic("test server does not support hijacking")
+		}
+		conn, _, err := hj.Hijack()
+		if err != nil {
+			panic(err)
+		}
+		conn.Close() // the client sees a connection reset / EOF
+		return
+	}
+	w.Header().Set("Retry-After", "0")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	fmt.Fprintln(w, `{"error":"injected backpressure"}`)
+}
+
+func (f *flaky) requests() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.seen
+}
+
+// newFlakyService starts a real marchd service behind the flaky wrapper.
+func newFlakyService(t *testing.T, failFirst int, reset bool) (*httptest.Server, *flaky) {
+	t.Helper()
+	s := service.New(service.Config{Workers: 1, DataDir: t.TempDir()})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	f := &flaky{next: s.Handler(), failFirst: failFirst, reset: reset}
+	srv := httptest.NewServer(f)
+	t.Cleanup(srv.Close)
+	return srv, f
+}
+
+// runCtl drives the command exactly as main does.
+func runCtl(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestSubmitRoundTripThrough503s is the acceptance pin: a full
+// submit → poll → result round trip against a real marchd that answers
+// the first two requests with 503 + Retry-After must succeed without the
+// caller noticing.
+func TestSubmitRoundTripThrough503s(t *testing.T) {
+	srv, f := newFlakyService(t, 2, false)
+	code, stdout, stderr := runCtl(t,
+		"-addr", srv.URL, "-retries", "6", "-poll", "5ms", "-timeout", "2m",
+		"submit", "-list", "list2", "-wait")
+	if code != exitOK {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	var doc struct {
+		Test struct {
+			Name string `json:"name"`
+		} `json:"test"`
+		Report struct {
+			Coverage float64 `json:"coverage_percent"`
+		} `json:"report"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &doc); err != nil {
+		t.Fatalf("stdout is not a result document: %v\n%s", err, stdout)
+	}
+	if doc.Report.Coverage != 100 {
+		t.Fatalf("coverage = %v, want 100", doc.Report.Coverage)
+	}
+	if f.requests() < 3 {
+		t.Fatalf("server saw %d requests; the two injected 503s were not retried through", f.requests())
+	}
+}
+
+// TestSubmitRoundTripThroughConnectionResets: same round trip, but the
+// first two requests die with a raw connection close instead of a clean
+// 503 — the transport-error retry path.
+func TestSubmitRoundTripThroughConnectionResets(t *testing.T) {
+	srv, f := newFlakyService(t, 2, true)
+	code, stdout, stderr := runCtl(t,
+		"-addr", srv.URL, "-retries", "6", "-poll", "5ms", "-timeout", "2m",
+		"submit", "-list", "list2", "-wait")
+	if code != exitOK {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, `"coverage_percent":100`) {
+		t.Fatalf("stdout lost the result document:\n%s", stdout)
+	}
+	if f.requests() < 3 {
+		t.Fatalf("server saw %d requests, want the resets retried", f.requests())
+	}
+}
+
+// TestRetryAfterOverridesBackoff pins the Retry-After contract at the
+// client layer: with an hour-long computed backoff, only the server's
+// Retry-After: 0 can let three attempts finish promptly. A hang here
+// means the header was ignored.
+func TestRetryAfterOverridesBackoff(t *testing.T) {
+	var calls int
+	var mu sync.Mutex
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		calls++
+		n := calls
+		mu.Unlock()
+		if n <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	}))
+	defer srv.Close()
+
+	c := newClient(srv.URL, 3, time.Millisecond)
+	c.pol = retry.Policy{MaxAttempts: 3, BaseDelay: time.Hour, MaxDelay: time.Hour}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	start := time.Now()
+	resp, err := c.do(ctx, "GET", "/healthz", nil)
+	if err != nil || resp.status != 200 {
+		t.Fatalf("resp=%+v err=%v", resp, err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("3 attempts took %v; Retry-After: 0 was not honored over the 1h backoff", elapsed)
+	}
+}
+
+// TestRetriesExhausted: a server that never recovers must exhaust the
+// budget and exit 3 (transport failure), not hang or lie.
+func TestRetriesExhausted(t *testing.T) {
+	var calls int
+	var mu sync.Mutex
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	code, _, stderr := runCtl(t, "-addr", srv.URL, "-retries", "3", "submit", "-list", "list2")
+	if code != exitTransport {
+		t.Fatalf("exit = %d, want %d; stderr:\n%s", code, exitTransport, stderr)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 3 {
+		t.Fatalf("server saw %d attempts, want exactly the -retries 3", calls)
+	}
+}
+
+// TestClientErrorsAreNotRetried: 4xx answers are final — retrying them
+// would hammer the server with requests it already rejected.
+func TestClientErrorsAreNotRetried(t *testing.T) {
+	var calls int
+	var mu sync.Mutex
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprintln(w, `{"error":"unknown fault list"}`)
+	}))
+	defer srv.Close()
+	code, _, stderr := runCtl(t, "-addr", srv.URL, "-retries", "5", "submit", "-list", "nope")
+	if code != exitRemote {
+		t.Fatalf("exit = %d, want %d", code, exitRemote)
+	}
+	if !strings.Contains(stderr, "unknown fault list") {
+		t.Fatalf("stderr lost the server's error:\n%s", stderr)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 1 {
+		t.Fatalf("server saw %d attempts for a 400, want 1", calls)
+	}
+}
+
+func TestSimulateRoundTrip(t *testing.T) {
+	srv, _ := newFlakyService(t, 0, false)
+	code, stdout, stderr := runCtl(t, "-addr", srv.URL, "simulate", "-march", "March SL", "-list", "list2")
+	if code != exitOK {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, `"report"`) || !strings.Contains(stdout, `"summary"`) {
+		t.Fatalf("stdout is not a simulation document:\n%s", stdout)
+	}
+}
+
+func TestCampaignRoundTripWithWait(t *testing.T) {
+	srv, _ := newFlakyService(t, 1, false) // one injected 503 on the submit itself
+	specFile := filepath.Join(t.TempDir(), "sweep.json")
+	spec := `{"name":"ctl-e2e","lists":["list2"],"orders":["up","down"],"shard_size":1}`
+	if err := os.WriteFile(specFile, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr := runCtl(t,
+		"-addr", srv.URL, "-retries", "4", "-poll", "10ms", "-timeout", "2m",
+		"campaign", "-spec", specFile, "-wait")
+	if code != exitOK {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	var cv struct {
+		Status string `json:"status"`
+		Units  struct {
+			Total int `json:"total"`
+			Done  int `json:"done"`
+		} `json:"units"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &cv); err != nil {
+		t.Fatalf("stdout is not a campaign snapshot: %v\n%s", err, stdout)
+	}
+	if cv.Status != "done" || cv.Units.Done != cv.Units.Total || cv.Units.Total != 2 {
+		t.Fatalf("campaign snapshot = %+v, want 2/2 units done", cv)
+	}
+}
+
+func TestWaitAndResultCommands(t *testing.T) {
+	srv, _ := newFlakyService(t, 0, false)
+	// Submit without -wait, then drive the job with the standalone commands.
+	code, stdout, stderr := runCtl(t, "-addr", srv.URL, "submit", "-list", "list2")
+	if code != exitOK {
+		t.Fatalf("submit exit = %d, stderr:\n%s", code, stderr)
+	}
+	fields := strings.Fields(stdout)
+	if len(fields) < 2 || fields[0] != "job" {
+		t.Fatalf("submit output lost the job id:\n%s", stdout)
+	}
+	id := fields[1]
+
+	code, stdout, stderr = runCtl(t, "-addr", srv.URL, "-poll", "5ms", "wait", id)
+	if code != exitOK || !strings.Contains(stdout, `"status": "done"`) {
+		t.Fatalf("wait exit = %d, stdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+
+	code, stdout, stderr = runCtl(t, "-addr", srv.URL, "result", id)
+	if code != exitOK || !strings.Contains(stdout, `"coverage_percent":100`) {
+		t.Fatalf("result exit = %d, stdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+
+	// Unknown job: a clean remote failure, not a retry storm.
+	code, _, stderr = runCtl(t, "-addr", srv.URL, "result", "no-such-job")
+	if code != exitRemote || !strings.Contains(stderr, "unknown job") {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{},                          // no command
+		{"frobnicate"},              // unknown command
+		{"submit"},                  // missing -list
+		{"wait"},                    // missing job id
+		{"result"},                  // missing job id
+		{"simulate"},                // missing -march/-spec
+		{"campaign"},                // missing -spec
+		{"-retries", "x", "submit"}, // bad flag value
+	}
+	for _, args := range cases {
+		if code, _, _ := runCtl(t, args...); code != exitUsage {
+			t.Fatalf("run(%q) = %d, want %d", args, code, exitUsage)
+		}
+	}
+}

@@ -29,6 +29,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -48,6 +50,7 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "shutdown drain window for in-flight jobs")
 		dataDir      = flag.String("data", "", "campaign store root (default: marchd-campaigns under the OS temp dir)")
 		campaigns    = flag.Int("campaigns", 2, "maximum concurrently running campaigns")
+		chaos503     = flag.Int("chaos-503", 0, "TESTING: answer the first N /v1/ requests with 503 + Retry-After: 0 (exercises client retry paths)")
 		quiet        = flag.Bool("quiet", false, "disable the per-request log")
 		version      = flag.Bool("version", false, "print version and exit")
 	)
@@ -75,6 +78,12 @@ func main() {
 		Logger:       reqLogger,
 	})
 
+	handler := srv.Handler()
+	if *chaos503 > 0 {
+		logger.Printf("chaos: first %d /v1/ requests will answer 503", *chaos503)
+		handler = chaosHandler(handler, int64(*chaos503), logger)
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		logger.Fatalf("listen: %v", err)
@@ -84,7 +93,7 @@ func main() {
 	logger.Printf("listening on %s", ln.Addr())
 
 	httpSrv := &http.Server{
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
@@ -120,4 +129,26 @@ func main() {
 	}
 	fmt.Fprintln(os.Stderr, "marchd: exit", code)
 	os.Exit(code)
+}
+
+// chaosHandler is the -chaos-503 testing aid: the first n requests to the
+// API surface (paths under /v1/) are answered 503 with Retry-After: 0,
+// everything after — and /healthz, /metrics at all times — passes through.
+// It exercises exactly the backpressure answer a full job queue produces,
+// so retrying clients (marchctl, scripts) can be proven against a live
+// server without loading it.
+func chaosHandler(next http.Handler, n int64, logger *log.Logger) http.Handler {
+	var remaining atomic.Int64
+	remaining.Store(n)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/v1/") && remaining.Add(-1) >= 0 {
+			logger.Printf("chaos: injected 503 on %s %s", r.Method, r.URL.Path)
+			w.Header().Set("Retry-After", "0")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, `{"error":"chaos: injected 503"}`)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
 }

@@ -8,9 +8,11 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"marchgen/internal/core"
+	"marchgen/internal/iofault"
 	"marchgen/internal/store"
 )
 
@@ -51,6 +53,10 @@ type RunOptions struct {
 	Resume bool
 	// OnEvent, when set, receives progress events.
 	OnEvent func(Event)
+	// FS, when set, carries every mutating store I/O operation of this
+	// run — the fault-injection seam the chaos suite drives with an
+	// iofault.Injector. Nil means the real filesystem.
+	FS iofault.FS
 }
 
 func (o RunOptions) workers() int {
@@ -121,7 +127,11 @@ func Run(ctx context.Context, spec Spec, root string, opts RunOptions) (Summary,
 	shards := Plan(c)
 	dir := c.Dir(root)
 
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = iofault.OS{}
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return Summary{}, fmt.Errorf("campaign: %w", err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, specFileName)); errors.Is(err, os.ErrNotExist) {
@@ -129,12 +139,12 @@ func Run(ctx context.Context, spec Spec, root string, opts RunOptions) (Summary,
 		if err != nil {
 			return Summary{}, fmt.Errorf("campaign: %w", err)
 		}
-		if err := store.WriteFileAtomic(filepath.Join(dir, specFileName), sf); err != nil {
+		if err := store.WriteFileAtomicFS(fsys, filepath.Join(dir, specFileName), sf); err != nil {
 			return Summary{}, err
 		}
 	}
 
-	st, err := store.Open(dir, hash)
+	st, err := store.OpenFS(dir, hash, fsys)
 	if err != nil {
 		return Summary{}, err
 	}
@@ -172,7 +182,7 @@ func Run(ctx context.Context, spec Spec, root string, opts RunOptions) (Summary,
 		go func() {
 			defer wg.Done()
 			for sh := range shardCh {
-				outCh <- runShard(runCtx, sh, memo, emit)
+				outCh <- safeRunShard(runCtx, sh, memo, emit)
 			}
 		}()
 	}
@@ -248,6 +258,20 @@ func Run(ctx context.Context, spec Spec, root string, opts RunOptions) (Summary,
 		return Summary{}, firstErr
 	}
 	return summarize(c, dir, st, start)
+}
+
+// safeRunShard contains panics from a shard's unit work (or a panicking
+// OnEvent callback): instead of killing the worker goroutine — which
+// would deadlock the committer and poison the whole pool — a panic fails
+// the shard with its captured stack, and the campaign aborts cleanly at
+// the last committed checkpoint.
+func safeRunShard(ctx context.Context, sh Shard, memo *genMemo, emit func(Event)) (out shardOut) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = shardOut{idx: sh.ID, err: fmt.Errorf("campaign: shard %d panicked: %v\n%s", sh.ID, r, debug.Stack())}
+		}
+	}()
+	return runShard(ctx, sh, memo, emit)
 }
 
 // runShard executes a shard's units in order, aborting on the first

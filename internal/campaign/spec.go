@@ -149,6 +149,11 @@ func (s Spec) Hash() string {
 		Schema string `json:"schema"`
 		Spec   Spec   `json:"spec"`
 	}{specSchema, c}
+	// Invariant (pinned by TestIdentityNeverPanics): Spec is strings,
+	// ints and slices of them — shapes encoding/json can never fail on,
+	// whatever bytes a request put in them. The panic is therefore
+	// unreachable from request data; it guards against someone adding a
+	// chan/func/cycle field to Spec without revisiting this derivation.
 	b, err := json.Marshal(payload)
 	if err != nil {
 		panic(fmt.Sprintf("campaign: spec hash: %v", err))
@@ -202,6 +207,8 @@ func (u Unit) ID() string {
 		Schema string `json:"schema"`
 		Unit   Unit   `json:"unit"`
 	}{specSchema, key}
+	// Same invariant as Spec.Hash: Unit is strings and ints only, so the
+	// marshal cannot fail on request-supplied values (TestIdentityNeverPanics).
 	b, err := json.Marshal(payload)
 	if err != nil {
 		panic(fmt.Sprintf("campaign: unit id: %v", err))

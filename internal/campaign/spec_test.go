@@ -85,6 +85,32 @@ func TestUnitIDIgnoresSeq(t *testing.T) {
 	}
 }
 
+// TestIdentityNeverPanics pins the invariant behind the panic guards in
+// Spec.Hash and Unit.ID: both types hold only strings, ints and slices of
+// them, so json.Marshal cannot fail on any request-supplied value —
+// including hostile strings (invalid UTF-8, control bytes, multi-megabyte
+// names). If a field whose type can fail to marshal is ever added, this
+// test is where the panic surfaces.
+func TestIdentityNeverPanics(t *testing.T) {
+	hostile := []string{
+		"", "plain", "\x00\x01\x02", string([]byte{0xff, 0xfe, 0xfd}),
+		`"};{"`, strings.Repeat("x", 1<<20), "line\nbreak\t\r", "  ",
+	}
+	for _, s := range hostile {
+		spec := Spec{
+			Name: s, Lists: []string{s}, Profiles: []string{s}, Orders: []string{s},
+			Topologies: []string{s}, Sizes: []int{-1 << 62}, Widths: []int{1 << 62},
+		}
+		if got := spec.Hash(); len(got) != 64 {
+			t.Fatalf("Hash(%q...) = %q", s[:min(len(s), 8)], got)
+		}
+		u := Unit{List: s, Profile: s, Order: s, Topology: s, Size: -1, Width: 1 << 30}
+		if got := u.ID(); len(got) != 26 {
+			t.Fatalf("Unit.ID(%q...) = %q", s[:min(len(s), 8)], got)
+		}
+	}
+}
+
 func TestValidate(t *testing.T) {
 	bad := []Spec{
 		{},

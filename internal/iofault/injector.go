@@ -1,0 +1,267 @@
+package iofault
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"syscall"
+)
+
+// Kind selects the fault an Injector fires at its planned operation.
+type Kind int
+
+const (
+	// None injects nothing; the injector just counts mutating operations.
+	// A counting run over a deterministic write path yields Ops(), the
+	// exclusive upper bound of a fault-plan sweep.
+	None Kind = iota
+	// FailOp fails operation N with a generic injected I/O error.
+	FailOp
+	// ENOSPC fails operation N with syscall.ENOSPC (disk full).
+	ENOSPC
+	// ShortWrite makes operation N, if it is a write, persist only half
+	// its bytes before failing (the torn-append case); on a non-write
+	// operation it degrades to FailOp.
+	ShortWrite
+	// SyncErr fails the first fsync (file or directory) at operation
+	// index >= N. Sweeping N over all indices covers every sync point.
+	SyncErr
+	// Crash simulates process death at operation N: that operation and
+	// every mutating operation after it fail without touching the disk.
+	// Bytes already written stay — exactly the state SIGKILL leaves.
+	Crash
+)
+
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case FailOp:
+		return "fail"
+	case ENOSPC:
+		return "enospc"
+	case ShortWrite:
+		return "short-write"
+	case SyncErr:
+		return "sync-err"
+	case Crash:
+		return "crash"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Plan is one deterministic fault: fire Kind at the Op-th mutating
+// operation (0-based). The zero Plan injects nothing.
+type Plan struct {
+	Op   int
+	Kind Kind
+}
+
+// Sentinel errors of injected faults. Injected errors wrap one of these
+// (or syscall.ENOSPC), so callers can tell an injected fault from a real
+// filesystem failure.
+var (
+	ErrInjected = errors.New("iofault: injected I/O error")
+	ErrCrashed  = errors.New("iofault: injected crash")
+)
+
+// opClass classifies a counted mutating operation for kind-specific
+// faults (short writes only tear writes, sync errors only hit syncs).
+type opClass int
+
+const (
+	opWrite opClass = iota
+	opSync
+	opOther
+)
+
+// Injector wraps an FS with a fault plan. The counted mutating
+// operations are file writes, file truncates, file syncs, renames and
+// directory syncs — the operations whose failure or omission can affect
+// durability. Creation-path operations (MkdirAll, CreateTemp, Remove,
+// OpenFile) are not counted but are refused once a Crash has fired.
+// Safe for concurrent use.
+type Injector struct {
+	inner FS
+	plan  Plan
+
+	mu      sync.Mutex
+	ops     int
+	fired   bool
+	crashed bool
+}
+
+// NewInjector wraps inner (nil means the real OS) with the given plan.
+func NewInjector(inner FS, plan Plan) *Injector {
+	if inner == nil {
+		inner = OS{}
+	}
+	return &Injector{inner: inner, plan: plan}
+}
+
+// Ops returns how many mutating operations have been counted so far.
+func (in *Injector) Ops() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.ops
+}
+
+// Fired reports whether the planned fault has fired.
+func (in *Injector) Fired() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired
+}
+
+// step counts one mutating operation and decides its fate: err non-nil
+// fails the operation without performing it; short true (writes only)
+// tears the write in half.
+func (in *Injector) step(class opClass) (short bool, err error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return false, ErrCrashed
+	}
+	n := in.ops
+	in.ops++
+	switch in.plan.Kind {
+	case Crash:
+		if n >= in.plan.Op {
+			in.crashed = true
+			in.fired = true
+			return false, fmt.Errorf("%w at op %d", ErrCrashed, n)
+		}
+	case SyncErr:
+		if class == opSync && n >= in.plan.Op && !in.fired {
+			in.fired = true
+			return false, fmt.Errorf("%w: fsync failed at op %d", ErrInjected, n)
+		}
+	case FailOp:
+		if n == in.plan.Op {
+			in.fired = true
+			return false, fmt.Errorf("%w at op %d", ErrInjected, n)
+		}
+	case ENOSPC:
+		if n == in.plan.Op {
+			in.fired = true
+			return false, fmt.Errorf("iofault: op %d: %w", n, syscall.ENOSPC)
+		}
+	case ShortWrite:
+		if n == in.plan.Op {
+			in.fired = true
+			if class == opWrite {
+				return true, nil
+			}
+			return false, fmt.Errorf("%w at op %d", ErrInjected, n)
+		}
+	}
+	return false, nil
+}
+
+// gate refuses uncounted operations after a crash has fired.
+func (in *Injector) gate() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+func (in *Injector) MkdirAll(path string, perm os.FileMode) error {
+	if err := in.gate(); err != nil {
+		return err
+	}
+	return in.inner.MkdirAll(path, perm)
+}
+
+func (in *Injector) ReadFile(path string) ([]byte, error) {
+	return in.inner.ReadFile(path)
+}
+
+func (in *Injector) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if err := in.gate(); err != nil {
+		return nil, err
+	}
+	f, err := in.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{inner: f, in: in}, nil
+}
+
+func (in *Injector) CreateTemp(dir, pattern string) (File, error) {
+	if err := in.gate(); err != nil {
+		return nil, err
+	}
+	f, err := in.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{inner: f, in: in}, nil
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if _, err := in.step(opOther); err != nil {
+		return fmt.Errorf("rename %s: %w", newpath, err)
+	}
+	return in.inner.Rename(oldpath, newpath)
+}
+
+func (in *Injector) Remove(name string) error {
+	if err := in.gate(); err != nil {
+		return err
+	}
+	return in.inner.Remove(name)
+}
+
+func (in *Injector) SyncDir(dir string) error {
+	if _, err := in.step(opSync); err != nil {
+		return fmt.Errorf("sync dir %s: %w", dir, err)
+	}
+	return in.inner.SyncDir(dir)
+}
+
+// injFile wraps a File so its mutating methods pass through the plan.
+type injFile struct {
+	inner File
+	in    *Injector
+}
+
+func (f *injFile) Write(p []byte) (int, error) {
+	short, err := f.in.step(opWrite)
+	if err != nil {
+		return 0, fmt.Errorf("write %s: %w", f.inner.Name(), err)
+	}
+	if short {
+		n, werr := f.inner.Write(p[:len(p)/2])
+		if werr != nil {
+			return n, werr
+		}
+		return n, fmt.Errorf("%w: short write (%d of %d bytes)", ErrInjected, n, len(p))
+	}
+	return f.inner.Write(p)
+}
+
+func (f *injFile) Truncate(size int64) error {
+	if _, err := f.in.step(opOther); err != nil {
+		return fmt.Errorf("truncate %s: %w", f.inner.Name(), err)
+	}
+	return f.inner.Truncate(size)
+}
+
+func (f *injFile) Sync() error {
+	if _, err := f.in.step(opSync); err != nil {
+		return fmt.Errorf("sync %s: %w", f.inner.Name(), err)
+	}
+	return f.inner.Sync()
+}
+
+func (f *injFile) Seek(offset int64, whence int) (int64, error) {
+	return f.inner.Seek(offset, whence)
+}
+
+func (f *injFile) Stat() (os.FileInfo, error) { return f.inner.Stat() }
+func (f *injFile) Close() error               { return f.inner.Close() }
+func (f *injFile) Name() string               { return f.inner.Name() }

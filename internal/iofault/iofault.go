@@ -1,0 +1,80 @@
+// Package iofault is the fault-injection seam of the durable storage
+// stack (DESIGN.md §10): a minimal filesystem interface covering exactly
+// the mutating operations the result store performs (create, write,
+// truncate, fsync, rename, directory sync), a passthrough implementation
+// over the real OS, and a deterministic injector that fails a chosen
+// operation with a chosen fault.
+//
+// The point is the same discipline the paper applies to memory faults:
+// a durability claim is only trustworthy once the fault it defends
+// against has been sensitized and observed. The store's crash-safety
+// contract ("SIGKILL at any instant loses nothing committed") is proven
+// by sweeping Crash plans over *every* mutating operation index of a
+// campaign run and asserting that resume is byte-identical — see the
+// crash-matrix test in internal/campaign.
+//
+// Fault plans are deterministic, not random: the injector counts the
+// mutating operations as they happen (the store's write path is
+// single-threaded through the committer, so the sequence is identical
+// from run to run) and fires at the planned index. A sweep over
+// [0, Ops()) therefore covers every reachable fault point exactly once.
+package iofault
+
+import (
+	"io"
+	"os"
+)
+
+// File is the subset of *os.File the store's write path uses.
+type File interface {
+	io.Writer
+	io.Seeker
+	io.Closer
+	Truncate(size int64) error
+	Stat() (os.FileInfo, error)
+	Sync() error
+	Name() string
+}
+
+// FS is the filesystem seam: every path the durable store mutates (or
+// reads during recovery) goes through one of these. The *os.File-backed
+// implementation is OS; Injector wraps any FS with a fault plan.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	ReadFile(path string) ([]byte, error)
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	// SyncDir fsyncs a directory, making a preceding rename durable.
+	SyncDir(dir string) error
+}
+
+// OS is the passthrough FS over the real filesystem.
+type OS struct{}
+
+func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (OS) ReadFile(path string) ([]byte, error)         { return os.ReadFile(path) }
+func (OS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (OS) Remove(name string) error                     { return os.Remove(name) }
+
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (OS) CreateTemp(dir, pattern string) (File, error) {
+	return os.CreateTemp(dir, pattern)
+}
+
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	syncErr := d.Sync()
+	closeErr := d.Close()
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}

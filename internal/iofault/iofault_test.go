@@ -1,0 +1,175 @@
+package iofault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// script drives a fixed sequence of mutating ops through an FS and
+// returns the first error. The sequence is: create+write+sync+close a
+// temp file (ops 0,1), rename it (op 2), sync the directory (op 3),
+// append+sync a data file (ops 4,5), truncate it (op 6).
+func script(fs FS, dir string) error {
+	tmp, err := fs.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write([]byte("checkpoint")); err != nil { // op 0
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil { // op 1
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	final := filepath.Join(dir, "final")
+	if err := fs.Rename(tmp.Name(), final); err != nil { // op 2
+		return err
+	}
+	if err := fs.SyncDir(dir); err != nil { // op 3
+		return err
+	}
+	data, err := fs.OpenFile(filepath.Join(dir, "data"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	defer data.Close()
+	if _, err := data.Write([]byte("record\n")); err != nil { // op 4
+		return err
+	}
+	if err := data.Sync(); err != nil { // op 5
+		return err
+	}
+	return data.Truncate(3) // op 6
+}
+
+const scriptOps = 7
+
+func TestCountingRun(t *testing.T) {
+	in := NewInjector(nil, Plan{})
+	if err := script(in, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	if in.Ops() != scriptOps {
+		t.Fatalf("counted %d ops, want %d", in.Ops(), scriptOps)
+	}
+	if in.Fired() {
+		t.Fatal("counting run fired a fault")
+	}
+}
+
+func TestFailOpFailsExactlyOne(t *testing.T) {
+	for n := 0; n < scriptOps; n++ {
+		in := NewInjector(nil, Plan{Op: n, Kind: FailOp})
+		err := script(in, t.TempDir())
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("op %d: err = %v, want ErrInjected", n, err)
+		}
+		if !in.Fired() {
+			t.Fatalf("op %d: fault did not fire", n)
+		}
+	}
+	// A plan beyond the op stream never fires.
+	in := NewInjector(nil, Plan{Op: scriptOps, Kind: FailOp})
+	if err := script(in, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	if in.Fired() {
+		t.Fatal("out-of-range plan fired")
+	}
+}
+
+func TestENOSPC(t *testing.T) {
+	in := NewInjector(nil, Plan{Op: 0, Kind: ENOSPC})
+	err := script(in, t.TempDir())
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("err = %v, want ENOSPC", err)
+	}
+}
+
+func TestShortWriteTearsTheWrite(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil, Plan{Op: 4, Kind: ShortWrite})
+	err := script(in, dir)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	b, rerr := os.ReadFile(filepath.Join(dir, "data"))
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if string(b) != "rec" { // half of "record\n"
+		t.Fatalf("data = %q, want the torn half %q", b, "rec")
+	}
+}
+
+func TestShortWriteOnNonWriteDegradesToFail(t *testing.T) {
+	in := NewInjector(nil, Plan{Op: 2, Kind: ShortWrite}) // op 2 is a rename
+	if err := script(in, t.TempDir()); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+}
+
+func TestSyncErrHitsFirstSyncAtOrAfterN(t *testing.T) {
+	// Op 2 is a rename; the first sync at index >= 2 is the dir sync (op 3).
+	dir := t.TempDir()
+	in := NewInjector(nil, Plan{Op: 2, Kind: SyncErr})
+	err := script(in, dir)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	// The rename before the failing dir sync happened.
+	if _, err := os.Stat(filepath.Join(dir, "final")); err != nil {
+		t.Fatalf("rename before the failed sync was lost: %v", err)
+	}
+}
+
+func TestCrashStopsEverythingButKeepsBytes(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil, Plan{Op: 2, Kind: Crash}) // crash at the rename
+	err := script(in, dir)
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	// Ops 0-1 happened: the temp file exists with its bytes.
+	m, err := filepath.Glob(filepath.Join(dir, ".tmp-*"))
+	if err != nil || len(m) != 1 {
+		t.Fatalf("temp files = %v (err %v), want the pre-crash temp file", m, err)
+	}
+	b, err := os.ReadFile(m[0])
+	if err != nil || string(b) != "checkpoint" {
+		t.Fatalf("pre-crash bytes = %q (err %v)", b, err)
+	}
+	// The rename never happened, and post-crash ops are refused.
+	if _, err := os.Stat(filepath.Join(dir, "final")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("crashed rename completed: %v", err)
+	}
+	if err := in.MkdirAll(filepath.Join(dir, "x"), 0o755); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash MkdirAll = %v, want ErrCrashed", err)
+	}
+	if _, err := in.CreateTemp(dir, "y-*"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash CreateTemp = %v, want ErrCrashed", err)
+	}
+}
+
+func TestOSPassthroughRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var fs FS = OS{}
+	if err := script(fs, dir); err != nil {
+		t.Fatal(err)
+	}
+	b, err := fs.ReadFile(filepath.Join(dir, "final"))
+	if err != nil || string(b) != "checkpoint" {
+		t.Fatalf("final = %q (err %v)", b, err)
+	}
+	st, err := os.Stat(filepath.Join(dir, "data"))
+	if err != nil || st.Size() != 3 {
+		t.Fatalf("data size = %v (err %v), want 3 after truncate", st.Size(), err)
+	}
+}

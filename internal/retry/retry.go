@@ -1,0 +1,172 @@
+// Package retry implements bounded exponential backoff with full jitter
+// for transient failures: the client-side half of the service's
+// backpressure protocol (marchd answers 503 + Retry-After when its queue
+// is full; marchctl retries through it with this package).
+//
+// The policy is deliberately small: capped exponential backoff, full
+// jitter (delay = rand * min(cap, base<<attempt), the "Full Jitter"
+// strategy — decorrelated load spikes without coordination), an explicit
+// server override (After carries a Retry-After hint that replaces the
+// computed backoff), and an explicit stop (Permanent marks an error not
+// worth retrying). Sleeping is context-aware and injectable, so tests run
+// in virtual time.
+package retry
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// Policy configures Do. The zero value is usable: 4 attempts, 50ms base,
+// 2s cap, real sleep, math/rand jitter.
+type Policy struct {
+	// MaxAttempts bounds the total number of op invocations (not retries);
+	// <=0 means 4.
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff; <=0 means 50ms.
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff delay; <=0 means 2s.
+	MaxDelay time.Duration
+	// Sleep waits d or until ctx is done, whichever is first, returning
+	// ctx.Err() if the context won. nil means a timer-based sleep; tests
+	// inject a recorder that returns instantly.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// Rand returns a jitter factor in [0, 1); nil means math/rand. Tests
+	// inject a constant for deterministic delays.
+	Rand func() float64
+}
+
+func (p Policy) maxAttempts() int {
+	if p.MaxAttempts <= 0 {
+		return 4
+	}
+	return p.MaxAttempts
+}
+
+func (p Policy) baseDelay() time.Duration {
+	if p.BaseDelay <= 0 {
+		return 50 * time.Millisecond
+	}
+	return p.BaseDelay
+}
+
+func (p Policy) maxDelay() time.Duration {
+	if p.MaxDelay <= 0 {
+		return 2 * time.Second
+	}
+	return p.MaxDelay
+}
+
+func (p Policy) sleep(ctx context.Context, d time.Duration) error {
+	if p.Sleep != nil {
+		return p.Sleep(ctx, d)
+	}
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (p Policy) jitter() float64 {
+	if p.Rand != nil {
+		return p.Rand()
+	}
+	return rand.Float64()
+}
+
+// backoff computes the full-jitter delay for the given zero-based attempt
+// index: rand * min(cap, base << attempt), with shift overflow clamped to
+// the cap.
+func (p Policy) backoff(attempt int) time.Duration {
+	base, cap := p.baseDelay(), p.maxDelay()
+	d := cap
+	if attempt < 62 { // beyond that the shift alone overflows int64
+		if shifted := base << uint(attempt); shifted > 0 && shifted < cap {
+			d = shifted
+		}
+	}
+	return time.Duration(p.jitter() * float64(d))
+}
+
+// permanentError marks an error that must not be retried.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so Do stops immediately and returns it (unwrapped
+// for errors.Is/As). A nil err stays nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// afterError carries a server-provided retry delay (Retry-After).
+type afterError struct {
+	err   error
+	delay time.Duration
+}
+
+func (e *afterError) Error() string { return e.err.Error() }
+func (e *afterError) Unwrap() error { return e.err }
+
+// After wraps err with an explicit delay before the next attempt,
+// overriding the computed backoff — the client-side carrier of a
+// Retry-After header. A nil err stays nil.
+func After(err error, delay time.Duration) error {
+	if err == nil {
+		return nil
+	}
+	return &afterError{err: err, delay: delay}
+}
+
+// Do invokes op until it succeeds, returns a Permanent error, the policy's
+// attempts are exhausted, or ctx is done. The returned error is the last
+// attempt's (with Permanent/After wrappers stripped), or ctx.Err() if the
+// context ended the loop first.
+func Do(ctx context.Context, p Policy, op func(ctx context.Context) error) error {
+	max := p.maxAttempts()
+	var last error
+	for attempt := 0; attempt < max; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		err := op(ctx)
+		if err == nil {
+			return nil
+		}
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		last = err
+		if attempt == max-1 {
+			break
+		}
+		delay := p.backoff(attempt)
+		var after *afterError
+		if errors.As(err, &after) {
+			delay = after.delay
+			last = after.err
+		}
+		if err := p.sleep(ctx, delay); err != nil {
+			return err
+		}
+	}
+	var after *afterError
+	if errors.As(last, &after) {
+		return after.err
+	}
+	return last
+}

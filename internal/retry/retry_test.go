@@ -1,0 +1,193 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// recorder is an injectable Sleep that returns instantly and keeps the
+// requested delays, so backoff behavior is asserted in virtual time.
+type recorder struct{ delays []time.Duration }
+
+func (r *recorder) sleep(ctx context.Context, d time.Duration) error {
+	r.delays = append(r.delays, d)
+	return ctx.Err()
+}
+
+// unit is a Rand that always returns 1-epsilon is awkward; tests use a
+// constant 0.5 so expected delays are exactly half the backoff window.
+func half() float64 { return 0.5 }
+
+func TestDoSucceedsFirstTry(t *testing.T) {
+	rec := &recorder{}
+	calls := 0
+	err := Do(context.Background(), Policy{Sleep: rec.sleep, Rand: half}, func(ctx context.Context) error {
+		calls++
+		return nil
+	})
+	if err != nil || calls != 1 || len(rec.delays) != 0 {
+		t.Fatalf("err=%v calls=%d delays=%v", err, calls, rec.delays)
+	}
+}
+
+func TestDoRetriesWithExponentialJitteredBackoff(t *testing.T) {
+	rec := &recorder{}
+	p := Policy{MaxAttempts: 4, BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Sleep: rec.sleep, Rand: half}
+	calls := 0
+	err := Do(context.Background(), p, func(ctx context.Context) error {
+		calls++
+		if calls < 4 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 4 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+	// Full jitter with Rand=0.5: half of 100ms, 200ms, 400ms.
+	want := []time.Duration{50 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond}
+	if len(rec.delays) != len(want) {
+		t.Fatalf("delays = %v, want %v", rec.delays, want)
+	}
+	for i := range want {
+		if rec.delays[i] != want[i] {
+			t.Fatalf("delay[%d] = %v, want %v (all: %v)", i, rec.delays[i], want[i], rec.delays)
+		}
+	}
+}
+
+func TestDoCapsBackoffAtMaxDelay(t *testing.T) {
+	rec := &recorder{}
+	p := Policy{MaxAttempts: 6, BaseDelay: 100 * time.Millisecond, MaxDelay: 300 * time.Millisecond, Sleep: rec.sleep, Rand: half}
+	err := Do(context.Background(), p, func(ctx context.Context) error { return errors.New("x") })
+	if err == nil {
+		t.Fatal("want exhaustion error")
+	}
+	// Windows: 100, 200, then capped at 300 for the rest; halved by jitter.
+	want := []time.Duration{50, 100, 150, 150, 150}
+	for i, w := range want {
+		if rec.delays[i] != w*time.Millisecond {
+			t.Fatalf("delay[%d] = %v, want %v", i, rec.delays[i], w*time.Millisecond)
+		}
+	}
+}
+
+func TestDoExhaustsAttemptsAndReturnsLastError(t *testing.T) {
+	rec := &recorder{}
+	calls := 0
+	err := Do(context.Background(), Policy{MaxAttempts: 3, Sleep: rec.sleep, Rand: half}, func(ctx context.Context) error {
+		calls++
+		return fmt.Errorf("attempt %d failed", calls)
+	})
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if err == nil || err.Error() != "attempt 3 failed" {
+		t.Fatalf("err = %v, want the last attempt's error", err)
+	}
+	if len(rec.delays) != 2 {
+		t.Fatalf("slept %d times, want 2 (no sleep after the final attempt)", len(rec.delays))
+	}
+}
+
+func TestDoStopsOnPermanent(t *testing.T) {
+	rec := &recorder{}
+	sentinel := errors.New("bad request")
+	calls := 0
+	err := Do(context.Background(), Policy{MaxAttempts: 5, Sleep: rec.sleep, Rand: half}, func(ctx context.Context) error {
+		calls++
+		return Permanent(sentinel)
+	})
+	if calls != 1 || len(rec.delays) != 0 {
+		t.Fatalf("calls=%d delays=%v; Permanent must stop immediately", calls, rec.delays)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the wrapped sentinel", err)
+	}
+}
+
+func TestDoHonorsRetryAfterOverBackoff(t *testing.T) {
+	rec := &recorder{}
+	p := Policy{MaxAttempts: 3, BaseDelay: time.Hour, MaxDelay: time.Hour, Sleep: rec.sleep, Rand: half}
+	calls := 0
+	err := Do(context.Background(), p, func(ctx context.Context) error {
+		calls++
+		if calls < 3 {
+			return After(errors.New("busy"), 7*time.Millisecond)
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+	// The server's hint replaces the (enormous) computed backoff entirely.
+	for i, d := range rec.delays {
+		if d != 7*time.Millisecond {
+			t.Fatalf("delay[%d] = %v, want the Retry-After 7ms", i, d)
+		}
+	}
+}
+
+func TestDoUnwrapsAfterOnExhaustion(t *testing.T) {
+	rec := &recorder{}
+	sentinel := errors.New("busy")
+	err := Do(context.Background(), Policy{MaxAttempts: 2, Sleep: rec.sleep, Rand: half}, func(ctx context.Context) error {
+		return After(sentinel, time.Millisecond)
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the wrapped sentinel", err)
+	}
+}
+
+func TestDoRespectsContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := Do(ctx, Policy{MaxAttempts: 10, Rand: half, Sleep: func(ctx context.Context, d time.Duration) error {
+		cancel() // the context dies while we back off
+		return ctx.Err()
+	}}, func(ctx context.Context) error {
+		calls++
+		return errors.New("transient")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (no attempt after cancellation)", calls)
+	}
+}
+
+func TestDoChecksContextBeforeFirstAttempt(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := Do(ctx, Policy{}, func(ctx context.Context) error { calls++; return nil })
+	if !errors.Is(err, context.Canceled) || calls != 0 {
+		t.Fatalf("err=%v calls=%d; a dead context must not run the op", err, calls)
+	}
+}
+
+func TestPermanentAndAfterKeepNilNil(t *testing.T) {
+	if Permanent(nil) != nil || After(nil, time.Second) != nil {
+		t.Fatal("wrapping nil must stay nil")
+	}
+}
+
+func TestBackoffShiftOverflowClampsToCap(t *testing.T) {
+	p := Policy{BaseDelay: time.Second, MaxDelay: 2 * time.Second, Rand: func() float64 { return 1 }}
+	for _, attempt := range []int{40, 62, 63, 100} {
+		if d := p.backoff(attempt); d != 2*time.Second {
+			t.Fatalf("backoff(%d) = %v, want the 2s cap", attempt, d)
+		}
+	}
+}
+
+func TestZeroPolicyDefaults(t *testing.T) {
+	var p Policy
+	if p.maxAttempts() != 4 || p.baseDelay() != 50*time.Millisecond || p.maxDelay() != 2*time.Second {
+		t.Fatalf("zero-value defaults drifted: %d %v %v", p.maxAttempts(), p.baseDelay(), p.maxDelay())
+	}
+}

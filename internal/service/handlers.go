@@ -11,13 +11,27 @@ import (
 	"marchgen"
 )
 
-// writeJSON marshals v as the response body with the given status.
+// encodeErrorRecorder is implemented by statusWriter: writeJSON reports
+// encode failures through it so the route layer can log and count them.
+type encodeErrorRecorder interface {
+	recordEncodeError(error)
+}
+
+// writeJSON marshals v as the response body with the given status. The
+// status line is already out when an encode error surfaces, so the
+// response cannot be repaired — but the failure is not dropped either:
+// it is recorded on the response writer, logged through the structured
+// request log and counted in /metrics as response_encode_errors.
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(v) // the status line is already out; nothing to recover
+	if err := enc.Encode(v); err != nil {
+		if rec, ok := w.(encodeErrorRecorder); ok {
+			rec.recordEncodeError(err)
+		}
+	}
 }
 
 // writeRaw sends pre-marshaled JSON bytes verbatim (the cache-hit path:

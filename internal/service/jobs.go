@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
 )
@@ -127,6 +128,8 @@ type jobEngine struct {
 	// onTerminal, when set, runs after a job reaches a terminal state (used
 	// for metrics and in-flight dedup bookkeeping).
 	onTerminal func(*job)
+	// onPanic, when set, runs once per contained job panic (metrics).
+	onPanic func()
 }
 
 // newJobEngine starts workers goroutines consuming a queue of the given
@@ -167,7 +170,7 @@ func (e *jobEngine) runJob(j *job) {
 	j.started = time.Now()
 	j.mu.Unlock()
 
-	result, err := j.fn(j.ctx)
+	result, err := e.safeRun(j)
 	switch {
 	case err == nil:
 		j.finalize(JobDone, result, nil)
@@ -181,12 +184,32 @@ func (e *jobEngine) runJob(j *job) {
 	}
 }
 
-func newJobID() string {
+// safeRun executes the job's closure with panic containment: a panicking
+// generation must fail its own job (with the captured stack as the
+// error) and leave the worker alive for the queue behind it, not take
+// the whole process down.
+func (e *jobEngine) safeRun(j *job) (result []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			result = nil
+			err = fmt.Errorf("service: job %s panicked: %v\n%s", j.id, r, debug.Stack())
+			if e.onPanic != nil {
+				e.onPanic()
+			}
+		}
+	}()
+	return j.fn(j.ctx)
+}
+
+// newJobID draws a random job id. Entropy exhaustion is surfaced as an
+// error (mapped to HTTP 500 by the submit handler), not a panic: an id
+// we cannot mint is one failed request, never a dead process.
+func newJobID() (string, error) {
 	var b [8]byte
 	if _, err := rand.Read(b[:]); err != nil {
-		panic(fmt.Sprintf("service: job id entropy: %v", err))
+		return "", fmt.Errorf("service: job id entropy: %w", err)
 	}
-	return "j-" + hex.EncodeToString(b[:])
+	return "j-" + hex.EncodeToString(b[:]), nil
 }
 
 // Submit enqueues fn as a new job with the given deadline (capped at the
@@ -196,6 +219,10 @@ func (e *jobEngine) Submit(timeout time.Duration, fn func(context.Context) ([]by
 	if timeout <= 0 || timeout > e.maxTimeout {
 		timeout = e.maxTimeout
 	}
+	id, err := newJobID()
+	if err != nil {
+		return nil, err
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.draining {
@@ -203,7 +230,7 @@ func (e *jobEngine) Submit(timeout time.Duration, fn func(context.Context) ([]by
 	}
 	ctx, cancel := context.WithTimeout(e.baseCtx, timeout)
 	j := &job{
-		id:      newJobID(),
+		id:      id,
 		created: time.Now(),
 		fn:      fn,
 		ctx:     ctx,

@@ -182,6 +182,47 @@ func TestJobEngineShutdownExpiryCancelsStragglers(t *testing.T) {
 	}
 }
 
+// TestJobEnginePanicContained is the worker-survival pin: a job fn that
+// panics must fail its own job with the captured stack and leave the
+// worker draining the queue behind it.
+func TestJobEnginePanicContained(t *testing.T) {
+	e := newJobEngine(1, 8, time.Minute, 16) // one worker: a dead worker would strand everything
+	defer e.Shutdown(context.Background())
+	panics := 0
+	e.onPanic = func() { panics++ }
+
+	boom, err := e.Submit(0, func(ctx context.Context) ([]byte, error) {
+		panic("generation exploded")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := waitTerminal(t, boom)
+	if snap.Status != JobFailed {
+		t.Fatalf("panicking job status = %s, want failed", snap.Status)
+	}
+	if !strings.Contains(snap.Error, "panicked") || !strings.Contains(snap.Error, "generation exploded") ||
+		!strings.Contains(snap.Error, "goroutine") {
+		t.Fatalf("panicking job error lost the panic or its stack:\n%s", snap.Error)
+	}
+
+	// The same (sole) worker must still serve subsequent jobs.
+	for i := 0; i < 3; i++ {
+		next, err := e.Submit(0, func(ctx context.Context) ([]byte, error) {
+			return []byte(`"alive"`), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap := waitTerminal(t, next); snap.Status != JobDone {
+			t.Fatalf("job %d after the panic = %s, want done", i, snap.Status)
+		}
+	}
+	if panics != 1 {
+		t.Fatalf("onPanic fired %d times, want 1", panics)
+	}
+}
+
 func TestJobEngineRetention(t *testing.T) {
 	e := newJobEngine(1, 16, time.Minute, 3)
 	var ids []string

@@ -36,6 +36,9 @@ type metrics struct {
 	campaignsFailed      int64
 	campaignsInterrupted int64
 
+	panicsTotal  int64 // contained panics: job fns, HTTP handlers
+	encodeErrors int64 // response bodies lost after the status line
+
 	genCount   int64
 	genSum     float64 // seconds
 	genBuckets []int64 // cumulative-style counts per latencyBuckets entry, +Inf last
@@ -104,6 +107,23 @@ func (m *metrics) campaignTerminal(status string) {
 	m.mu.Unlock()
 }
 
+// panicked counts one contained panic (job fn or HTTP handler). A
+// non-zero panics_total is an alarm: the process survived, but something
+// reached a state the code never should.
+func (m *metrics) panicked() {
+	m.mu.Lock()
+	m.panicsTotal++
+	m.mu.Unlock()
+}
+
+// encodeError counts one response body lost to a JSON encode failure
+// after the status line was already written.
+func (m *metrics) encodeError() {
+	m.mu.Lock()
+	m.encodeErrors++
+	m.mu.Unlock()
+}
+
 // observeGenerate records one completed generation's wall-clock latency.
 func (m *metrics) observeGenerate(d time.Duration) {
 	s := d.Seconds()
@@ -142,6 +162,9 @@ type MetricsSnapshot struct {
 	CampaignsFailed      int64 `json:"campaigns_failed"`
 	CampaignsInterrupted int64 `json:"campaigns_interrupted"`
 
+	PanicsTotal  int64 `json:"panics_total"`
+	EncodeErrors int64 `json:"response_encode_errors"`
+
 	Generate HistogramSnapshot `json:"generate_latency"`
 }
 
@@ -166,6 +189,9 @@ func (m *metrics) snapshot(queueDepth, cacheEntries int) MetricsSnapshot {
 		CampaignsDone:        m.campaignsDone,
 		CampaignsFailed:      m.campaignsFailed,
 		CampaignsInterrupted: m.campaignsInterrupted,
+
+		PanicsTotal:  m.panicsTotal,
+		EncodeErrors: m.encodeErrors,
 
 		Generate: HistogramSnapshot{
 			Count:   m.genCount,

@@ -30,6 +30,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 )
@@ -143,6 +144,12 @@ func New(cfg Config) *Server {
 		s.metrics.jobTerminal(j.snapshot(false).Status)
 		s.clearInflight(j.id)
 	}
+	s.jobs.onPanic = func() {
+		s.metrics.panicked()
+		if s.logger != nil {
+			s.logger.Printf("panic contained in generation job (see the job's error for the stack)")
+		}
+	}
 	s.campaigns = newCampaignManager(cfg.dataDir(), cfg.maxCampaigns(), cfg.CampaignWorkers)
 	s.campaigns.onTerminal = s.metrics.campaignTerminal
 
@@ -185,10 +192,46 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // route registers a handler and counts its requests under the route's
 // pattern (stable, bounded-cardinality metric keys — never raw paths).
+// Every route runs behind panic containment: a panicking handler answers
+// 500 with a JSON error body (if the status line is still ours to write),
+// is logged with its stack, and shows up in /metrics as panics_total —
+// one poisoned request must never take the listener down. Response
+// encode failures recorded by writeJSON are logged and counted here too.
 func (s *Server) route(mux *http.ServeMux, pattern string, h http.HandlerFunc) {
 	mux.Handle(pattern, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		h(sw, r)
+		func() {
+			defer func() {
+				rec := recover()
+				if rec == nil {
+					return
+				}
+				if rec == http.ErrAbortHandler {
+					// net/http's own abort protocol (client gone): not ours
+					// to contain.
+					panic(rec)
+				}
+				s.metrics.panicked()
+				if s.logger != nil {
+					s.logger.Printf("panic serving %s: %v\n%s", pattern, rec, debug.Stack())
+				}
+				if !sw.wroteHeader {
+					writeError(sw, http.StatusInternalServerError, "internal error: handler panicked")
+				} else {
+					// The status line is out; all we can do is stop the body
+					// mid-stream so the client sees a broken response, not a
+					// silently truncated-but-200 one.
+					sw.status = http.StatusInternalServerError
+				}
+			}()
+			h(sw, r)
+		}()
+		if sw.encodeErr != nil {
+			s.metrics.encodeError()
+			if s.logger != nil {
+				s.logger.Printf("response encode error on %s (status %d already sent): %v", pattern, sw.status, sw.encodeErr)
+			}
+		}
 		s.metrics.request(pattern, sw.status)
 	}))
 }
@@ -217,23 +260,34 @@ func (s *Server) logging(next http.Handler) http.Handler {
 	})
 }
 
-// statusWriter captures the response status and size for logs and metrics.
+// statusWriter captures the response status and size for logs and
+// metrics, whether the status line has been written (panic containment
+// must not write a second one), and any JSON encode error writeJSON hit
+// after the status line went out.
 type statusWriter struct {
 	http.ResponseWriter
-	status int
-	bytes  int
+	status      int
+	bytes       int
+	wroteHeader bool
+	encodeErr   error
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
+	w.wroteHeader = true
 	w.ResponseWriter.WriteHeader(code)
 }
 
 func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wroteHeader = true
 	n, err := w.ResponseWriter.Write(p)
 	w.bytes += n
 	return n, err
 }
+
+// recordEncodeError implements the interface writeJSON reports dropped
+// response bodies through.
+func (w *statusWriter) recordEncodeError(err error) { w.encodeErr = err }
 
 // lookupOrSubmit deduplicates concurrent generation requests on their
 // cache key: if a live job is already computing the key it is returned

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -509,5 +510,108 @@ func TestConcurrentClients(t *testing.T) {
 	}
 	if m.CacheMisses > m.JobsSubmitted+1 {
 		t.Fatalf("misses %d exceed submitted jobs %d", m.CacheMisses, m.JobsSubmitted)
+	}
+}
+
+// TestRoutePanicContained pins HTTP-layer panic containment: a handler
+// that panics answers 500 with the uniform JSON error body, the process
+// (and the mux) keeps serving, and the panic is visible in /metrics as
+// panics_total.
+func TestRoutePanicContained(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	mux := http.NewServeMux()
+	s.route(mux, "GET /boom", func(w http.ResponseWriter, r *http.Request) {
+		panic("handler exploded")
+	})
+	s.route(mux, "GET /fine", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	w := httptest.NewRecorder()
+	mux.ServeHTTP(w, httptest.NewRequest("GET", "/boom", nil))
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking route status = %d, want 500", w.Code)
+	}
+	var body apiError
+	if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil || body.Error == "" {
+		t.Fatalf("panicking route body = %q (err %v), want the JSON error shape", w.Body.String(), err)
+	}
+
+	// The route table keeps serving after the panic.
+	w = httptest.NewRecorder()
+	mux.ServeHTTP(w, httptest.NewRequest("GET", "/fine", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("route after panic = %d, want 200", w.Code)
+	}
+
+	m := decode[MetricsSnapshot](t, do(t, s, "GET", "/metrics", ""))
+	if m.PanicsTotal != 1 {
+		t.Fatalf("panics_total = %d, want 1", m.PanicsTotal)
+	}
+	if m.Statuses["500"] != 1 {
+		t.Fatalf("responses_by_status[500] = %d, want 1", m.Statuses["500"])
+	}
+}
+
+// TestRoutePanicAfterStatusLine: once a handler has written its status
+// line, containment cannot rewrite it — but the panic is still counted
+// and the connection is not left looking like a clean 200 in metrics.
+func TestRoutePanicAfterStatusLine(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	mux := http.NewServeMux()
+	s.route(mux, "GET /late", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		panic("mid-body")
+	})
+	w := httptest.NewRecorder()
+	mux.ServeHTTP(w, httptest.NewRequest("GET", "/late", nil))
+	m := decode[MetricsSnapshot](t, do(t, s, "GET", "/metrics", ""))
+	if m.PanicsTotal != 1 {
+		t.Fatalf("panics_total = %d, want 1", m.PanicsTotal)
+	}
+	if m.Statuses["500"] != 1 {
+		t.Fatalf("late panic not recorded as 500 in metrics: %+v", m.Statuses)
+	}
+}
+
+// TestEncodeErrorCountedAndLogged: a response body that fails to encode
+// after the status line is logged through the request log and counted in
+// /metrics as response_encode_errors (satellite of ISSUE 4).
+func TestEncodeErrorCountedAndLogged(t *testing.T) {
+	var logBuf bytes.Buffer
+	s := newTestServer(t, Config{Workers: 1, Logger: log.New(&logBuf, "", 0)})
+	mux := http.NewServeMux()
+	s.route(mux, "GET /unencodable", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"bad": make(chan int)})
+	})
+	w := httptest.NewRecorder()
+	mux.ServeHTTP(w, httptest.NewRequest("GET", "/unencodable", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d (the status line goes out before the body can fail)", w.Code)
+	}
+	m := decode[MetricsSnapshot](t, do(t, s, "GET", "/metrics", ""))
+	if m.EncodeErrors != 1 {
+		t.Fatalf("response_encode_errors = %d, want 1", m.EncodeErrors)
+	}
+	if !strings.Contains(logBuf.String(), "encode error") {
+		t.Fatalf("request log did not record the encode error:\n%s", logBuf.String())
+	}
+}
+
+// TestSubmitIDsAreUnique is a cheap regression net for the newJobID
+// error path refactor: ids still mint and never collide.
+func TestSubmitIDsAreUnique(t *testing.T) {
+	e := newJobEngine(2, 64, time.Minute, 64)
+	defer e.Shutdown(context.Background())
+	seen := make(map[string]bool)
+	for i := 0; i < 32; i++ {
+		j, err := e.Submit(0, func(ctx context.Context) ([]byte, error) { return nil, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[j.id] {
+			t.Fatalf("duplicate job id %s", j.id)
+		}
+		seen[j.id] = true
 	}
 }

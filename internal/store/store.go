@@ -34,6 +34,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"marchgen/internal/iofault"
 )
 
 // Data file and metadata names inside a store directory.
@@ -79,9 +81,10 @@ var ErrSpecMismatch = errors.New("store: directory belongs to a different spec")
 // goroutine.
 type Store struct {
 	dir string
+	fs  iofault.FS
 
 	mu    sync.Mutex
-	f     *os.File
+	f     iofault.File
 	cp    Checkpoint
 	ids   map[string]int // record ID -> Seq, committed prefix plus pending appends
 	extra int64          // appended-but-uncommitted bytes
@@ -94,17 +97,32 @@ type Store struct {
 // rebuilt from the committed prefix. A directory checkpointed under a
 // different spec hash fails with ErrSpecMismatch.
 func Open(dir, specHash string) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenFS(dir, specHash, iofault.OS{})
+}
+
+// OpenFS is Open with the filesystem made explicit: every mutating I/O
+// operation of the store goes through fsys, so an iofault.Injector can
+// fail or crash any of them deterministically (the chaos suite sweeps
+// them all). A nil fsys means the real filesystem.
+func OpenFS(dir, specHash string, fsys iofault.FS) (*Store, error) {
+	if fsys == nil {
+		fsys = iofault.OS{}
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{dir: dir, ids: make(map[string]int)}
+	s := &Store{dir: dir, fs: fsys, ids: make(map[string]int)}
 
 	cpPath := filepath.Join(dir, checkpointName)
-	raw, err := os.ReadFile(cpPath)
+	raw, err := fsys.ReadFile(cpPath)
 	switch {
 	case errors.Is(err, os.ErrNotExist):
 		s.cp = Checkpoint{SpecHash: specHash}
-		if err := WriteFileAtomic(cpPath, mustJSON(s.cp)); err != nil {
+		b, err := json.Marshal(s.cp)
+		if err != nil {
+			return nil, fmt.Errorf("store: checkpoint: %w", err)
+		}
+		if err := WriteFileAtomicFS(fsys, cpPath, b); err != nil {
 			return nil, err
 		}
 	case err != nil:
@@ -118,7 +136,7 @@ func Open(dir, specHash string) (*Store, error) {
 		}
 	}
 
-	f, err := os.OpenFile(filepath.Join(dir, dataName), os.O_RDWR|os.O_CREATE, 0o644)
+	f, err := fsys.OpenFile(filepath.Join(dir, dataName), os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: data: %w", err)
 	}
@@ -207,10 +225,21 @@ func (s *Store) Commit(shardsCommitted int) error {
 	next.Shards = shardsCommitted
 	next.Records += s.recs
 	next.Bytes += s.extra
-	if err := WriteFileAtomic(filepath.Join(s.dir, indexName), mustJSON(s.ids)); err != nil {
+	// Marshal both metadata documents before touching the disk: a marshal
+	// failure (impossible for these shapes, but never worth a panic
+	// mid-run) must leave the store at its previous checkpoint.
+	idx, err := json.Marshal(s.ids)
+	if err != nil {
+		return fmt.Errorf("store: index: %w", err)
+	}
+	cpb, err := json.Marshal(next)
+	if err != nil {
+		return fmt.Errorf("store: checkpoint: %w", err)
+	}
+	if err := WriteFileAtomicFS(s.fs, filepath.Join(s.dir, indexName), idx); err != nil {
 		return err
 	}
-	if err := WriteFileAtomic(filepath.Join(s.dir, checkpointName), mustJSON(next)); err != nil {
+	if err := WriteFileAtomicFS(s.fs, filepath.Join(s.dir, checkpointName), cpb); err != nil {
 		return err
 	}
 	s.cp = next
@@ -288,13 +317,23 @@ func DataPath(dir string) string { return filepath.Join(dir, dataName) }
 // WriteFileAtomic replaces path with data via a same-directory temp file,
 // fsyncing the file before the rename and the directory after it.
 func WriteFileAtomic(path string, data []byte) error {
+	return WriteFileAtomicFS(iofault.OS{}, path, data)
+}
+
+// WriteFileAtomicFS is WriteFileAtomic through an explicit filesystem.
+// Unlike earlier revisions, a failed directory sync is reported: a
+// rename whose durability is unknown must not be treated as committed.
+func WriteFileAtomicFS(fsys iofault.FS, path string, data []byte) error {
+	if fsys == nil {
+		fsys = iofault.OS{}
+	}
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	tmp, err := fsys.CreateTemp(dir, ".tmp-*")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	tmpName := tmp.Name()
-	defer os.Remove(tmpName) // no-op after a successful rename
+	defer fsys.Remove(tmpName) // no-op after a successful rename
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		return fmt.Errorf("store: %w", err)
@@ -306,22 +345,11 @@ func WriteFileAtomic(path string, data []byte) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	if err := os.Rename(tmpName, path); err != nil {
+	if err := fsys.Rename(tmpName, path); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	if d, err := os.Open(dir); err == nil {
-		_ = d.Sync()
-		_ = d.Close()
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("store: sync %s: %w", dir, err)
 	}
 	return nil
-}
-
-// mustJSON marshals values that cannot fail (maps of strings/ints, plain
-// structs); a failure is a programming error.
-func mustJSON(v any) []byte {
-	b, err := json.Marshal(v)
-	if err != nil {
-		panic(fmt.Sprintf("store: marshal: %v", err))
-	}
-	return b
 }

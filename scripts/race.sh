@@ -4,7 +4,10 @@
 # sync.Pool machine reuse), the generator loops driving them, the marchd
 # service layer (job engine worker pool, result cache, metrics, concurrent
 # HTTP clients), and the campaign engine (shard worker pool, in-order
-# committer, generation memo) with its durable store.
+# committer, generation memo) with its durable store. The chaos-hardening
+# packages ride along: the iofault injector (its mutex against concurrent
+# committers), the retry loops, and the marchctl client suite (retrying
+# requests against a live flaky server).
 set -eu
 cd "$(dirname "$0")/.."
-exec go test -race ./internal/sim/... ./internal/core/... ./internal/service/... ./internal/campaign/... ./internal/store/...
+exec go test -race ./internal/sim/... ./internal/core/... ./internal/service/... ./internal/campaign/... ./internal/store/... ./internal/iofault/... ./internal/retry/... ./cmd/marchctl/

@@ -126,6 +126,40 @@ grep -q 'exit 0' "$LOG" || fail "marchd did not exit cleanly (want 'exit 0' in l
 SRV_PID=""
 echo "smoke: clean SIGTERM drain"
 
+# Chaos round-trip: a second marchd with -chaos-503 answers the first two
+# API requests with 503 + Retry-After: 0; marchctl must retry through them
+# and complete a full submit → poll → result round-trip.
+CTLBIN="$TMP/marchctl"
+go build -o "$CTLBIN" ./cmd/marchctl
+CLOG="$TMP/marchd-chaos.log"
+"$BIN" -addr 127.0.0.1:0 -data "$TMP/chaos-campaigns" -chaos-503 2 2>"$CLOG" &
+CHAOS_PID=$!
+trap 'kill -9 "$CHAOS_PID" 2>/dev/null || true; cleanup' EXIT
+CADDR=""
+i=0
+while [ $i -lt 100 ]; do
+	CADDR=$(sed -n 's/.*listening on \(.*\)/\1/p' "$CLOG" | head -n1)
+	[ -n "$CADDR" ] && break
+	kill -0 "$CHAOS_PID" 2>/dev/null || { cat "$CLOG" >&2; fail "chaos marchd died during startup"; }
+	sleep 0.1
+	i=$((i + 1))
+done
+[ -n "$CADDR" ] || fail "chaos marchd announced no listen address"
+"$CTLBIN" -addr "http://$CADDR" -retries 6 -poll 100ms submit -list list2 -wait >"$TMP/ctl.json" \
+	|| { cat "$CLOG" >&2; fail "marchctl submit through injected 503s"; }
+grep -Eq '"coverage_percent": ?100' "$TMP/ctl.json" \
+	|| fail "marchctl result lost full coverage"
+INJECTED=$(grep -c 'chaos: injected 503 on' "$CLOG" || true)
+[ "$INJECTED" -eq 2 ] || fail "chaos marchd injected $INJECTED 503s, want 2"
+kill -TERM "$CHAOS_PID" 2>/dev/null || true
+i=0
+while kill -0 "$CHAOS_PID" 2>/dev/null; do
+	[ $i -lt 300 ] || fail "chaos marchd did not exit after SIGTERM"
+	sleep 0.1
+	i=$((i + 1))
+done
+echo "smoke: marchctl round-trip through injected 503s OK"
+
 # marchcamp CLI: a minimal run + report round-trip over the same engine.
 CAMPBIN="$TMP/marchcamp"
 go build -o "$CAMPBIN" ./cmd/marchcamp
