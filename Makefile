@@ -1,12 +1,14 @@
 GO ?= go
 
-.PHONY: build test vet fmt-check race bench bench-sim serve test-service smoke chaos check
+.PHONY: build test vet fmt-check race bench bench-sim serve test-service smoke chaos fuzz verify-oracle check
 
 build:
 	$(GO) build ./...
 
+## test: the unit suites, shuffled so inter-test ordering dependencies
+## cannot hide, and uncached so the shuffle actually re-runs.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on -count=1 ./...
 
 vet:
 	$(GO) vet ./...
@@ -53,5 +55,22 @@ chaos:
 	$(GO) test -count=1 -run 'TestCrashMatrix|TestFaultMatrix|TestENOSPC|TestRunContainsPanicking|TestCrashError|FuzzOpenTornTail|TestJobEnginePanicContained|TestRoutePanic|TestEncodeError' \
 		./internal/campaign/ ./internal/store/ ./internal/service/
 
-## check: the full local CI gate — build, vet, gofmt, tests, race, chaos, smoke.
-check: build vet fmt-check test race chaos smoke
+## fuzz: time-boxed fuzzing of every parser boundary (march notation, FP
+## specs, op streams) and the store's torn-tail recovery, 30s per target,
+## seeded from the corpora under */testdata/fuzz/.
+fuzz:
+	$(GO) test -fuzz='^FuzzParseFP$$' -fuzztime 30s ./internal/fp/
+	$(GO) test -fuzz='^FuzzParseOps$$' -fuzztime 30s ./internal/fp/
+	$(GO) test -fuzz='^FuzzParse$$' -fuzztime 30s ./internal/march/
+	$(GO) test -fuzz='^FuzzOpenTornTail$$' -fuzztime 30s ./internal/store/
+
+## verify-oracle: the differential gate (DESIGN.md §11) — cross-check the
+## production simulator against the independent reference oracle over the
+## whole march library × every fault list plus 1000 seeded random streams,
+## with the metamorphic property engine on. Any divergence fails the build.
+verify-oracle:
+	$(GO) run ./cmd/marchverify -seed 1 -n 1000 -props
+
+## check: the full local CI gate — build, vet, gofmt, tests, race, chaos,
+## the oracle cross-check, smoke.
+check: build vet fmt-check test race chaos verify-oracle smoke

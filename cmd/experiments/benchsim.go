@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"testing"
 	"time"
@@ -50,16 +51,16 @@ var baselineBenchSim = []benchEntry{
 	{Name: "DetectsFault", Test: "March SL", List: "LF3-pair", NsPerOp: 690716, AllocsPerOp: 1165, BytesPerOp: 37080},
 }
 
-func benchLists() map[string][]linked.Fault {
+func benchLists() (map[string][]linked.Fault, error) {
 	lf, err := linked.NewLF3(fp.MustParseFP("<0w1;0/1/->"), fp.MustParseFP("<0w1;1/0/->"))
 	if err != nil {
-		fatal(err)
+		return nil, err
 	}
 	return map[string][]linked.Fault{
 		"List1":    faultlist.List1(),
 		"List2":    faultlist.List2(),
 		"LF3-pair": {lf},
-	}
+	}, nil
 }
 
 func benchTests() map[string]march.Test {
@@ -70,28 +71,31 @@ func benchTests() map[string]march.Test {
 	}
 }
 
-func scenarioSpace(t march.Test, faults []linked.Fault, cfg sim.Config) int {
+func scenarioSpace(t march.Test, faults []linked.Fault, cfg sim.Config) (int, error) {
 	s, err := sim.NewSchedule(t, cfg)
 	if err != nil {
-		fatal(err)
+		return 0, err
 	}
 	total := 0
 	for _, f := range faults {
 		n, err := s.ScenarioCount(f)
 		if err != nil {
-			fatal(err)
+			return 0, err
 		}
 		total += n
 	}
-	return total
+	return total, nil
 }
 
-func runBenchSim(path string) {
+func runBenchSim(path string, w io.Writer) error {
 	cfg := sim.DefaultConfig()
-	lists := benchLists()
+	lists, err := benchLists()
+	if err != nil {
+		return err
+	}
 	tests := benchTests()
 
-	measure := func(e benchEntry) benchEntry {
+	measure := func(e benchEntry) (benchEntry, error) {
 		t, faults := tests[e.Test], lists[e.List]
 		var r testing.BenchmarkResult
 		switch e.Name {
@@ -107,7 +111,7 @@ func runBenchSim(path string) {
 		case "DetectsFault":
 			s, err := sim.NewSchedule(t, cfg)
 			if err != nil {
-				fatal(err)
+				return e, err
 			}
 			r = testing.Benchmark(func(b *testing.B) {
 				b.ReportAllocs()
@@ -120,12 +124,12 @@ func runBenchSim(path string) {
 				}
 			})
 		default:
-			fatal(fmt.Errorf("unknown benchmark %q", e.Name))
+			return e, fmt.Errorf("unknown benchmark %q", e.Name)
 		}
 		e.NsPerOp = r.NsPerOp()
 		e.AllocsPerOp = r.AllocsPerOp()
 		e.BytesPerOp = r.AllocedBytesPerOp()
-		return e
+		return e, nil
 	}
 
 	out := benchFile{
@@ -135,27 +139,35 @@ func runBenchSim(path string) {
 	}
 	for _, e := range baselineBenchSim {
 		e.Faults = len(lists[e.List])
-		e.Scenarios = scenarioSpace(tests[e.Test], lists[e.List], cfg)
+		scenarios, err := scenarioSpace(tests[e.Test], lists[e.List], cfg)
+		if err != nil {
+			return err
+		}
+		e.Scenarios = scenarios
 		e.ScenariosPerSec = float64(e.Scenarios) / (float64(e.NsPerOp) / 1e9)
 		out.Baseline = append(out.Baseline, e)
 
-		cur := measure(e)
+		cur, err := measure(e)
+		if err != nil {
+			return err
+		}
 		cur.Faults = e.Faults
 		cur.Scenarios = e.Scenarios
 		cur.ScenariosPerSec = float64(cur.Scenarios) / (float64(cur.NsPerOp) / 1e9)
 		out.Current = append(out.Current, cur)
-		fmt.Printf("  %-12s %-10s %-8s %12d ns/op (baseline %12d, %.1fx), %d allocs/op (baseline %d)\n",
+		fmt.Fprintf(w, "  %-12s %-10s %-8s %12d ns/op (baseline %12d, %.1fx), %d allocs/op (baseline %d)\n",
 			cur.Name, cur.Test, cur.List, cur.NsPerOp, e.NsPerOp,
 			float64(e.NsPerOp)/float64(cur.NsPerOp), cur.AllocsPerOp, e.AllocsPerOp)
 	}
 
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	data = append(data, '\n')
 	if err := os.WriteFile(path, data, 0o644); err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Println("wrote", path)
+	fmt.Fprintln(w, "wrote", path)
+	return nil
 }

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// -quick renders every simulation-only section and skips the
+// generation-heavy ones.
+func TestQuickSections(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates the full library against list1; skipped in -short runs")
+	}
+	code, out, errOut := runCmd(t, "-quick")
+	if code != exitOK {
+		t.Fatalf("exit %d; stderr: %s", code, errOut)
+	}
+	for _, want := range []string{
+		"March library coverage",
+		"BIST cost",
+		"Defect class coverage",
+		"Word-oriented memories",
+		"Address decoder faults",
+		"Diagnosis resolution",
+		"Two-port weak faults",
+		"generation sections skipped",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "Unified generation") {
+		t.Error("-quick still ran the generation sections")
+	}
+}
+
+func TestUsageError(t *testing.T) {
+	if code, _, _ := runCmd(t, "-badflag"); code != exitUsage {
+		t.Fatalf("bad flag: exit %d, want %d", code, exitUsage)
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	code, out, _ := runCmd(t, "-version")
+	if code != exitOK || out == "" {
+		t.Fatalf("exit %d, output %q", code, out)
+	}
+}

@@ -6,52 +6,78 @@
 //	marchgen -list list2
 //	marchgen -list list1 -aggressive -name "March MINE"
 //	marchgen -list list1 -kinds        # per-kind coverage breakdown
+//	marchgen -list list2 -verify       # cross-check with the reference oracle
+//
+// Exit codes (for CI generation gates):
+//
+//	0  generation succeeded (full coverage certified)
+//	1  generation, verification or output error
+//	2  usage error (bad flags, unknown fault list or order constraint)
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"marchgen"
 	"marchgen/internal/buildinfo"
 )
 
+// Exit codes of the marchgen command.
+const (
+	exitOK    = 0 // generation succeeded
+	exitErr   = 1 // generation, verification or output errors
+	exitUsage = 2 // flag / fault-list / order errors
+)
+
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with the process plumbing factored out so tests can drive
+// the command end to end and assert on its exit code and output.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("marchgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		listName   = flag.String("list", "list2", "target fault list (list1, list2, simple, simple1, simple2, realistic1, realistic2, dynamic, dynamic1, dynamic2)")
-		name       = flag.String("name", "March GEN", "name for the generated test")
-		aggressive = flag.Bool("aggressive", false, "enable the deeper minimization passes (the March RABL profile)")
-		orders     = flag.String("orders", "free", "address-order constraint: free, up (all-increasing) or down (all-decreasing)")
-		kinds      = flag.Bool("kinds", false, "print per-kind coverage breakdown")
-		ascii      = flag.Bool("ascii", false, "print the test with ASCII order markers instead of arrows")
-		asJSON     = flag.Bool("json", false, "emit the generated test and its certification report as JSON")
-		version    = flag.Bool("version", false, "print version and exit")
+		listName   = fs.String("list", "list2", "target fault list (list1, list2, simple, simple1, simple2, realistic1, realistic2, dynamic, dynamic1, dynamic2)")
+		name       = fs.String("name", "March GEN", "name for the generated test")
+		aggressive = fs.Bool("aggressive", false, "enable the deeper minimization passes (the March RABL profile)")
+		orders     = fs.String("orders", "free", "address-order constraint: free, up (all-increasing) or down (all-decreasing)")
+		kinds      = fs.Bool("kinds", false, "print per-kind coverage breakdown")
+		ascii      = fs.Bool("ascii", false, "print the test with ASCII order markers instead of arrows")
+		verify     = fs.Bool("verify", false, "cross-check the certification with the independent reference oracle")
+		asJSON     = fs.Bool("json", false, "emit the generated test and its certification report as JSON")
+		version    = fs.Bool("version", false, "print version and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
 	if *version {
-		buildinfo.Fprint(os.Stdout, "marchgen")
-		return
+		buildinfo.Fprint(stdout, "marchgen")
+		return exitOK
 	}
 
 	faults, err := marchgen.FaultListByName(*listName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "marchgen:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "marchgen:", err)
+		return exitUsage
 	}
 
 	constraint, err := marchgen.ParseOrderConstraint(*orders)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "marchgen: invalid -orders %q (want free, up or down)\n", *orders)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "marchgen: invalid -orders %q (want free, up or down)\n", *orders)
+		return exitUsage
 	}
 
-	opts := marchgen.Options{Name: *name, Aggressive: *aggressive, Orders: constraint}
+	opts := marchgen.Options{Name: *name, Aggressive: *aggressive, Orders: constraint, CertifyWithOracle: *verify}
 	res, err := marchgen.Generate(faults, opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "marchgen:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "marchgen:", err)
+		return exitErr
 	}
 
 	if *asJSON {
@@ -64,27 +90,31 @@ func main() {
 			Options marchgen.Options `json:"options"`
 			Seconds float64          `json:"generation_seconds"`
 		}{res.Test, res.Report, opts, res.Stats.Duration.Seconds()}
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
-			fmt.Fprintln(os.Stderr, "marchgen:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "marchgen:", err)
+			return exitErr
 		}
-		return
+		return exitOK
 	}
 
 	rendered := res.Test.String()
 	if *ascii {
 		rendered = res.Test.ASCII()
 	}
-	fmt.Printf("%s (%s, fault list %s)\n", res.Test.Name, res.Test.Complexity(), *listName)
-	fmt.Printf("  %s\n", rendered)
-	fmt.Printf("coverage: %d/%d faults (%.1f%%)\n", res.Report.Detected(), res.Report.Total(), res.Report.Coverage())
+	fmt.Fprintf(stdout, "%s (%s, fault list %s)\n", res.Test.Name, res.Test.Complexity(), *listName)
+	fmt.Fprintf(stdout, "  %s\n", rendered)
+	fmt.Fprintf(stdout, "coverage: %d/%d faults (%.1f%%)\n", res.Report.Detected(), res.Report.Total(), res.Report.Coverage())
+	if *verify {
+		fmt.Fprintln(stdout, "oracle cross-check: agreed on every fault")
+	}
 	if *kinds {
 		for _, k := range res.Report.ByKind() {
-			fmt.Printf("  %s\n", k)
+			fmt.Fprintf(stdout, "  %s\n", k)
 		}
 	}
-	fmt.Printf("generation: %.3f s, %d candidate simulations, %d ops before minimization\n",
+	fmt.Fprintf(stdout, "generation: %.3f s, %d candidate simulations, %d ops before minimization\n",
 		res.Stats.Duration.Seconds(), res.Stats.Simulations, res.Stats.LengthBeforeMinimize)
+	return exitOK
 }

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestGenerateList2Text(t *testing.T) {
+	code, out, errOut := runCmd(t, "-list", "list2", "-name", "March T", "-verify")
+	if code != exitOK {
+		t.Fatalf("exit %d; stderr: %s", code, errOut)
+	}
+	for _, want := range []string{"March T", "coverage: 18/18", "oracle cross-check: agreed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGenerateJSON(t *testing.T) {
+	code, out, errOut := runCmd(t, "-list", "list2", "-json")
+	if code != exitOK {
+		t.Fatalf("exit %d; stderr: %s", code, errOut)
+	}
+	var doc struct {
+		Test struct {
+			Name string `json:"name"`
+		} `json:"test"`
+		Options struct {
+			MaxSOLen int `json:"max_so_len"`
+		} `json:"options"`
+		Seconds float64 `json:"generation_seconds"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("decode %q: %v", out, err)
+	}
+	if doc.Test.Name != "March GEN" || doc.Options.MaxSOLen != 11 || doc.Seconds <= 0 {
+		t.Fatalf("document = %+v", doc)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-list", "nope"},
+		{"-orders", "sideways"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		if code, _, _ := runCmd(t, args...); code != exitUsage {
+			t.Errorf("args %v: exit %d, want %d", args, code, exitUsage)
+		}
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	code, out, _ := runCmd(t, "-version")
+	if code != exitOK || out == "" {
+		t.Fatalf("exit %d, output %q", code, out)
+	}
+}

@@ -9,11 +9,18 @@
 //
 //	table1            # full reproduction (three generated rows + baselines)
 //	table1 -quick     # skip the aggressive (RABL-profile) row
+//
+// Exit codes:
+//
+//	0  the table rendered
+//	1  generation, simulation or output error
+//	2  usage error (bad flags)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 
@@ -25,13 +32,30 @@ import (
 	"marchgen/internal/sim"
 )
 
+// Exit codes of the table1 command.
+const (
+	exitOK    = 0 // table rendered
+	exitErr   = 1 // generation / simulation / output errors
+	exitUsage = 2 // flag errors
+)
+
 func main() {
-	quick := flag.Bool("quick", false, "skip the aggressive (March RABL profile) row")
-	version := flag.Bool("version", false, "print version and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with the process plumbing factored out so tests can drive
+// the command end to end and assert on its exit code and output.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("table1", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quick := fs.Bool("quick", false, "skip the aggressive (March RABL profile) row")
+	version := fs.Bool("version", false, "print version and exit")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
 	if *version {
-		buildinfo.Fprint(os.Stdout, "table1")
-		return
+		buildinfo.Fprint(stdout, "table1")
+		return exitOK
 	}
 
 	list1 := faultlist.List1()
@@ -57,8 +81,8 @@ func main() {
 	for _, r := range rows {
 		res, err := marchgen.Generate(r.faults, marchgen.Options{Name: "March " + r.name, Aggressive: r.aggressive})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "table1:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "table1:", err)
+			return exitErr
 		}
 		row := report.Table1Row{
 			Algorithm:  r.name,
@@ -78,16 +102,16 @@ func main() {
 			row.ImpSL = report.Improvement(march.MarchSL.Length(), res.Test.Length())
 		}
 		t1 = append(t1, row)
-		fmt.Printf("%-11s => %s\n", r.name, res.Test)
+		fmt.Fprintf(stdout, "%-11s => %s\n", r.name, res.Test)
 	}
-	fmt.Println()
-	if err := report.Table1(t1).Render(os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "table1:", err)
-		os.Exit(1)
+	fmt.Fprintln(stdout)
+	if err := report.Table1(t1).Render(stdout); err != nil {
+		fmt.Fprintln(stderr, "table1:", err)
+		return exitErr
 	}
 
-	fmt.Println()
-	fmt.Println("Published tests on the reproduction's fault lists (coverage check):")
+	fmt.Fprintln(stdout)
+	fmt.Fprintln(stdout, "Published tests on the reproduction's fault lists (coverage check):")
 	cov := &report.Table{Header: []string{"March Test", "O(n)", "List #1", "List #2", "Simple"}}
 	cfg := sim.DefaultConfig()
 	simple := faultlist.SimpleStatic()
@@ -100,8 +124,9 @@ func main() {
 			fmt.Sprintf("%d/%d", r2.Detected(), r2.Total()),
 			fmt.Sprintf("%d/%d", rs.Detected(), rs.Total()))
 	}
-	if err := cov.Render(os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "table1:", err)
-		os.Exit(1)
+	if err := cov.Render(stdout); err != nil {
+		fmt.Fprintln(stderr, "table1:", err)
+		return exitErr
 	}
+	return exitOK
 }

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// -quick skips the aggressive row but still produces the two cheap
+// generated rows and the published-test coverage table.
+func TestQuickTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates against list1; skipped in -short runs")
+	}
+	code, out, errOut := runCmd(t, "-quick")
+	if code != exitOK {
+		t.Fatalf("exit %d; stderr: %s", code, errOut)
+	}
+	for _, want := range []string{"ABL-repro", "ABL1-repro", "March SL", "Published tests"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "RABL-repro") {
+		t.Error("-quick still produced the aggressive row")
+	}
+}
+
+func TestUsageError(t *testing.T) {
+	if code, _, _ := runCmd(t, "-badflag"); code != exitUsage {
+		t.Fatalf("bad flag: exit %d, want %d", code, exitUsage)
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	code, out, _ := runCmd(t, "-version")
+	if code != exitOK || out == "" {
+		t.Fatalf("exit %d, output %q", code, out)
+	}
+}

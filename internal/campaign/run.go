@@ -323,7 +323,7 @@ func summarize(c Spec, dir string, st *store.Store, resumedFrom int) (Summary, e
 
 // genMemo deduplicates generation work across units that share generator
 // coordinates (list, profile, order, size) and differ only in derived axes
-// (width, topology): the first unit generates, the rest reuse the result.
+// (width, topology, verify): the first unit generates, the rest reuse the result.
 // Results are deterministic, so memoization cannot change any record.
 type genMemo struct {
 	mu sync.Mutex

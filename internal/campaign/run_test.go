@@ -218,3 +218,48 @@ func TestRecordsRoundTripThroughStore(t *testing.T) {
 		t.Fatalf("index.json not written: %v", err)
 	}
 }
+
+// A verify-enabled unit records the oracle cross-check in its result
+// document, and the two simulators agree on the generated test.
+func TestRunVerifyUnit(t *testing.T) {
+	root := t.TempDir()
+	spec := Spec{Name: "verify", Lists: []string{"list2"}, Verify: []bool{true}}
+	sum, err := Run(context.Background(), spec, root, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Units != 1 || sum.UnitErrors != 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	_, recs, err := store.Read(spec.Dir(root))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := Decode(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if r.Verify == nil {
+		t.Fatal("verify-enabled unit recorded no verify document")
+	}
+	if r.Verify.Faults != 18 || r.Verify.Divergences != 0 || r.Verify.First != "" {
+		t.Fatalf("verify document = %+v, want 18 faults and zero divergences", r.Verify)
+	}
+	// A verify-disabled spec omits the document entirely.
+	plain := Spec{Name: "plain", Lists: []string{"list2"}}
+	if _, err := Run(context.Background(), plain, root, RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	_, precs, err := store.Read(plain.Dir(root))
+	if err != nil {
+		t.Fatal(err)
+	}
+	presults, err := Decode(precs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if presults[0].Verify != nil {
+		t.Fatalf("verify-disabled unit recorded a verify document: %+v", presults[0].Verify)
+	}
+}

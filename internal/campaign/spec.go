@@ -24,7 +24,7 @@ import (
 // the canonical spec encoding, the unit encoding, or the result document
 // changes shape: old store directories then refuse to resume instead of
 // mixing incompatible records.
-const specSchema = "marchcamp/spec/v1"
+const specSchema = "marchcamp/spec/v2"
 
 // Generator profiles a spec may sweep.
 const (
@@ -57,6 +57,11 @@ type Spec struct {
 	// BIST application cost on that array and how much physical adjacency
 	// the shape hides from logical address order.
 	Topologies []string `json:"topologies,omitempty"`
+	// Verify selects whether each unit's certified test is additionally
+	// cross-checked against the independent reference oracle
+	// (internal/oracle); the unit result then records the divergence count.
+	// Default [false]. A spec of [false, true] sweeps both.
+	Verify []bool `json:"verify,omitempty"`
 	// ShardSize is the number of units per shard (the checkpoint
 	// granularity). Default 4.
 	ShardSize int `json:"shard_size,omitempty"`
@@ -88,6 +93,10 @@ func (s Spec) Canonical() Spec {
 	s.Topologies = dedup(s.Topologies)
 	if len(s.Topologies) == 0 {
 		s.Topologies = []string{""}
+	}
+	s.Verify = dedupBools(s.Verify)
+	if len(s.Verify) == 0 {
+		s.Verify = []bool{false}
 	}
 	if s.ShardSize <= 0 {
 		s.ShardSize = 4
@@ -195,6 +204,7 @@ type Unit struct {
 	Size     int    `json:"size"`
 	Width    int    `json:"width"`
 	Topology string `json:"topology,omitempty"`
+	Verify   bool   `json:"verify,omitempty"`
 }
 
 // ID returns the unit's content address: a SHA-256 over the
@@ -226,9 +236,9 @@ type Shard struct {
 
 // Plan expands the spec into its deterministic shard plan. The unit order
 // is the nested iteration list → profile → order → size → width → topology
-// over the canonical axes; shards are consecutive runs of ShardSize units.
-// Equal canonical specs always produce identical plans — this is what makes
-// checkpoints portable across processes.
+// → verify over the canonical axes; shards are consecutive runs of
+// ShardSize units. Equal canonical specs always produce identical plans —
+// this is what makes checkpoints portable across processes.
 func Plan(s Spec) []Shard {
 	c := s.Canonical()
 	var units []Unit
@@ -238,10 +248,13 @@ func Plan(s Spec) []Shard {
 				for _, size := range c.Sizes {
 					for _, width := range c.Widths {
 						for _, tp := range c.Topologies {
-							units = append(units, Unit{
-								Seq: len(units), List: list, Profile: prof,
-								Order: ord, Size: size, Width: width, Topology: tp,
-							})
+							for _, vf := range c.Verify {
+								units = append(units, Unit{
+									Seq: len(units), List: list, Profile: prof,
+									Order: ord, Size: size, Width: width,
+									Topology: tp, Verify: vf,
+								})
+							}
 						}
 					}
 				}
@@ -262,7 +275,8 @@ func Plan(s Spec) []Shard {
 // Units counts the plan's units without materializing shards.
 func (s Spec) Units() int {
 	c := s.Canonical()
-	return len(c.Lists) * len(c.Profiles) * len(c.Orders) * len(c.Sizes) * len(c.Widths) * len(c.Topologies)
+	return len(c.Lists) * len(c.Profiles) * len(c.Orders) * len(c.Sizes) *
+		len(c.Widths) * len(c.Topologies) * len(c.Verify)
 }
 
 func dedup(in []string) []string {
@@ -271,6 +285,22 @@ func dedup(in []string) []string {
 	for _, v := range in {
 		if !seen[v] {
 			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func dedupBools(in []bool) []bool {
+	var out []bool
+	var seen [2]bool
+	for _, v := range in {
+		idx := 0
+		if v {
+			idx = 1
+		}
+		if !seen[idx] {
+			seen[idx] = true
 			out = append(out, v)
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"marchgen/internal/bist"
 	"marchgen/internal/core"
 	"marchgen/internal/faultlist"
+	"marchgen/internal/oracle"
 	"marchgen/internal/sim"
 	"marchgen/internal/word"
 )
@@ -54,6 +55,17 @@ type TopoJSON struct {
 	RemotePairs int `json:"logically_adjacent_physically_remote"`
 }
 
+// VerifyJSON is the differential cross-check of a verify-enabled unit: the
+// certified test re-simulated by the independent reference oracle
+// (internal/oracle) and compared with the production simulator's verdicts.
+// Divergences is 0 when the two implementations agree bit-for-bit; First
+// records the first disagreement otherwise.
+type VerifyJSON struct {
+	Faults      int    `json:"faults"`
+	Divergences int    `json:"divergences"`
+	First       string `json:"first,omitempty"`
+}
+
 // UnitResult is the deterministic result document of one unit: everything
 // in it is a pure function of the unit coordinates, so two runs of the same
 // unit marshal to byte-identical records. Wall-clock timings are
@@ -66,10 +78,11 @@ type UnitResult struct {
 	Coverage CoverageJSON `json:"coverage"`
 	// Simulations is the generator's candidate-evaluation count (the
 	// search-effort column of the sweep).
-	Simulations int       `json:"simulations"`
-	BIST        BISTJSON  `json:"bist"`
-	Word        *WordJSON `json:"word,omitempty"`
-	Topo        *TopoJSON `json:"topo,omitempty"`
+	Simulations int         `json:"simulations"`
+	BIST        BISTJSON    `json:"bist"`
+	Word        *WordJSON   `json:"word,omitempty"`
+	Topo        *TopoJSON   `json:"topo,omitempty"`
+	Verify      *VerifyJSON `json:"verify,omitempty"`
 	// Error records a unit-level failure (e.g. a fault list the constrained
 	// generator cannot cover). Failed units are results, not run aborts: the
 	// error text is deterministic and the sweep continues.
@@ -146,6 +159,20 @@ func buildResult(ctx context.Context, u Unit, gen core.Result, err error) (UnitR
 		Elements:      cost.Elements,
 		OrderSwitches: cost.OrderSwitches,
 		SingleOrder:   cost.SingleOrder,
+	}
+
+	if u.Verify {
+		faults, ok := faultlist.ByName(u.List)
+		if !ok {
+			res.Error = fmt.Sprintf("unknown fault list %q", u.List)
+			return res, nil
+		}
+		diffs := oracle.CrossCheck(gen.Test, faults, sim.Config{Size: u.Size, ExhaustiveOrders: true})
+		vj := &VerifyJSON{Faults: len(faults), Divergences: len(diffs)}
+		if len(diffs) > 0 {
+			vj.First = diffs[0].String()
+		}
+		res.Verify = vj
 	}
 
 	if u.Width > 1 {

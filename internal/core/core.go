@@ -34,6 +34,7 @@ import (
 	"marchgen/internal/fp"
 	"marchgen/internal/linked"
 	"marchgen/internal/march"
+	"marchgen/internal/oracle"
 	"marchgen/internal/sim"
 )
 
@@ -97,6 +98,13 @@ type Options struct {
 	FinalConfig sim.Config
 	// MaxRepairRounds bounds the repair/validate iterations; 0 means 4.
 	MaxRepairRounds int
+	// CertifyWithOracle re-certifies the final test against the independent
+	// reference simulator (internal/oracle) and fails the run on any
+	// divergence between the two implementations — verdict, missed set or
+	// witness. The oracle shares no code with internal/sim on the verdict
+	// path, so an agreement here is meaningful evidence that the coverage
+	// claim does not rest on a simulator bug.
+	CertifyWithOracle bool
 }
 
 func (o Options) name() string {
@@ -237,6 +245,12 @@ func GenerateContext(ctx context.Context, faults []linked.Fault, opts Options) (
 
 	if err := cand.CheckConsistency(); err != nil {
 		return Result{}, fmt.Errorf("core: generated test inconsistent: %v", err)
+	}
+	if opts.CertifyWithOracle {
+		if diffs := oracle.CrossCheck(cand, faults, opts.finalConfig()); len(diffs) > 0 {
+			return Result{}, fmt.Errorf("core: oracle cross-check found %d divergence(s) on %q; first: %s",
+				len(diffs), cand.Name, diffs[0])
+		}
 	}
 	st.Duration = time.Since(start)
 	return Result{Test: cand, Report: report, Stats: *st}, nil

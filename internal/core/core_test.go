@@ -299,3 +299,31 @@ func TestBuildSnippet(t *testing.T) {
 		t.Errorf("snippet = %s", fp.FormatOps(got))
 	}
 }
+
+// CertifyWithOracle re-certifies the generated test with the independent
+// reference simulator; on the real generator output the two implementations
+// must agree, so the flag changes nothing but adds the cross-check.
+func TestGenerateCertifyWithOracle(t *testing.T) {
+	res, err := Generate(faultlist.List2(), Options{Name: "GEN-ORACLE", CertifyWithOracle: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.Full() {
+		t.Fatalf("incomplete coverage: %s", res.Report.Summary())
+	}
+}
+
+// The flag is part of the canonical options wire form.
+func TestOptionsJSONCertifyWithOracle(t *testing.T) {
+	b, err := Options{CertifyWithOracle: true}.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var o Options
+	if err := o.UnmarshalJSON(b); err != nil {
+		t.Fatal(err)
+	}
+	if !o.CertifyWithOracle {
+		t.Fatalf("flag lost across the JSON round trip: %s", b)
+	}
+}

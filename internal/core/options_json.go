@@ -71,14 +71,15 @@ func (o Options) Canonical() Options {
 // optionsJSON is the wire form of the generator options: stable field
 // order, defaults always explicit, the order constraint as text.
 type optionsJSON struct {
-	Name            string          `json:"name"`
-	Aggressive      bool            `json:"aggressive"`
-	Orders          OrderConstraint `json:"orders"`
-	SkipMinimize    bool            `json:"skip_minimize"`
-	MaxSOLen        int             `json:"max_so_len"`
-	MaxRepairRounds int             `json:"max_repair_rounds"`
-	SearchConfig    sim.Config      `json:"search_config"`
-	FinalConfig     sim.Config      `json:"final_config"`
+	Name              string          `json:"name"`
+	Aggressive        bool            `json:"aggressive"`
+	Orders            OrderConstraint `json:"orders"`
+	SkipMinimize      bool            `json:"skip_minimize"`
+	MaxSOLen          int             `json:"max_so_len"`
+	MaxRepairRounds   int             `json:"max_repair_rounds"`
+	CertifyWithOracle bool            `json:"certify_with_oracle"`
+	SearchConfig      sim.Config      `json:"search_config"`
+	FinalConfig       sim.Config      `json:"final_config"`
 }
 
 // MarshalJSON encodes the canonical form: stable field order, defaults
@@ -86,14 +87,15 @@ type optionsJSON struct {
 func (o Options) MarshalJSON() ([]byte, error) {
 	co := o.Canonical()
 	return json.Marshal(optionsJSON{
-		Name:            co.Name,
-		Aggressive:      co.Aggressive,
-		Orders:          co.Orders,
-		SkipMinimize:    co.SkipMinimize,
-		MaxSOLen:        co.MaxSOLen,
-		MaxRepairRounds: co.MaxRepairRounds,
-		SearchConfig:    co.SearchConfig,
-		FinalConfig:     co.FinalConfig,
+		Name:              co.Name,
+		Aggressive:        co.Aggressive,
+		Orders:            co.Orders,
+		SkipMinimize:      co.SkipMinimize,
+		MaxSOLen:          co.MaxSOLen,
+		MaxRepairRounds:   co.MaxRepairRounds,
+		CertifyWithOracle: co.CertifyWithOracle,
+		SearchConfig:      co.SearchConfig,
+		FinalConfig:       co.FinalConfig,
 	})
 }
 
@@ -105,14 +107,15 @@ func (o *Options) UnmarshalJSON(data []byte) error {
 		return err
 	}
 	*o = Options{
-		Name:            w.Name,
-		Aggressive:      w.Aggressive,
-		Orders:          w.Orders,
-		SkipMinimize:    w.SkipMinimize,
-		MaxSOLen:        w.MaxSOLen,
-		MaxRepairRounds: w.MaxRepairRounds,
-		SearchConfig:    w.SearchConfig,
-		FinalConfig:     w.FinalConfig,
+		Name:              w.Name,
+		Aggressive:        w.Aggressive,
+		Orders:            w.Orders,
+		SkipMinimize:      w.SkipMinimize,
+		MaxSOLen:          w.MaxSOLen,
+		MaxRepairRounds:   w.MaxRepairRounds,
+		CertifyWithOracle: w.CertifyWithOracle,
+		SearchConfig:      w.SearchConfig,
+		FinalConfig:       w.FinalConfig,
 	}
 	return nil
 }

@@ -1,0 +1,231 @@
+package oracle
+
+import (
+	"fmt"
+
+	"marchgen/internal/fp"
+	"marchgen/internal/linked"
+	"marchgen/internal/march"
+)
+
+// This file is the metamorphic property engine: invariants the paper's
+// fault semantics imply, checked by transforming a (test, fault) pair in a
+// way with a known effect on the verdict and re-simulating. Metamorphic
+// checks need no ground truth — they catch bugs that differential testing
+// misses when both implementations share a misunderstanding, because each
+// property is justified by a symmetry argument about the semantics itself,
+// not by another simulator.
+
+// Violation is one metamorphic property violation.
+type Violation struct {
+	// Property names the violated invariant.
+	Property string
+	// Test is the name of the (transformed) test that exposed it.
+	Test string
+	// Fault is the fault whose verdict broke the invariant.
+	Fault string
+	// Detail explains the expected and observed verdicts.
+	Detail string
+}
+
+// String renders "property: test/fault: detail".
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s / %s: %s", v.Property, v.Test, v.Fault, v.Detail)
+}
+
+// MirrorTest returns the test with every concrete address order reversed
+// (⇑ ↔ ⇓, ⇕ untouched). Under the mirror address relabeling a ↦ n-1-a —
+// a topology permutation that maps ascending traversals to descending ones
+// — every scenario of the original test bijects onto a scenario of the
+// mirrored test, so detection verdicts must be identical whenever the ⇕
+// elements are expanded exhaustively (under the canonical ⇕→⇑ resolution
+// the bijection breaks: the ⇕ elements would need to flip too).
+func MirrorTest(t march.Test) march.Test {
+	out := t.Clone()
+	out.Name = t.Name + "~mirror"
+	for i, e := range out.Elems {
+		switch e.Order {
+		case march.Up:
+			out.Elems[i].Order = march.Down
+		case march.Down:
+			out.Elems[i].Order = march.Up
+		}
+	}
+	return out
+}
+
+// ComplementTest returns the data-background complement of the test: every
+// written and expected value inverted. Complementing the data encoding of
+// the memory is a symmetry of the fault semantics as long as the fault is
+// complemented too (ComplementFault), so verdicts must be preserved — and a
+// test certified Full against a complement-closed fault list stays Full
+// under the complemented background.
+func ComplementTest(t march.Test) march.Test {
+	out := t.Clone()
+	out.Name = t.Name + "~comp"
+	for i, e := range out.Elems {
+		for j, op := range e.Ops {
+			if op.Kind == fp.OpWrite || op.Kind == fp.OpRead {
+				out.Elems[i].Ops[j].Data = op.Data.Not() // Not(VX) = VX
+			}
+		}
+	}
+	return out
+}
+
+// ComplementFault inverts every data value of the fault's primitives:
+// initial states, sensitizing operation data, fault value and read result.
+// The complement of a valid fault is valid, and simulating a complemented
+// fault under a complemented test is isomorphic to the original pair.
+func ComplementFault(f linked.Fault) linked.Fault {
+	out := f
+	out.FPs = append([]linked.Binding(nil), f.FPs...)
+	for i := range out.FPs {
+		p := &out.FPs[i].FP
+		p.AInit = p.AInit.Not()
+		p.VInit = p.VInit.Not()
+		if p.Op.Kind == fp.OpWrite || p.Op.Kind == fp.OpRead {
+			p.Op.Data = p.Op.Data.Not()
+		}
+		if p.Op2.Kind == fp.OpWrite || p.Op2.Kind == fp.OpRead {
+			p.Op2.Data = p.Op2.Data.Not()
+		}
+		p.F = p.F.Not()
+		p.R = p.R.Not()
+	}
+	return out
+}
+
+// RedundantReadVariants returns one variant of the test per element whose
+// fault-free exit value is known: the variant appends a read of that value
+// to the element. Each variant is still self-consistent (a march element
+// leaves every cell at the same fault-free value, so reading it back at the
+// element's end observes exactly that value).
+func RedundantReadVariants(t march.Test) []march.Test {
+	var out []march.Test
+	val := fp.VX
+	for ei, e := range t.Elems {
+		for _, op := range e.Ops {
+			if op.Kind == fp.OpWrite {
+				val = op.Data
+			}
+		}
+		if !val.IsBinary() {
+			continue
+		}
+		v := t.Clone()
+		v.Name = fmt.Sprintf("%s~read%d", t.Name, ei)
+		v.Elems[ei].Ops = append(v.Elems[ei].Ops, fp.R(val))
+		out = append(out, v)
+	}
+	return out
+}
+
+// redundantReadSafe reports whether the redundant-read property applies to
+// the fault. It holds for simple static faults: an extra consistent read
+// either detects on the spot, silently diverges the victim (in which case
+// the next observation detects at least as early as before), or is inert.
+// It does NOT hold in general —
+//
+//   - linked faults: the inserted read can trigger a read-sensitized
+//     masking primitive (e.g. FP2 = RDF with R equal to the fault-free
+//     value) that silently restores the victim, losing a detection the
+//     original stream had;
+//   - dynamic faults: inserting any operation between two back-to-back
+//     sensitizing operations breaks the arming sequence, so a detection
+//     that relied on that pair disappears.
+//
+// Both exclusions are fault-semantics facts, not implementation choices;
+// DESIGN.md §11 spells out the counterexamples.
+func redundantReadSafe(f linked.Fault) bool {
+	if f.Kind != linked.Simple {
+		return false
+	}
+	for _, b := range f.FPs {
+		if b.FP.IsDynamic() {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckProperties runs the metamorphic suite for one test against a fault
+// list under the oracle and returns every violated invariant. Faults the
+// oracle cannot simulate under the configuration are skipped (they carry a
+// simulation error, which CrossCheck already compares). The mirror property
+// is only checked under ExhaustiveOrders (see MirrorTest).
+func CheckProperties(t march.Test, faults []linked.Fault, cfg Config) ([]Violation, error) {
+	if err := t.CheckConsistency(); err != nil {
+		return nil, fmt.Errorf("oracle: metamorphic checks need a consistent test: %w", err)
+	}
+	var out []Violation
+
+	base := make([]Result, len(faults))
+	for i, f := range faults {
+		det, w, err := Detects(t, f, cfg)
+		base[i] = Result{Fault: f, Detected: det, Witness: w, Err: err}
+	}
+
+	if cfg.ExhaustiveOrders {
+		mt := MirrorTest(t)
+		for i, f := range faults {
+			if base[i].Err != nil {
+				continue
+			}
+			det, _, err := Detects(mt, f, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("oracle: mirror variant of %q: %w", t.Name, err)
+			}
+			if det != base[i].Detected {
+				out = append(out, Violation{
+					Property: "mirror-orders",
+					Test:     mt.Name,
+					Fault:    f.ID(),
+					Detail:   fmt.Sprintf("detected=%t on the original, %t on the mirrored orders", base[i].Detected, det),
+				})
+			}
+		}
+	}
+
+	ct := ComplementTest(t)
+	for i, f := range faults {
+		if base[i].Err != nil {
+			continue
+		}
+		cf := ComplementFault(f)
+		det, _, err := Detects(ct, cf, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("oracle: complement variant of %q: %w", t.Name, err)
+		}
+		if det != base[i].Detected {
+			out = append(out, Violation{
+				Property: "data-complement",
+				Test:     ct.Name,
+				Fault:    f.ID(),
+				Detail:   fmt.Sprintf("detected=%t on the original, %t on the complemented background", base[i].Detected, det),
+			})
+		}
+	}
+
+	for _, variant := range RedundantReadVariants(t) {
+		for i, f := range faults {
+			if base[i].Err != nil || !base[i].Detected || !redundantReadSafe(f) {
+				continue
+			}
+			det, _, err := Detects(variant, f, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("oracle: redundant-read variant of %q: %w", t.Name, err)
+			}
+			if !det {
+				out = append(out, Violation{
+					Property: "redundant-read",
+					Test:     variant.Name,
+					Fault:    f.ID(),
+					Detail:   "detected by the original test but lost after inserting a consistent read",
+				})
+			}
+		}
+	}
+
+	return out, nil
+}

@@ -1,0 +1,72 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+
+	"marchgen/internal/fp"
+	"marchgen/internal/march"
+)
+
+// RandomTest derives a pseudo-random, self-consistent march test from the
+// given source: 2–5 elements in random address orders (at most 3 ⇕
+// elements, so exhaustive order expansion stays bounded), each with 1–4
+// operations drawn from writes, consistent reads (only once the fault-free
+// value is known, expecting exactly that value) and the occasional wait.
+// The result always passes march.Test.Validate and CheckConsistency, so it
+// can be fed to either simulator — the point is to exercise op-stream
+// shapes the generator would never emit. Determinism: the same rand source
+// state yields the same test.
+func RandomTest(rng *rand.Rand, name string) march.Test {
+	val := fp.VX // fault-free cell value, tracked like CheckConsistency
+	anyBudget := 3
+	nElems := 2 + rng.Intn(4)
+	elems := make([]march.Element, 0, nElems)
+	for e := 0; e < nElems; e++ {
+		var order march.AddrOrder
+		switch rng.Intn(3) {
+		case 0:
+			order = march.Up
+		case 1:
+			order = march.Down
+		default:
+			if anyBudget > 0 {
+				order = march.Any
+				anyBudget--
+			} else {
+				order = march.Up
+			}
+		}
+		nOps := 1 + rng.Intn(4)
+		ops := make([]fp.Op, 0, nOps)
+		for o := 0; o < nOps; o++ {
+			switch roll := rng.Intn(16); {
+			case roll < 6: // write a random value
+				val = fp.ValueOf(uint8(rng.Intn(2)))
+				ops = append(ops, fp.W(val))
+			case roll < 15: // read the current value if it is known
+				if val.IsBinary() {
+					ops = append(ops, fp.R(val))
+				} else {
+					val = fp.ValueOf(uint8(rng.Intn(2)))
+					ops = append(ops, fp.W(val))
+				}
+			default: // wait (data retention window)
+				ops = append(ops, fp.Wait)
+			}
+		}
+		elems = append(elems, march.Element{Order: order, Ops: ops})
+	}
+	return march.Test{Name: name, Elems: elems, Source: "random op stream"}
+}
+
+// RandomTests derives n deterministic random tests from a seed, named
+// "rnd-<seed>-<i>".
+func RandomTests(seed int64, n int) []march.Test {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]march.Test, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, RandomTest(rng, fmt.Sprintf("rnd-%d-%d", seed, i)))
+	}
+	return out
+}

@@ -79,7 +79,7 @@ func (c *resultCache) Len() int {
 // generateKeySchema versions the key derivation; bump it whenever the
 // result document or the canonical encodings change shape, so stale cache
 // entries can never be served across an upgrade.
-const generateKeySchema = "marchd/generate/v1"
+const generateKeySchema = "marchd/generate/v2"
 
 // generateKey derives the content address of a generation request: a
 // SHA-256 over the canonical JSON of the fault list and the canonicalized
@@ -93,6 +93,27 @@ func generateKey(faults []marchgen.Fault, opts marchgen.Options) (string, error)
 		Faults  []marchgen.Fault `json:"faults"`
 		Options marchgen.Options `json:"options"`
 	}{generateKeySchema, faults, opts.Canonical()}
+	b, err := json.Marshal(payload)
+	if err != nil {
+		return "", fmt.Errorf("service: cache key: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// verifyKeySchema versions the /v1/verify key derivation; bump it on any
+// shape change of the verify result document or its canonical inputs.
+const verifyKeySchema = "marchd/verify/v1"
+
+// verifyKey derives the content address of a verification request: the
+// march test, the fault list and the canonicalized simulator configuration.
+func verifyKey(t marchgen.March, faults []marchgen.Fault, cfg marchgen.SimConfig) (string, error) {
+	payload := struct {
+		Schema string             `json:"schema"`
+		March  marchgen.March     `json:"march"`
+		Faults []marchgen.Fault   `json:"faults"`
+		Config marchgen.SimConfig `json:"config"`
+	}{verifyKeySchema, t, faults, cfg.Canonical()}
 	b, err := json.Marshal(payload)
 	if err != nil {
 		return "", fmt.Errorf("service: cache key: %w", err)

@@ -134,6 +134,81 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	}{j.snapshot(false), "/v1/jobs/" + j.id})
 }
 
+// handleVerify is POST /v1/verify: differential cross-check of a march test
+// against a fault list — the production simulator (internal/sim) versus the
+// independent reference oracle (internal/oracle). The cross-check costs two
+// full exhaustive simulations, so the endpoint is asynchronous like
+// /v1/generate: a cache hit answers 200 with the stored document, a miss
+// enqueues a job and answers 202 with the poll location. The result lists
+// every divergence; an empty list means bit-for-bit agreement.
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	var req verifyRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	test, err := req.March.resolve()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad march spec: %v", err)
+		return
+	}
+	faults, err := req.resolve()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad fault spec: %v", err)
+		return
+	}
+	cfg := defaultSimConfig()
+	if req.Config != nil {
+		cfg = *req.Config
+	}
+	cfg = cfg.Canonical()
+
+	key, err := verifyKey(test, faults, cfg)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if body, ok := s.cache.Get(key); ok {
+		s.metrics.cache(true)
+		w.Header().Set("X-Cache", "hit")
+		writeRaw(w, http.StatusOK, body)
+		return
+	}
+	s.metrics.cache(false)
+	w.Header().Set("X-Cache", "miss")
+
+	j, created, err := s.lookupOrSubmit(key, time.Duration(req.TimeoutMS)*time.Millisecond,
+		func(ctx context.Context) ([]byte, error) {
+			diffs := marchgen.CrossCheck(test, faults, cfg)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			body, err := marshalVerifyResult(test, len(faults), cfg, diffs, key)
+			if err != nil {
+				return nil, err
+			}
+			s.cache.Put(key, body)
+			return body, nil
+		})
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if created {
+		s.metrics.jobSubmitted()
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, struct {
+		Job  Job    `json:"job"`
+		Poll string `json:"poll"`
+	}{j.snapshot(false), "/v1/jobs/" + j.id})
+}
+
 // handleJobGet is GET /v1/jobs/{id}: the job snapshot, with the result
 // document inlined once the job is done.
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {

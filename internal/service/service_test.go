@@ -615,3 +615,70 @@ func TestSubmitIDsAreUnique(t *testing.T) {
 		seen[j.id] = true
 	}
 }
+
+func TestVerifyEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2})
+
+	// First request: a miss that enqueues a cross-check job.
+	w := do(t, s, "POST", "/v1/verify", `{"march":{"name":"March SS"},"list":"list2"}`)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("first POST: status %d: %s", w.Code, w.Body.String())
+	}
+	if got := w.Header().Get("X-Cache"); got != "miss" {
+		t.Fatalf("first POST: X-Cache = %q, want miss", got)
+	}
+	env := decode[jobEnvelope](t, w)
+	j := pollJob(t, s, env.Job.ID)
+	if j.Status != JobDone {
+		t.Fatalf("job = %+v, want done", j)
+	}
+
+	res := do(t, s, "GET", "/v1/jobs/"+env.Job.ID+"/result", "")
+	if res.Code != http.StatusOK {
+		t.Fatalf("result: status %d: %s", res.Code, res.Body.String())
+	}
+	var doc struct {
+		Faults      int               `json:"faults"`
+		Agree       bool              `json:"agree"`
+		Divergences []json.RawMessage `json:"divergences"`
+		Key         string            `json:"cache_key"`
+	}
+	if err := json.Unmarshal(res.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if !doc.Agree || doc.Faults != 18 || len(doc.Divergences) != 0 || doc.Key == "" {
+		t.Fatalf("verify document = %+v", doc)
+	}
+
+	// Second request: a cache hit with byte-identical output.
+	w2 := do(t, s, "POST", "/v1/verify", `{"march":{"name":"March SS"},"list":"list2"}`)
+	if w2.Code != http.StatusOK || w2.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("second POST: status %d X-Cache %q", w2.Code, w2.Header().Get("X-Cache"))
+	}
+	if !bytes.Equal(w2.Body.Bytes(), res.Body.Bytes()) {
+		t.Fatalf("cache hit bytes differ from the job's result document")
+	}
+
+	// An explicit default config hits the same entry (canonicalized key).
+	w3 := do(t, s, "POST", "/v1/verify", `{"march":{"name":"March SS"},"list":"list2","config":{"size":4,"exhaustive_orders":true}}`)
+	if w3.Code != http.StatusOK || w3.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("canonical twin: status %d X-Cache %q", w3.Code, w3.Header().Get("X-Cache"))
+	}
+}
+
+func TestVerifyBadRequests(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	cases := []string{
+		`{`,                // malformed JSON
+		`{"list":"list2"}`, // no march test
+		`{"march":{"name":"nope"},"list":"list2"}`,           // unknown test
+		`{"march":{"name":"March SS"}}`,                      // no faults
+		`{"march":{"name":"March SS"},"list":"nope"}`,        // unknown list
+		`{"march":{"name":"March SS"},"list":"list2","x":1}`, // unknown field
+	}
+	for _, body := range cases {
+		if w := do(t, s, "POST", "/v1/verify", body); w.Code != http.StatusBadRequest {
+			t.Errorf("body %s: status %d, want 400", body, w.Code)
+		}
+	}
+}

@@ -87,6 +87,39 @@ type simulateRequest struct {
 	Config *marchgen.SimConfig `json:"config,omitempty"`
 }
 
+// verifyRequest is the POST /v1/verify body: a march test, a fault list and
+// a simulator configuration to cross-check between the production simulator
+// and the independent reference oracle.
+type verifyRequest struct {
+	March marchSpec `json:"march"`
+	faultSpec
+	// Config selects the simulator configuration; omitted means the
+	// exhaustive default (4 cells, every placement, init and order).
+	Config *marchgen.SimConfig `json:"config,omitempty"`
+	// TimeoutMS is the per-job deadline in milliseconds; 0 (or a value
+	// beyond the server's cap) means the server's maximum job timeout.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// marshalVerifyResult renders the cached (and returned) result document of
+// a verification job: the resolved test, the cross-check scope, and every
+// divergence between the two simulators (an empty list means bit-for-bit
+// agreement).
+func marshalVerifyResult(test marchgen.March, faults int, cfg marchgen.SimConfig, diffs []marchgen.VerdictDiff, key string) ([]byte, error) {
+	if diffs == nil {
+		diffs = []marchgen.VerdictDiff{}
+	}
+	out := struct {
+		Test        marchgen.March         `json:"test"`
+		Faults      int                    `json:"faults"`
+		Config      marchgen.SimConfig     `json:"config"`
+		Agree       bool                   `json:"agree"`
+		Divergences []marchgen.VerdictDiff `json:"divergences"`
+		Key         string                 `json:"cache_key"`
+	}{test, faults, cfg, len(diffs) == 0, diffs, key}
+	return json.Marshal(out)
+}
+
 // detectsRequest is the POST /v1/detects body.
 type detectsRequest struct {
 	March marchSpec `json:"march"`

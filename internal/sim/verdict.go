@@ -1,0 +1,101 @@
+package sim
+
+import "fmt"
+
+// Verdict is the comparable outcome of simulating one fault: the flattened,
+// implementation-neutral form of a Result. It exists so an independent
+// simulator (internal/oracle) can be diffed against this one field by field
+// — fault identity, detection verdict, witness trace — without sharing any
+// simulation code.
+type Verdict struct {
+	// Fault is the stable fault identifier (linked.Fault.ID).
+	Fault string
+	// Detected reports detection in every scenario.
+	Detected bool
+	// Witness renders the first undetected scenario ("" when detected or
+	// when the simulation errored).
+	Witness string
+	// Err is the simulation error text ("" on success). Two
+	// implementations word their errors differently, so DiffVerdicts
+	// compares error presence, not text.
+	Err string
+}
+
+// Verdict flattens a Result.
+func (r Result) Verdict() Verdict {
+	v := Verdict{Fault: r.Fault.ID(), Detected: r.Detected}
+	if r.Err != nil {
+		v.Err = r.Err.Error()
+		return v
+	}
+	if !r.Detected && r.Witness != nil {
+		v.Witness = r.Witness.String()
+	}
+	return v
+}
+
+// Verdicts flattens a report into one Verdict per fault, in fault-list
+// order.
+func (r Report) Verdicts() []Verdict {
+	out := make([]Verdict, len(r.Results))
+	for i, res := range r.Results {
+		out[i] = res.Verdict()
+	}
+	return out
+}
+
+// VerdictDiff is one divergence between two verdict sets.
+type VerdictDiff struct {
+	// Fault is the fault the implementations disagree on ("" for a
+	// set-level mismatch such as differing lengths).
+	Fault string `json:"fault,omitempty"`
+	// Field names what diverged: "count", "fault", "error", "detected" or
+	// "witness".
+	Field string `json:"field"`
+	// A and B are the two sides' values for the diverged field.
+	A string `json:"a"`
+	B string `json:"b"`
+}
+
+// String renders "fault: field A != B".
+func (d VerdictDiff) String() string {
+	if d.Fault == "" {
+		return fmt.Sprintf("%s: %q != %q", d.Field, d.A, d.B)
+	}
+	return fmt.Sprintf("%s: %s %q != %q", d.Fault, d.Field, d.A, d.B)
+}
+
+// DiffVerdicts compares two verdict sets position by position and returns
+// every divergence: mismatched fault identity, one side erroring where the
+// other did not, differing detection verdicts, or — for faults both sides
+// missed — differing witness traces. Both sides erroring counts as
+// agreement (the error texts are implementation-specific). An empty result
+// means the two simulators agree on the entire fault list.
+func DiffVerdicts(a, b []Verdict) []VerdictDiff {
+	if len(a) != len(b) {
+		return []VerdictDiff{{Field: "count", A: fmt.Sprintf("%d verdicts", len(a)), B: fmt.Sprintf("%d verdicts", len(b))}}
+	}
+	var out []VerdictDiff
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Fault != y.Fault {
+			out = append(out, VerdictDiff{Fault: x.Fault, Field: "fault", A: x.Fault, B: y.Fault})
+			continue
+		}
+		if (x.Err != "") != (y.Err != "") {
+			out = append(out, VerdictDiff{Fault: x.Fault, Field: "error", A: x.Err, B: y.Err})
+			continue
+		}
+		if x.Err != "" {
+			continue // both errored: agreement
+		}
+		if x.Detected != y.Detected {
+			out = append(out, VerdictDiff{Fault: x.Fault, Field: "detected", A: fmt.Sprintf("%t", x.Detected), B: fmt.Sprintf("%t", y.Detected)})
+			continue
+		}
+		if !x.Detected && x.Witness != y.Witness {
+			out = append(out, VerdictDiff{Fault: x.Fault, Field: "witness", A: x.Witness, B: y.Witness})
+		}
+	}
+	return out
+}

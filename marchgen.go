@@ -12,6 +12,7 @@ import (
 	"marchgen/internal/graph"
 	"marchgen/internal/linked"
 	"marchgen/internal/march"
+	"marchgen/internal/oracle"
 	"marchgen/internal/sim"
 )
 
@@ -237,6 +238,25 @@ func PatternDOT(w io.Writer, n int, faults []Fault, title string) error {
 // configuration, returning the full report.
 func Certify(t March, faults []Fault) (Report, error) {
 	return core.Certify(t, faults)
+}
+
+// VerdictDiff is one disagreement between the production fault simulator and
+// the independent reference oracle: the fault, the diverging field (count,
+// fault, error, detected, witness) and both values.
+type VerdictDiff = sim.VerdictDiff
+
+// CrossCheck simulates the test against the fault list with both the
+// production simulator (internal/sim) and the independent reference oracle
+// (internal/oracle) and returns every disagreement in verdict, missed set or
+// witness. An empty result means the two implementations — which share no
+// code on the verdict path — agree bit-for-bit.
+func CrossCheck(t March, faults []Fault, cfg SimConfig) []VerdictDiff {
+	return oracle.CrossCheck(t, faults, cfg)
+}
+
+// Verify is CrossCheck under the default exhaustive configuration.
+func Verify(t March, faults []Fault) []VerdictDiff {
+	return CrossCheck(t, faults, sim.DefaultConfig())
 }
 
 // Witness is an undetected simulation scenario (placement, initial values,

@@ -7,7 +7,9 @@
 # committer, generation memo) with its durable store. The chaos-hardening
 # packages ride along: the iofault injector (its mutex against concurrent
 # committers), the retry loops, and the marchctl client suite (retrying
-# requests against a live flaky server).
+# requests against a live flaky server). The independent verification
+# oracle is included because crosscheck fans both simulators out from the
+# same call sites the service and campaign layers use concurrently.
 set -eu
 cd "$(dirname "$0")/.."
-exec go test -race ./internal/sim/... ./internal/core/... ./internal/service/... ./internal/campaign/... ./internal/store/... ./internal/iofault/... ./internal/retry/... ./cmd/marchctl/
+exec go test -race ./internal/sim/... ./internal/core/... ./internal/oracle/... ./internal/service/... ./internal/campaign/... ./internal/store/... ./internal/iofault/... ./internal/retry/... ./cmd/marchctl/

@@ -92,6 +92,29 @@ GEN_COUNT=$(curl -fsS "$BASE/metrics" \
 	|| fail "generation latency histogram empty (count: '${GEN_COUNT:-missing}')"
 echo "smoke: generate round-trip + cache hit + latency histogram OK"
 
+# Oracle cross-check round-trip: submit a verify job for March SL against
+# fault list 2, poll it to completion, and require the two simulators to
+# agree on every fault.
+VJOB=$(curl -fsS -X POST "$BASE/v1/verify" \
+	-d '{"march":{"name":"March SL"},"list":"list2"}' \
+	| sed -n 's/.*"id": "\([^"]*\)".*/\1/p' | head -n1)
+[ -n "$VJOB" ] || fail "verify returned no job id"
+i=0
+VSTATUS=""
+while [ $i -lt 300 ]; do
+	VSTATUS=$(curl -fsS "$BASE/v1/jobs/$VJOB" | sed -n 's/.*"status": "\([^"]*\)".*/\1/p' | head -n1)
+	case "$VSTATUS" in
+	done) break ;;
+	failed | canceled) fail "verify job ended $VSTATUS" ;;
+	esac
+	sleep 0.1
+	i=$((i + 1))
+done
+[ "$VSTATUS" = "done" ] || fail "verify job stuck in state '$VSTATUS'"
+curl -fsS "$BASE/v1/jobs/$VJOB/result" | grep -Eq '"agree": ?true' \
+	|| fail "oracle cross-check diverged from the production simulator"
+echo "smoke: /v1/verify oracle cross-check OK"
+
 # Campaign round-trip over the HTTP API: submit a one-unit sweep, poll to
 # completion, fetch its committed results.
 CAMP=$(curl -fsS -X POST "$BASE/v1/campaigns" \
