@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt-check race bench bench-sim serve test-service smoke chaos fuzz verify-oracle check
+.PHONY: build test vet fmt-check race bench bench-sim bench-lanes serve test-service smoke chaos fuzz verify-oracle check
 
 build:
 	$(GO) build ./...
@@ -29,9 +29,14 @@ race:
 bench:
 	$(GO) test -run NONE -bench . -benchmem ./internal/sim/ .
 
-## bench-sim: regenerate BENCH_sim.json (compiled-schedule speedup record).
+## bench-sim: regenerate BENCH_sim.json (compiled-schedule speedup record,
+## including the lanes section with the bit-parallel speedup over scalar).
 bench-sim:
 	$(GO) run ./cmd/experiments -bench-sim BENCH_sim.json
+
+## bench-lanes: alias for the BENCH_sim.json regeneration — named for the
+## lanes section it fills (speedup_vs_scalar per Table-1 workload).
+bench-lanes: bench-sim
 
 ## serve: run the marchd HTTP service on :8080 (see README quick-start).
 serve:
@@ -63,6 +68,7 @@ fuzz:
 	$(GO) test -fuzz='^FuzzParseOps$$' -fuzztime 30s ./internal/fp/
 	$(GO) test -fuzz='^FuzzParse$$' -fuzztime 30s ./internal/march/
 	$(GO) test -fuzz='^FuzzOpenTornTail$$' -fuzztime 30s ./internal/store/
+	$(GO) test -fuzz='^FuzzLanesVsScalar$$' -fuzztime 30s ./internal/sim/
 
 ## verify-oracle: the differential gate (DESIGN.md §11) — cross-check the
 ## production simulator against the independent reference oracle over the
@@ -72,5 +78,5 @@ verify-oracle:
 	$(GO) run ./cmd/marchverify -seed 1 -n 1000 -props
 
 ## check: the full local CI gate — build, vet, gofmt, tests, race, chaos,
-## the oracle cross-check, smoke.
-check: build vet fmt-check test race chaos verify-oracle smoke
+## the oracle cross-check, the lane benchmark record, smoke.
+check: build vet fmt-check test race chaos verify-oracle bench-lanes smoke

@@ -30,6 +30,10 @@ type benchEntry struct {
 	AllocsPerOp     int64   `json:"allocs_per_op"`
 	BytesPerOp      int64   `json:"bytes_per_op"`
 	ScenariosPerSec float64 `json:"scenarios_per_sec"`
+	// SpeedupVsScalar is the lane engine's throughput ratio over the
+	// scalar compiled schedule on the same workload; only the lanes
+	// section fills it.
+	SpeedupVsScalar float64 `json:"speedup_vs_scalar,omitempty"`
 }
 
 type benchFile struct {
@@ -38,6 +42,12 @@ type benchFile struct {
 	Note      string       `json:"note"`
 	Baseline  []benchEntry `json:"baseline"`
 	Current   []benchEntry `json:"current"`
+	// Lanes holds the same workloads under the default bit-parallel lane
+	// engine; Current is pinned to the scalar compiled schedule
+	// (DisableLanes) so the three sections record the full history:
+	// per-scenario baseline → compiled schedule → compiled schedule × 48
+	// lanes.
+	Lanes []benchEntry `json:"lanes"`
 }
 
 // baselineBenchSim holds the measurements of the per-scenario simulator
@@ -89,13 +99,15 @@ func scenarioSpace(t march.Test, faults []linked.Fault, cfg sim.Config) (int, er
 
 func runBenchSim(path string, w io.Writer) error {
 	cfg := sim.DefaultConfig()
+	scalarCfg := cfg
+	scalarCfg.DisableLanes = true
 	lists, err := benchLists()
 	if err != nil {
 		return err
 	}
 	tests := benchTests()
 
-	measure := func(e benchEntry) (benchEntry, error) {
+	measure := func(e benchEntry, cfg sim.Config) (benchEntry, error) {
 		t, faults := tests[e.Test], lists[e.List]
 		var r testing.BenchmarkResult
 		switch e.Name {
@@ -135,7 +147,9 @@ func runBenchSim(path string, w io.Writer) error {
 	out := benchFile{
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		Config:    "sim.DefaultConfig(): 4 cells, exhaustive ⇕ expansion",
-		Note:      "baseline = per-scenario simulator before the compiled-schedule layer; scenarios/sec = scenarios / (ns_per_op / 1e9)",
+		Note: "baseline = per-scenario simulator before the compiled-schedule layer; " +
+			"current = compiled schedule with lanes disabled; lanes = default bit-parallel engine; " +
+			"scenarios/sec = scenarios / (ns_per_op / 1e9)",
 	}
 	for _, e := range baselineBenchSim {
 		e.Faults = len(lists[e.List])
@@ -147,7 +161,7 @@ func runBenchSim(path string, w io.Writer) error {
 		e.ScenariosPerSec = float64(e.Scenarios) / (float64(e.NsPerOp) / 1e9)
 		out.Baseline = append(out.Baseline, e)
 
-		cur, err := measure(e)
+		cur, err := measure(e, scalarCfg)
 		if err != nil {
 			return err
 		}
@@ -155,9 +169,20 @@ func runBenchSim(path string, w io.Writer) error {
 		cur.Scenarios = e.Scenarios
 		cur.ScenariosPerSec = float64(cur.Scenarios) / (float64(cur.NsPerOp) / 1e9)
 		out.Current = append(out.Current, cur)
-		fmt.Fprintf(w, "  %-12s %-10s %-8s %12d ns/op (baseline %12d, %.1fx), %d allocs/op (baseline %d)\n",
+
+		ln, err := measure(e, cfg)
+		if err != nil {
+			return err
+		}
+		ln.Faults = e.Faults
+		ln.Scenarios = e.Scenarios
+		ln.ScenariosPerSec = float64(ln.Scenarios) / (float64(ln.NsPerOp) / 1e9)
+		ln.SpeedupVsScalar = float64(cur.NsPerOp) / float64(ln.NsPerOp)
+		out.Lanes = append(out.Lanes, ln)
+
+		fmt.Fprintf(w, "  %-12s %-10s %-8s scalar %12d ns/op (baseline %12d, %.1fx), lanes %12d ns/op (%.1fx over scalar)\n",
 			cur.Name, cur.Test, cur.List, cur.NsPerOp, e.NsPerOp,
-			float64(e.NsPerOp)/float64(cur.NsPerOp), cur.AllocsPerOp, e.AllocsPerOp)
+			float64(e.NsPerOp)/float64(cur.NsPerOp), ln.NsPerOp, ln.SpeedupVsScalar)
 	}
 
 	data, err := json.MarshalIndent(out, "", "  ")

@@ -36,6 +36,7 @@ import (
 
 	"marchgen/internal/buildinfo"
 	"marchgen/internal/campaign"
+	"marchgen/internal/cliflag"
 )
 
 // Exit codes of the marchcamp command.
@@ -166,9 +167,15 @@ func runRun(args []string, stdout, stderr io.Writer) int {
 		dir      = fs.String("dir", "", "store root directory (one subdirectory per campaign)")
 		resume   = fs.Bool("resume", false, "continue a previously interrupted campaign")
 		workers  = fs.Int("workers", 0, "concurrent shards (0 = GOMAXPROCS)")
+		lanes    = fs.String("lanes", "on", cliflag.LanesUsage)
 		quiet    = fs.Bool("quiet", false, "suppress per-shard progress lines")
 	)
 	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	lanesOff, lanesErr := cliflag.ParseLanes(*lanes)
+	if lanesErr != nil {
+		fmt.Fprintln(stderr, "marchcamp run:", lanesErr)
 		return exitUsage
 	}
 	if *specPath == "" || *dir == "" {
@@ -186,7 +193,7 @@ func runRun(args []string, stdout, stderr io.Writer) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	opts := campaign.RunOptions{Workers: *workers, Resume: *resume}
+	opts := campaign.RunOptions{Workers: *workers, Resume: *resume, DisableLanes: lanesOff}
 	if !*quiet {
 		opts.OnEvent = func(ev campaign.Event) {
 			if ev.Kind == campaign.EventShardCommitted {

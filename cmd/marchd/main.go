@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"marchgen/internal/buildinfo"
+	"marchgen/internal/cliflag"
 	"marchgen/internal/service"
 )
 
@@ -51,6 +52,7 @@ func main() {
 		dataDir      = flag.String("data", "", "campaign store root (default: marchd-campaigns under the OS temp dir)")
 		campaigns    = flag.Int("campaigns", 2, "maximum concurrently running campaigns")
 		chaos503     = flag.Int("chaos-503", 0, "TESTING: answer the first N /v1/ requests with 503 + Retry-After: 0 (exercises client retry paths)")
+		lanes        = flag.String("lanes", "on", cliflag.LanesUsage)
 		quiet        = flag.Bool("quiet", false, "disable the per-request log")
 		version      = flag.Bool("version", false, "print version and exit")
 	)
@@ -58,6 +60,11 @@ func main() {
 	if *version {
 		buildinfo.Fprint(os.Stdout, "marchd")
 		return
+	}
+	lanesOff, err := cliflag.ParseLanes(*lanes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marchd:", err)
+		os.Exit(2)
 	}
 
 	logger := log.New(os.Stderr, "marchd: ", log.LstdFlags|log.Lmicroseconds)
@@ -75,6 +82,7 @@ func main() {
 		SyncTimeout:  *syncTimeout,
 		DataDir:      *dataDir,
 		MaxCampaigns: *campaigns,
+		DisableLanes: lanesOff,
 		Logger:       reqLogger,
 	})
 

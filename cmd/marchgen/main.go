@@ -24,6 +24,7 @@ import (
 
 	"marchgen"
 	"marchgen/internal/buildinfo"
+	"marchgen/internal/cliflag"
 )
 
 // Exit codes of the marchgen command.
@@ -51,9 +52,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ascii      = fs.Bool("ascii", false, "print the test with ASCII order markers instead of arrows")
 		verify     = fs.Bool("verify", false, "cross-check the certification with the independent reference oracle")
 		asJSON     = fs.Bool("json", false, "emit the generated test and its certification report as JSON")
+		lanes      = fs.String("lanes", "on", cliflag.LanesUsage)
 		version    = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	lanesOff, lanesErr := cliflag.ParseLanes(*lanes)
+	if lanesErr != nil {
+		fmt.Fprintln(stderr, "marchgen:", lanesErr)
 		return exitUsage
 	}
 	if *version {
@@ -74,6 +81,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	opts := marchgen.Options{Name: *name, Aggressive: *aggressive, Orders: constraint, CertifyWithOracle: *verify}
+	if lanesOff {
+		// DisableLanes survives the generator's default-config substitution
+		// (it is an execution detail, not a model parameter) but never
+		// reaches the canonical JSON form below.
+		opts.SearchConfig.DisableLanes = true
+		opts.FinalConfig.DisableLanes = true
+	}
 	res, err := marchgen.Generate(faults, opts)
 	if err != nil {
 		fmt.Fprintln(stderr, "marchgen:", err)

@@ -25,6 +25,7 @@ import (
 
 	"marchgen"
 	"marchgen/internal/buildinfo"
+	"marchgen/internal/cliflag"
 )
 
 // Exit codes of the marchsim command.
@@ -53,9 +54,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		asJSON    = fs.Bool("json", false, "emit the full report as JSON")
 		bistCells = fs.Int("bist", 0, "also print the BIST cost estimate for a memory of this many cells")
 		trace     = fs.Bool("trace", false, "for each missed fault printed, also replay its witness scenario step by step")
+		lanes     = fs.String("lanes", "on", cliflag.LanesUsage)
 		version   = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	lanesOff, lanesErr := cliflag.ParseLanes(*lanes)
+	if lanesErr != nil {
+		fmt.Fprintln(stderr, "marchsim:", lanesErr)
 		return exitUsage
 	}
 
@@ -113,7 +120,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return exitUsage
 	}
 
-	r := marchgen.Simulate(test, faults)
+	cfg := marchgen.DefaultSimConfig()
+	cfg.DisableLanes = lanesOff
+	r := marchgen.SimulateWith(test, faults, cfg)
 	if err := r.Err(); err != nil {
 		fmt.Fprintln(stderr, "marchsim:", err)
 		return exitSim

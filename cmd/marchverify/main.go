@@ -32,6 +32,7 @@ import (
 	"os"
 
 	"marchgen/internal/buildinfo"
+	"marchgen/internal/cliflag"
 	"marchgen/internal/core"
 	"marchgen/internal/faultlist"
 	"marchgen/internal/linked"
@@ -66,9 +67,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		n          = fs.Int("n", 0, "number of seeded random op streams to cross-check (rotated across the lists)")
 		props      = fs.Bool("props", false, "also check the metamorphic properties on every pair")
 		minimize   = fs.Bool("minimize", false, "also generate per list with and without minimization and require both Full under the oracle")
+		lanes      = fs.String("lanes", "on", cliflag.LanesUsage)
 		version    = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	lanesOff, lanesErr := cliflag.ParseLanes(*lanes)
+	if lanesErr != nil {
+		fmt.Fprintln(stderr, "marchverify:", lanesErr)
 		return exitUsage
 	}
 	if *version {
@@ -115,7 +122,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	cfg := sim.Config{Size: *size, ExhaustiveOrders: *exhaustive}
+	cfg := sim.Config{Size: *size, ExhaustiveOrders: *exhaustive, DisableLanes: lanesOff}
 	v := verifier{cfg: cfg, props: *props, stdout: stdout}
 
 	// Sweep: every selected test against every selected list.

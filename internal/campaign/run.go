@@ -57,6 +57,11 @@ type RunOptions struct {
 	// run — the fault-injection seam the chaos suite drives with an
 	// iofault.Injector. Nil means the real filesystem.
 	FS iofault.FS
+	// DisableLanes forces the scalar simulation engine for every unit of
+	// this run. Unit results are deterministic either way (lane mode never
+	// changes verdicts), so the flag cannot change any stored record — it
+	// exists for benchmarking and as an escape hatch.
+	DisableLanes bool
 }
 
 func (o RunOptions) workers() int {
@@ -182,7 +187,7 @@ func Run(ctx context.Context, spec Spec, root string, opts RunOptions) (Summary,
 		go func() {
 			defer wg.Done()
 			for sh := range shardCh {
-				outCh <- safeRunShard(runCtx, sh, memo, emit)
+				outCh <- safeRunShard(runCtx, sh, memo, emit, opts.DisableLanes)
 			}
 		}()
 	}
@@ -265,24 +270,24 @@ func Run(ctx context.Context, spec Spec, root string, opts RunOptions) (Summary,
 // would deadlock the committer and poison the whole pool — a panic fails
 // the shard with its captured stack, and the campaign aborts cleanly at
 // the last committed checkpoint.
-func safeRunShard(ctx context.Context, sh Shard, memo *genMemo, emit func(Event)) (out shardOut) {
+func safeRunShard(ctx context.Context, sh Shard, memo *genMemo, emit func(Event), lanesOff bool) (out shardOut) {
 	defer func() {
 		if r := recover(); r != nil {
 			out = shardOut{idx: sh.ID, err: fmt.Errorf("campaign: shard %d panicked: %v\n%s", sh.ID, r, debug.Stack())}
 		}
 	}()
-	return runShard(ctx, sh, memo, emit)
+	return runShard(ctx, sh, memo, emit, lanesOff)
 }
 
 // runShard executes a shard's units in order, aborting on the first
 // infrastructure error (cancellation).
-func runShard(ctx context.Context, sh Shard, memo *genMemo, emit func(Event)) shardOut {
+func runShard(ctx context.Context, sh Shard, memo *genMemo, emit func(Event), lanesOff bool) shardOut {
 	recs := make([]store.Record, 0, len(sh.Units))
 	for _, u := range sh.Units {
 		if err := ctx.Err(); err != nil {
 			return shardOut{idx: sh.ID, err: err}
 		}
-		res, err := runUnitMemo(ctx, u, memo)
+		res, err := runUnitMemo(ctx, u, memo, lanesOff)
 		if err != nil {
 			return shardOut{idx: sh.ID, err: err}
 		}
@@ -340,9 +345,9 @@ func newGenMemo() *genMemo { return &genMemo{m: make(map[string]*genEntry)} }
 
 // runUnitMemo is runUnit with the generation step memoized on the unit's
 // generator coordinates.
-func runUnitMemo(ctx context.Context, u Unit, memo *genMemo) (UnitResult, error) {
+func runUnitMemo(ctx context.Context, u Unit, memo *genMemo, lanesOff bool) (UnitResult, error) {
 	if memo == nil {
-		return runUnit(ctx, u)
+		return runUnit(ctx, u, lanesOff)
 	}
 	key := fmt.Sprintf("%s|%s|%s|%d", u.List, u.Profile, u.Order, u.Size)
 	memo.mu.Lock()
@@ -353,7 +358,7 @@ func runUnitMemo(ctx context.Context, u Unit, memo *genMemo) (UnitResult, error)
 	}
 	memo.mu.Unlock()
 	e.once.Do(func() {
-		e.res, e.err = generateForUnit(ctx, u)
+		e.res, e.err = generateForUnit(ctx, u, lanesOff)
 	})
 	if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
 		// A canceled generation must not poison the memo for a later
@@ -365,5 +370,5 @@ func runUnitMemo(ctx context.Context, u Unit, memo *genMemo) (UnitResult, error)
 		memo.mu.Unlock()
 		return UnitResult{Unit: u}, e.err
 	}
-	return buildResult(ctx, u, e.res, e.err)
+	return buildResult(ctx, u, e.res, e.err, lanesOff)
 }

@@ -94,14 +94,14 @@ type UnitResult struct {
 // memory, then evaluate the word-width and topology views. The returned
 // document is deterministic; err is non-nil only for infrastructure
 // failures (context cancellation), never for fault-coverage outcomes.
-func runUnit(ctx context.Context, u Unit) (UnitResult, error) {
-	gen, err := generateForUnit(ctx, u)
-	return buildResult(ctx, u, gen, err)
+func runUnit(ctx context.Context, u Unit, lanesOff bool) (UnitResult, error) {
+	gen, err := generateForUnit(ctx, u, lanesOff)
+	return buildResult(ctx, u, gen, err, lanesOff)
 }
 
 // generateForUnit is the generation step alone: the part units sharing
 // (list, profile, order, size) coordinates can reuse (see genMemo).
-func generateForUnit(ctx context.Context, u Unit) (core.Result, error) {
+func generateForUnit(ctx context.Context, u Unit, lanesOff bool) (core.Result, error) {
 	faults, ok := faultlist.ByName(u.List)
 	if !ok {
 		return core.Result{}, fmt.Errorf("unknown fault list %q", u.List)
@@ -114,7 +114,7 @@ func generateForUnit(ctx context.Context, u Unit) (core.Result, error) {
 		Name:        fmt.Sprintf("March CAMP(%s,%s,%s,n=%d)", u.List, u.Profile, u.Order, u.Size),
 		Aggressive:  u.Profile == ProfileAggressive,
 		Orders:      constraint,
-		FinalConfig: sim.Config{Size: u.Size, ExhaustiveOrders: true},
+		FinalConfig: sim.Config{Size: u.Size, ExhaustiveOrders: true, DisableLanes: lanesOff},
 	}
 	return core.GenerateContext(ctx, faults, opts)
 }
@@ -123,7 +123,7 @@ func generateForUnit(ctx context.Context, u Unit) (core.Result, error) {
 // outcome: certification coverage, BIST cost on the unit's topology, and
 // the word-oriented evaluation. Generation failures with a deterministic
 // cause become recorded unit errors; context failures abort the run.
-func buildResult(ctx context.Context, u Unit, gen core.Result, err error) (UnitResult, error) {
+func buildResult(ctx context.Context, u Unit, gen core.Result, err error, lanesOff bool) (UnitResult, error) {
 	res := UnitResult{Unit: u}
 	if err != nil {
 		if ctx.Err() != nil {
@@ -167,7 +167,7 @@ func buildResult(ctx context.Context, u Unit, gen core.Result, err error) (UnitR
 			res.Error = fmt.Sprintf("unknown fault list %q", u.List)
 			return res, nil
 		}
-		diffs := oracle.CrossCheck(gen.Test, faults, sim.Config{Size: u.Size, ExhaustiveOrders: true})
+		diffs := oracle.CrossCheck(gen.Test, faults, sim.Config{Size: u.Size, ExhaustiveOrders: true, DisableLanes: lanesOff})
 		vj := &VerifyJSON{Faults: len(faults), Divergences: len(diffs)}
 		if len(diffs) > 0 {
 			vj.First = diffs[0].String()

@@ -1,0 +1,24 @@
+// Package cliflag holds small flag-parsing helpers shared by the commands
+// under cmd/, so every tool spells a shared knob the same way.
+package cliflag
+
+import "fmt"
+
+// LanesUsage is the shared help text of the -lanes flag.
+const LanesUsage = "bit-parallel simulation lanes: on (default) or off (force the scalar engine)"
+
+// ParseLanes interprets the -lanes flag the simulator-facing commands
+// share: "on" (the default) runs the bit-parallel lane engine of
+// internal/sim, "off" forces the scalar path everywhere. Lane mode never
+// changes verdicts or witnesses — the flag exists as an escape hatch and
+// for benchmarking the two engines against each other. The return value is
+// the sim.Config.DisableLanes setting the spelling selects.
+func ParseLanes(s string) (disableLanes bool, err error) {
+	switch s {
+	case "", "on", "true", "1":
+		return false, nil
+	case "off", "false", "0":
+		return true, nil
+	}
+	return false, fmt.Errorf("invalid -lanes %q (want on or off)", s)
+}

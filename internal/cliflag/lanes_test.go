@@ -1,0 +1,21 @@
+package cliflag
+
+import "testing"
+
+func TestParseLanes(t *testing.T) {
+	for _, s := range []string{"", "on", "true", "1"} {
+		off, err := ParseLanes(s)
+		if err != nil || off {
+			t.Fatalf("ParseLanes(%q) = (%v, %v), want lanes on", s, off, err)
+		}
+	}
+	for _, s := range []string{"off", "false", "0"} {
+		off, err := ParseLanes(s)
+		if err != nil || !off {
+			t.Fatalf("ParseLanes(%q) = (%v, %v), want lanes off", s, off, err)
+		}
+	}
+	if _, err := ParseLanes("maybe"); err == nil {
+		t.Fatal("ParseLanes(\"maybe\") accepted, want error")
+	}
+}

@@ -132,7 +132,13 @@ func (o Options) searchConfig() sim.Config {
 func (o Options) finalConfig() sim.Config {
 	c := o.FinalConfig
 	if c.Size <= 0 {
-		c = sim.DefaultConfig()
+		// Substitute the exhaustive default for the model parameters but
+		// keep the execution-detail knobs (Workers, DisableLanes) the caller
+		// set: they never change verdicts, only how the work is done.
+		d := sim.DefaultConfig()
+		d.Workers = c.Workers
+		d.DisableLanes = c.DisableLanes
+		c = d
 	}
 	return c
 }

@@ -85,6 +85,15 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		opts = *req.Options
 	}
 	opts = opts.Canonical()
+	// The lane knob is applied after canonicalization, and generateKey
+	// re-canonicalizes opts (which zeroes DisableLanes): lanes never change
+	// results, so instances running -lanes=off share cache entries with
+	// instances running the default. The wire format cannot carry
+	// DisableLanes; only the server flag sets it.
+	if s.cfg.DisableLanes {
+		opts.SearchConfig.DisableLanes = true
+		opts.FinalConfig.DisableLanes = true
+	}
 
 	key, err := generateKey(faults, opts)
 	if err != nil {
@@ -162,12 +171,15 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		cfg = *req.Config
 	}
 	cfg = cfg.Canonical()
-
 	key, err := verifyKey(test, faults, cfg)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	// Applied after Canonical and after the key: the lane engine never
+	// changes cross-check outcomes, so the cache stays shared across
+	// instances with different -lanes settings.
+	cfg.DisableLanes = s.cfg.DisableLanes
 	if body, ok := s.cache.Get(key); ok {
 		s.metrics.cache(true)
 		w.Header().Set("X-Cache", "hit")
@@ -275,6 +287,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	} else {
 		cfg = defaultSimConfig()
 	}
+	cfg.DisableLanes = s.cfg.DisableLanes
 	report := marchgen.SimulateWith(test, faults, cfg)
 	if err := report.Err(); err != nil {
 		// Simulation errors are request-shaped: the march test or config
@@ -309,6 +322,7 @@ func (s *Server) handleDetects(w http.ResponseWriter, r *http.Request) {
 	if req.Config != nil {
 		cfg = *req.Config
 	}
+	cfg.DisableLanes = s.cfg.DisableLanes
 	detected, witness, err := marchgen.DetectsWith(test, *req.Fault, cfg)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "simulation failed: %v", err)

@@ -1,0 +1,81 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"testing"
+)
+
+// jobResult submits an async request (generate or verify), waits for the
+// job, and returns the raw result document bytes.
+func jobResult(t *testing.T, s *Server, path, body string) []byte {
+	t.Helper()
+	w := do(t, s, "POST", path, body)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("POST %s: status %d: %s", path, w.Code, w.Body.String())
+	}
+	env := decode[jobEnvelope](t, w)
+	if j := pollJob(t, s, env.Job.ID); j.Status != JobDone {
+		t.Fatalf("POST %s: job = %+v, want done", path, j)
+	}
+	res := do(t, s, "GET", "/v1/jobs/"+env.Job.ID+"/result", "")
+	if res.Code != http.StatusOK {
+		t.Fatalf("GET result: status %d: %s", res.Code, res.Body.String())
+	}
+	return res.Body.Bytes()
+}
+
+// TestLanesOffServesIdenticalResponses pins the contract behind the marchd
+// -lanes flag: an instance forced onto the scalar simulation engine serves
+// byte-identical generate, verify, simulate and detects responses to an
+// instance running the default bit-parallel lanes. This is what makes the
+// shared result cache safe across instances with different -lanes settings.
+func TestLanesOffServesIdenticalResponses(t *testing.T) {
+	lanesOn := newTestServer(t, Config{Workers: 2})
+	lanesOff := newTestServer(t, Config{Workers: 2, DisableLanes: true})
+
+	// generation_seconds is wall-clock — the one legitimately
+	// nondeterministic field of a generate document — so the comparison
+	// zeroes it on both sides and requires everything else to match.
+	stripTiming := func(raw []byte) map[string]any {
+		var doc map[string]any
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			t.Fatalf("decode generate result %q: %v", raw, err)
+		}
+		stats, ok := doc["stats"].(map[string]any)
+		if !ok {
+			t.Fatalf("generate result has no stats object: %s", raw)
+		}
+		stats["generation_seconds"] = 0.0
+		return doc
+	}
+	genBody := `{"list":"list2"}`
+	on := stripTiming(jobResult(t, lanesOn, "/v1/generate", genBody))
+	off := stripTiming(jobResult(t, lanesOff, "/v1/generate", genBody))
+	if !reflect.DeepEqual(on, off) {
+		t.Fatalf("generate results differ:\n lanes on:  %+v\n lanes off: %+v", on, off)
+	}
+
+	verBody := `{"march":{"name":"March SL"},"list":"list2"}`
+	if on, off := jobResult(t, lanesOn, "/v1/verify", verBody), jobResult(t, lanesOff, "/v1/verify", verBody); !bytes.Equal(on, off) {
+		t.Fatalf("verify results differ:\n lanes on:  %s\n lanes off: %s", on, off)
+	}
+
+	for _, sync := range []struct{ path, body string }{
+		// MATS+ misses list2 faults, so both responses carry witnesses —
+		// the comparison covers witness equality, not just verdicts.
+		{"/v1/simulate", `{"march":{"name":"MATS+"},"list":"list2"}`},
+		{"/v1/detects", `{"march":{"name":"MATS+"},"fault":{"kind":"LF1","fps":["<0w1/0/->","<0r0/1/0>"]}}`},
+	} {
+		on := do(t, lanesOn, "POST", sync.path, sync.body)
+		off := do(t, lanesOff, "POST", sync.path, sync.body)
+		if on.Code != http.StatusOK || off.Code != http.StatusOK {
+			t.Fatalf("POST %s: status %d / %d: %s / %s", sync.path, on.Code, off.Code, on.Body.String(), off.Body.String())
+		}
+		if !bytes.Equal(on.Body.Bytes(), off.Body.Bytes()) {
+			t.Fatalf("%s responses differ:\n lanes on:  %s\n lanes off: %s", sync.path, on.Body.String(), off.Body.String())
+		}
+	}
+}

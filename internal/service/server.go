@@ -60,6 +60,12 @@ type Config struct {
 	// CampaignWorkers bounds concurrent shards per campaign; 0 means
 	// GOMAXPROCS.
 	CampaignWorkers int
+	// DisableLanes forces the scalar simulation engine for every request
+	// this instance serves (the marchd -lanes=off escape hatch). Lane mode
+	// never changes verdicts, witnesses or cache keys, so instances with
+	// different settings serve byte-identical responses; the request wire
+	// format deliberately cannot carry the knob.
+	DisableLanes bool
 	// Logger receives the structured request log; nil disables logging.
 	Logger *log.Logger
 }
@@ -150,7 +156,7 @@ func New(cfg Config) *Server {
 			s.logger.Printf("panic contained in generation job (see the job's error for the stack)")
 		}
 	}
-	s.campaigns = newCampaignManager(cfg.dataDir(), cfg.maxCampaigns(), cfg.CampaignWorkers)
+	s.campaigns = newCampaignManager(cfg.dataDir(), cfg.maxCampaigns(), cfg.CampaignWorkers, cfg.DisableLanes)
 	s.campaigns.onTerminal = s.metrics.campaignTerminal
 
 	mux := http.NewServeMux()

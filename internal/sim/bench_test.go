@@ -32,16 +32,34 @@ func scenarioSpace(b *testing.B, t march.Test, faults []linked.Fault) int {
 	return total
 }
 
-func benchSimulate(b *testing.B, t march.Test, faults []linked.Fault) {
+func benchSimulate(b *testing.B, t march.Test, faults []linked.Fault, cfg Config) {
 	b.Helper()
 	b.ReportMetric(float64(scenarioSpace(b, t, faults)), "scenarios/op")
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r := Simulate(t, faults, DefaultConfig())
+		r := Simulate(t, faults, cfg)
 		if err := r.Err(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchConfigs pairs the two execution engines: the default bit-parallel
+// lanes and the scalar path behind DisableLanes. Benchmarking both keeps
+// the lane speedup a number the bench log shows directly.
+func benchConfigs() []struct {
+	name string
+	cfg  Config
+} {
+	scalar := DefaultConfig()
+	scalar.DisableLanes = true
+	return []struct {
+		name string
+		cfg  Config
+	}{
+		{"lanes", DefaultConfig()},
+		{"scalar", scalar},
 	}
 }
 
@@ -61,10 +79,14 @@ func benchFullCoverage(b *testing.B, t march.Test, faults []linked.Fault, wantFu
 }
 
 func BenchmarkSimulate(b *testing.B) {
-	b.Run("MarchSL/List1", func(b *testing.B) { benchSimulate(b, march.MarchSL, faultlist.List1()) })
-	b.Run("MarchABL/List1", func(b *testing.B) { benchSimulate(b, march.MarchABL, faultlist.List1()) })
-	b.Run("MarchABL1/List2", func(b *testing.B) { benchSimulate(b, march.MarchABL1, faultlist.List2()) })
-	b.Run("MarchLF1/List2", func(b *testing.B) { benchSimulate(b, march.MarchLF1, faultlist.List2()) })
+	for _, cc := range benchConfigs() {
+		b.Run(cc.name, func(b *testing.B) {
+			b.Run("MarchSL/List1", func(b *testing.B) { benchSimulate(b, march.MarchSL, faultlist.List1(), cc.cfg) })
+			b.Run("MarchABL/List1", func(b *testing.B) { benchSimulate(b, march.MarchABL, faultlist.List1(), cc.cfg) })
+			b.Run("MarchABL1/List2", func(b *testing.B) { benchSimulate(b, march.MarchABL1, faultlist.List2(), cc.cfg) })
+			b.Run("MarchLF1/List2", func(b *testing.B) { benchSimulate(b, march.MarchLF1, faultlist.List2(), cc.cfg) })
+		})
+	}
 }
 
 func BenchmarkFullCoverage(b *testing.B) {
@@ -89,19 +111,23 @@ func BenchmarkDetectsFaultScheduled(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	s, err := NewSchedule(march.MarchSL, DefaultConfig())
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		det, _, err := s.DetectsFault(lf)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if !det {
-			b.Fatal("March SL must detect the LF3")
-		}
+	for _, cc := range benchConfigs() {
+		b.Run(cc.name, func(b *testing.B) {
+			s, err := NewSchedule(march.MarchSL, cc.cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				det, _, err := s.DetectsFault(lf)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !det {
+					b.Fatal("March SL must detect the LF3")
+				}
+			}
+		})
 	}
 }

@@ -8,8 +8,10 @@ import "encoding/json"
 //   - Size and MaxAnyElements are filled with their documented defaults, so
 //     a zero-value Config and a spelled-out default Config canonicalize to
 //     the same value;
-//   - Workers is zeroed — it only controls parallelism, never verdicts, so
-//     two configurations differing only in Workers are the same simulation.
+//   - Workers and DisableLanes are zeroed — they only control how the
+//     simulation executes (parallelism, bit-parallel lanes), never its
+//     verdicts, so configurations differing only in them are the same
+//     simulation.
 //
 // Canonical is idempotent. It is the normal form behind the JSON codec and
 // behind content-addressed caching of simulation results (the marchd result
@@ -20,13 +22,15 @@ func (c Config) Canonical() Config {
 		c.MaxAnyElements = 12
 	}
 	c.Workers = 0
+	c.DisableLanes = false
 	return c
 }
 
 // configJSON is the wire form of a simulator configuration. Field order is
 // fixed by this struct, defaults are always written explicitly, and Workers
-// deliberately does not travel: it is an execution detail, not part of the
-// simulation's identity.
+// and DisableLanes deliberately do not travel: they are execution details,
+// not part of the simulation's identity (so lane mode never splits the
+// marchd result cache).
 type configJSON struct {
 	Size             int  `json:"size"`
 	ExhaustiveOrders bool `json:"exhaustive_orders"`

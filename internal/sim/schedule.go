@@ -79,6 +79,11 @@ type Schedule struct {
 	segs      []segment
 	roots     []int     // segment indices of the first element's order choices
 	pool      sync.Pool // *machine, sized for this schedule's memory
+	// laneWrites reports that every write step of every segment carries a
+	// binary value, a precondition of the one-bit-per-cell lane encoding
+	// (lanes.go). Library tests always satisfy it; only hand-built tests
+	// with don't-care writes force the scalar path.
+	laneWrites bool
 }
 
 // NewSchedule compiles the simulation schedule of a march test under a
@@ -92,6 +97,14 @@ func NewSchedule(t march.Test, cfg Config) (*Schedule, error) {
 	size := cfg.size()
 	s := &Schedule{test: t, cfg: cfg, size: size, orderSets: orderSets}
 	s.compileTree()
+	s.laneWrites = true
+	for i := range s.segs {
+		for j := range s.segs[i].steps {
+			if op := s.segs[i].steps[j].op; op.Kind == fp.OpWrite && !op.Data.IsBinary() {
+				s.laneWrites = false
+			}
+		}
+	}
 	s.pool.New = func() any { return newMachine(size) }
 	return s, nil
 }
@@ -278,8 +291,29 @@ func anyDynamic(f linked.Fault) bool {
 	return false
 }
 
+// Placement-class memoization bounds. classSpace is the size of the rank
+// table: ranks pack one base-classKeyBase digit per cell (digits 1..k, k ≤
+// maxClassCells), so every rank of an eligible fault is < classSpace. The
+// memoizing paths check the cell count against maxClassCells (canClassCache)
+// before touching the table; a fault with more cells degrades to the
+// uncached per-placement path instead of aliasing table slots.
+const (
+	maxClassCells = 3
+	classKeyBase  = maxClassCells + 1
+	classSpace    = classKeyBase * classKeyBase * classKeyBase
+)
+
+// canClassCache reports whether the per-placement-class memoization (and the
+// lane engine, which is built on the same equivalence) applies to a fault:
+// static primitives only, and few enough cells that every class rank fits
+// the classSpace table.
+func canClassCache(f linked.Fault) bool {
+	return f.Cells >= 1 && f.Cells <= maxClassCells && !anyDynamic(f)
+}
+
 // placementClass ranks the relative address order of the placed cells: the
-// cell indices in ascending address order, packed base-4 (cells ≤ 3).
+// cell indices in ascending address order, packed base-classKeyBase
+// (cells ≤ maxClassCells).
 //
 // For faults with only static primitives the simulation outcome of a
 // scenario depends on the placement solely through this rank: every march
@@ -290,14 +324,24 @@ func anyDynamic(f linked.Fault) bool {
 // disarming, concerns dynamic primitives). Two placements with equal rank
 // therefore miss or detect identically, for identical (init, order
 // combination) pairs.
-func placementClass(placement []int, size int) int {
-	key := 0
-	for a := 0; a < size; a++ {
-		for c, pa := range placement {
-			if pa == a {
-				key = key*4 + c + 1
-			}
+//
+// The rank is computed by sorting the k (address, cell) pairs — O(k log k),
+// an insertion sort over at most maxClassCells entries — instead of the old
+// O(size·k) scan over every memory address, so it no longer grows with the
+// memory size.
+func placementClass(placement []int) int {
+	var addrs, cells [maxClassCells]int
+	for c, a := range placement {
+		i := c
+		for i > 0 && addrs[i-1] > a {
+			addrs[i], cells[i] = addrs[i-1], cells[i-1]
+			i--
 		}
+		addrs[i], cells[i] = a, c
+	}
+	key := 0
+	for i := 0; i < len(placement); i++ {
+		key = key*classKeyBase + cells[i] + 1
 	}
 	return key
 }
@@ -329,6 +373,28 @@ type bindCtx struct {
 	vInit      fp.Value // VX when unconstrained
 	fv         fp.Value // faulty value stored in the victim
 	r          fp.Value // faulty read return, VX when none
+}
+
+// validateBindings rejects faults whose binding indices lie outside the
+// fault's declared cell set. Taxonomy faults can never fail this —
+// linked.Binding.Validate enforces the same ranges — but hand-built faults
+// bypass Validate, and an out-of-range index used to surface as an index
+// panic deep inside bindFault (placement[b.V] / placement[b.A]) instead of
+// an error. Every simulation entry point calls this before resolving a
+// placement.
+func validateBindings(f linked.Fault) error {
+	for i := range f.FPs {
+		b := &f.FPs[i]
+		if b.V < 0 || b.V >= f.Cells {
+			return fmt.Errorf("sim: binding %d (%s): victim index %d out of range [0,%d)",
+				i, b.FP.ID(), b.V, f.Cells)
+		}
+		if b.A < -1 || b.A >= f.Cells {
+			return fmt.Errorf("sim: binding %d (%s): aggressor index %d out of range [-1,%d)",
+				i, b.FP.ID(), b.A, f.Cells)
+		}
+	}
+	return nil
 }
 
 // bindFault resolves the fault's bindings against a placement into the
@@ -395,7 +461,12 @@ func (m *machine) settleCtx() {
 			if !c.trigState {
 				continue
 			}
-			if c.aInit != fp.VX && m.faulty[c.aggAddr] != c.aInit {
+			// Check the aggressor's existence before indexing with its
+			// address: bindFault neuters no-aggressor bindings that carry an
+			// aggressor condition (clearing trigState), so aggAddr is never
+			// -1 here today — but only because of that ordering. Keep the
+			// bound check first so the invariant is local, not global.
+			if c.aInit != fp.VX && (c.aggAddr < 0 || m.faulty[c.aggAddr] != c.aInit) {
 				continue
 			}
 			// MatchesState requires a binary victim condition, so a VX VInit
@@ -419,7 +490,8 @@ func (m *machine) waitCtx(hasState bool) {
 		if !c.trigOp || c.dynamic || c.opKind != fp.OpWait || c.opRole != fp.RoleVictim {
 			continue
 		}
-		if c.aInit != fp.VX && m.faulty[c.aggAddr] != c.aInit {
+		// As in settleCtx: bound-check aggAddr before indexing with it.
+		if c.aInit != fp.VX && (c.aggAddr < 0 || m.faulty[c.aggAddr] != c.aInit) {
 			continue
 		}
 		if c.vInit != fp.VX && m.faulty[c.victimAddr] != c.vInit {
@@ -665,17 +737,28 @@ func (s *Schedule) runTree(m *machine, f linked.Fault, placement []int, init []f
 // pair — so the first placement whose class misses, combined with the
 // class's recorded miss, is precisely the scenario the uncached enumeration
 // reports first.
+//
+// When the fault is lane-eligible (planLanes), every placement class is
+// resolved by one bit-parallel pass up front; the placement loop then only
+// reads the table, so the witness construction is shared with — and exactly
+// as precise as — the scalar path.
 func (s *Schedule) detects(m *machine, f linked.Fault) (bool, *Scenario, error) {
+	if err := validateBindings(f); err != nil {
+		return false, nil, err
+	}
 	k := f.Cells
-	useClasses := k <= 3 && !anyDynamic(f)
-	var classes [64]classResult
+	useClasses := canClassCache(f)
+	var classes [classSpace]classResult
+	if useClasses && s.planLanes(m, f) {
+		s.laneClasses(m, &classes)
+	}
 	init := make([]fp.Value, k)
 	detected := true
 	var witness *Scenario
 	err := s.forEachPlacement(k, func(placement []int) bool {
 		var r classResult
 		if useClasses {
-			cr := &classes[placementClass(placement, s.size)]
+			cr := &classes[placementClass(placement)]
 			if !cr.done {
 				miss, bits, leaf := s.runBlock(m, f, placement, init, true)
 				*cr = classResult{done: true, miss: miss, initBits: bits, leaf: leaf}
@@ -711,15 +794,26 @@ func (s *Schedule) DetectsFault(f linked.Fault) (bool, *Scenario, error) {
 
 // missesFault reports whether the test fails to detect the fault in at
 // least one scenario, reusing the caller's machine.
+//
+// Lane-eligible faults skip the placement loop entirely: the bit-parallel
+// pass covers every placement class at once (every placement belongs to one
+// of the k! classes, and planLanes guarantees all of them fit in the lanes),
+// so "any lane misses any leaf" is exactly "any scenario misses".
 func (s *Schedule) missesFault(m *machine, f linked.Fault) (bool, error) {
+	if err := validateBindings(f); err != nil {
+		return false, err
+	}
 	k := f.Cells
-	useClasses := k <= 3 && !anyDynamic(f)
-	var classes [64]classResult
+	useClasses := canClassCache(f)
+	if useClasses && s.planLanes(m, f) {
+		return s.runLanesAny(m), nil
+	}
+	var classes [classSpace]classResult
 	init := make([]fp.Value, k)
 	miss := false
 	err := s.forEachPlacement(k, func(placement []int) bool {
 		if useClasses {
-			cr := &classes[placementClass(placement, s.size)]
+			cr := &classes[placementClass(placement)]
 			if !cr.done {
 				missed, _, _ := s.runBlock(m, f, placement, init, false)
 				*cr = classResult{done: true, miss: missed}

@@ -43,6 +43,12 @@ type Config struct {
 	// MaxAnyElements caps the ⇕ expansion to keep the scenario space
 	// bounded; 0 means the default of 12 (4096 order combinations).
 	MaxAnyElements int
+	// DisableLanes turns off the bit-parallel lane engine (lanes.go) and
+	// forces the scalar compiled-schedule path for every fault. Lanes are an
+	// execution detail like Workers: they never change verdicts or witnesses
+	// (the equivalence suite pins this), so the flag exists only as an
+	// escape hatch / debugging aid and does not travel on the wire.
+	DisableLanes bool
 }
 
 // DefaultConfig is the configuration used throughout the experiments:
@@ -136,6 +142,11 @@ type machine struct {
 	snapFaulty    []fp.Value
 	snapArmed     []bool
 	snapArmedAddr []int
+	// plan, laneLeafMiss and laneSnap are the bit-parallel engine's per-fault
+	// plan and scratch buffers (lanes.go), reused across faults like ctxs.
+	plan         lanePlan
+	laneLeafMiss []uint64
+	laneSnap     []uint64
 }
 
 func newMachine(size int) *machine {

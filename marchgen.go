@@ -91,6 +91,14 @@ func ParseOrderConstraint(s string) (OrderConstraint, error) {
 	return core.ParseOrderConstraint(s)
 }
 
+// DefaultSimConfig returns the default exhaustive simulator configuration
+// (4-cell memory, every placement, every initial value, every concrete ⇕
+// order) — the starting point for callers that want to adjust one knob
+// (e.g. DisableLanes) before calling SimulateWith.
+func DefaultSimConfig() SimConfig {
+	return sim.DefaultConfig()
+}
+
 // Simulate runs a march test against a fault list under the default
 // exhaustive simulator configuration (4-cell memory, every placement, every
 // initial value, every concrete ⇕ order).

@@ -9,7 +9,10 @@
 # committers), the retry loops, and the marchctl client suite (retrying
 # requests against a live flaky server). The independent verification
 # oracle is included because crosscheck fans both simulators out from the
-# same call sites the service and campaign layers use concurrently.
+# same call sites the service and campaign layers use concurrently. The
+# bit-parallel lane engine's differential tests (lanes-vs-scalar over the
+# march library and the fuzz seed corpus) run under ./internal/sim/..., so
+# the lane kernels and their scalar-fallback handoff are raced here too.
 set -eu
 cd "$(dirname "$0")/.."
 exec go test -race ./internal/sim/... ./internal/core/... ./internal/oracle/... ./internal/service/... ./internal/campaign/... ./internal/store/... ./internal/iofault/... ./internal/retry/... ./cmd/marchctl/
