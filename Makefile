@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt-check race bench bench-sim bench-lanes serve test-service smoke chaos fuzz verify-oracle check
+.PHONY: build test vet fmt-check race bench bench-sim bench-lanes serve test-service smoke chaos cluster-test fuzz verify-oracle check
 
 build:
 	$(GO) build ./...
@@ -60,15 +60,25 @@ chaos:
 	$(GO) test -count=1 -run 'TestCrashMatrix|TestFaultMatrix|TestENOSPC|TestRunContainsPanicking|TestCrashError|FuzzOpenTornTail|TestJobEnginePanicContained|TestRoutePanic|TestEncodeError' \
 		./internal/campaign/ ./internal/store/ ./internal/service/
 
+## cluster-test: the distributed-fabric gate (DESIGN.md §13) — in-process
+## 1-coordinator/3-worker clusters proving merged results byte-identical
+## to a single-node run, including the kill-a-worker chaos case and the
+## lease-expiry / work-stealing paths, plus the fabric routes through the
+## full marchd handler stack.
+cluster-test:
+	$(GO) test -count=1 -run 'TestCluster|TestFabric' ./internal/fabric/ ./internal/service/
+
 ## fuzz: time-boxed fuzzing of every parser boundary (march notation, FP
-## specs, op streams) and the store's torn-tail recovery, 30s per target,
-## seeded from the corpora under */testdata/fuzz/.
+## specs, op streams), the store's torn-tail recovery, and the fabric's
+## segment-merge path (dup/out-of-order/torn segments must never corrupt a
+## committed prefix), 30s per target, seeded from */testdata/fuzz/.
 fuzz:
 	$(GO) test -fuzz='^FuzzParseFP$$' -fuzztime 30s ./internal/fp/
 	$(GO) test -fuzz='^FuzzParseOps$$' -fuzztime 30s ./internal/fp/
 	$(GO) test -fuzz='^FuzzParse$$' -fuzztime 30s ./internal/march/
 	$(GO) test -fuzz='^FuzzOpenTornTail$$' -fuzztime 30s ./internal/store/
 	$(GO) test -fuzz='^FuzzLanesVsScalar$$' -fuzztime 30s ./internal/sim/
+	$(GO) test -fuzz='^FuzzSegmentMerge$$' -fuzztime 30s ./internal/fabric/
 
 ## verify-oracle: the differential gate (DESIGN.md §11) — cross-check the
 ## production simulator against the independent reference oracle over the
@@ -78,5 +88,5 @@ verify-oracle:
 	$(GO) run ./cmd/marchverify -seed 1 -n 1000 -props
 
 ## check: the full local CI gate — build, vet, gofmt, tests, race, chaos,
-## the oracle cross-check, the lane benchmark record, smoke.
-check: build vet fmt-check test race chaos verify-oracle bench-lanes smoke
+## the cluster gate, the oracle cross-check, the lane benchmark record, smoke.
+check: build vet fmt-check test race chaos cluster-test verify-oracle bench-lanes smoke

@@ -18,6 +18,10 @@
 //	0  success
 //	1  run, store or report failure (including an interrupted run)
 //	2  usage error (bad flags, unreadable or invalid spec)
+//	4  report: the result set is incomplete — the campaign has shards not
+//	   yet committed (interrupted run, or a distributed run still in
+//	   flight). The partial report is still printed; scripts gating on a
+//	   finished sweep must treat 4 as "come back later", not as data.
 package main
 
 import (
@@ -37,6 +41,7 @@ import (
 	"marchgen/internal/buildinfo"
 	"marchgen/internal/campaign"
 	"marchgen/internal/cliflag"
+	"marchgen/internal/store"
 )
 
 // Exit codes of the marchcamp command.
@@ -44,6 +49,9 @@ const (
 	exitOK    = 0
 	exitError = 1
 	exitUsage = 2
+	// exitIncomplete: report ran on a campaign whose checkpoint commits
+	// fewer shards than its plan — the printed matrix is partial.
+	exitIncomplete = 4
 )
 
 func main() {
@@ -240,6 +248,25 @@ func runReport(args []string, stdout, stderr io.Writer) int {
 	if err := campaign.Report(stdout, campDir); err != nil {
 		fmt.Fprintln(stderr, "marchcamp:", err)
 		return exitError
+	}
+	// Completeness gate: the report above renders whatever is committed,
+	// but a partial result set must not exit 0 — CI recipes pipe the
+	// matrix into papers and dashboards and need a machine-checkable
+	// "this sweep is finished" signal (exit 4 otherwise).
+	sf, err := campaign.LoadSpecFile(campDir)
+	if err != nil {
+		fmt.Fprintln(stderr, "marchcamp:", err)
+		return exitError
+	}
+	cp, err := store.ReadCheckpoint(campDir)
+	if err != nil {
+		fmt.Fprintln(stderr, "marchcamp:", err)
+		return exitError
+	}
+	if planned := len(campaign.Plan(sf.Spec)); cp.Shards < planned {
+		fmt.Fprintf(stderr, "marchcamp: campaign %s incomplete: %d/%d shards committed (resume the run, or wait for the cluster to finish)\n",
+			sf.ID, cp.Shards, planned)
+		return exitIncomplete
 	}
 	return exitOK
 }

@@ -2,11 +2,15 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"marchgen/internal/campaign"
+	"marchgen/internal/store"
 )
 
 func runCmd(args ...string) (code int, stdout, stderr string) {
@@ -107,6 +111,81 @@ func TestRunAndReportRoundTrip(t *testing.T) {
 		if !strings.Contains(rep, want) {
 			t.Fatalf("report missing %q:\n%s", want, rep)
 		}
+	}
+}
+
+// TestReportExitsIncompleteOnPartialResults pins the completeness gate:
+// a campaign with only some of its shards committed still prints the
+// partial matrix, but exits 4 so scripts cannot mistake a half-finished
+// sweep (interrupted run, cluster still in flight) for final data.
+func TestReportExitsIncompleteOnPartialResults(t *testing.T) {
+	spec := campaign.Spec{Name: "partial", Lists: []string{"list2"}, Orders: []string{"up", "down"}, ShardSize: 1}
+	spec = spec.Canonical()
+	root := t.TempDir()
+	dir := spec.Dir(root)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := campaign.EnsureSpecFile(nil, dir, spec); err != nil {
+		t.Fatal(err)
+	}
+	plan := campaign.Plan(spec)
+	if len(plan) != 2 {
+		t.Fatalf("plan has %d shards, want 2", len(plan))
+	}
+	st, err := store.Open(dir, spec.Hash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := campaign.ExecuteShard(context.Background(), plan[0], campaign.NewMemo(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := st.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	code, out, stderr := runCmd("report", "-dir", root)
+	if code != exitIncomplete {
+		t.Fatalf("partial report exit = %d, want %d; stderr:\n%s", code, exitIncomplete, stderr)
+	}
+	if !strings.Contains(out, "partial") {
+		t.Fatalf("partial matrix was not printed:\n%s", out)
+	}
+	if !strings.Contains(stderr, "1/2 shards") {
+		t.Fatalf("stderr does not count the missing shards: %q", stderr)
+	}
+
+	// Committing the second shard turns the same invocation into exit 0.
+	st, err = store.Open(dir, spec.Hash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err = campaign.ExecuteShard(context.Background(), plan[1], campaign.NewMemo(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := st.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Commit(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, stderr := runCmd("report", "-dir", root); code != exitOK {
+		t.Fatalf("complete report exit = %d, stderr:\n%s", code, stderr)
 	}
 }
 

@@ -31,11 +31,15 @@ type client struct {
 	poll time.Duration // status poll interval for -wait
 }
 
-func newClient(addr string, retries int, poll time.Duration) *client {
+func newClient(addr string, retries int, poll, timeout time.Duration) *client {
 	return &client{
 		base: strings.TrimRight(addr, "/"),
 		hc:   &http.Client{},
-		pol:  retry.Policy{MaxAttempts: retries},
+		// MaxElapsed mirrors the command's -timeout so a single request's
+		// retry loop never out-sleeps the overall deadline: a huge server
+		// Retry-After makes the client give up immediately rather than
+		// sleep toward a deadline it cannot meet.
+		pol:  retry.Policy{MaxAttempts: retries, MaxElapsed: timeout},
 		poll: poll,
 	}
 }

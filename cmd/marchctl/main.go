@@ -9,6 +9,11 @@
 // content-addressed cache key and campaigns on their spec hash, so a
 // replayed request lands on the work already in flight.
 //
+// The global -timeout bounds the whole command: it is both the context
+// deadline for polling loops and the retry budget of every request
+// (retry.Policy.MaxElapsed), so marchctl never sleeps through a server
+// Retry-After longer than its own remaining deadline.
+//
 // Usage:
 //
 //	marchctl [-addr URL] [-retries N] [-timeout D] <command> [flags]
@@ -18,6 +23,13 @@
 //	marchctl result <job-id>
 //	marchctl simulate -march "March SL" -list list1
 //	marchctl campaign -spec sweep.json -wait
+//	marchctl campaign -cluster -spec sweep.json -wait
+//
+// campaign -cluster submits the spec to a coordinator-mode marchd's
+// distributed fabric (POST /v1/fabric/campaigns) instead of the local
+// campaign runner; with -wait it polls the fabric session until every
+// shard is committed, printing the final session status (which includes
+// the per-worker shard attribution).
 //
 // Exit codes (for scripts and CI):
 //
@@ -83,7 +95,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
-	c := newClient(*addr, *retries, *poll)
+	c := newClient(*addr, *retries, *poll, *timeout)
 
 	switch rest[0] {
 	case "submit":
@@ -309,13 +321,15 @@ func (cv campaignView) terminal() bool {
 }
 
 // cmdCampaign submits a campaign spec (a JSON file, or "-" for stdin) and
-// optionally polls it to completion.
+// optionally polls it to completion. With -cluster the spec goes to the
+// server's distributed fabric instead of its local campaign runner.
 func cmdCampaign(ctx context.Context, c *client, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("marchctl campaign", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
 		specFile = fs.String("spec", "", "campaign spec JSON file (\"-\" reads stdin)")
 		wait     = fs.Bool("wait", false, "poll the campaign to completion")
+		cluster  = fs.Bool("cluster", false, "submit to the distributed fabric (coordinator-mode marchd)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
@@ -336,6 +350,9 @@ func cmdCampaign(ctx context.Context, c *client, args []string, stdout, stderr i
 	if err != nil {
 		fmt.Fprintln(stderr, "marchctl:", err)
 		return exitUsage
+	}
+	if *cluster {
+		return clusterCampaign(ctx, c, body, *wait, stdout, stderr)
 	}
 	resp, err := c.do(ctx, "POST", "/v1/campaigns", body)
 	if err != nil {
@@ -376,5 +393,64 @@ func cmdCampaign(ctx context.Context, c *client, args []string, stdout, stderr i
 		fmt.Fprintf(stderr, "marchctl: campaign %s %s: %s\n", cv.ID, cv.Status, cv.Error)
 		return exitRemote
 	}
+	return exitOK
+}
+
+// sessionView mirrors the fabric coordinator's session status wire form
+// (the fields marchctl reads; the full document is printed verbatim).
+type sessionView struct {
+	ID        string `json:"id"`
+	Shards    int    `json:"shards"`
+	Committed int    `json:"committed"`
+	Done      bool   `json:"done"`
+}
+
+// clusterCampaign submits a spec to the distributed fabric and, with
+// wait, polls the session until every shard is committed. The raw spec
+// bytes are wrapped in the fabric submit envelope ({"spec": ...}) so the
+// same spec file works for both local and cluster submission.
+func clusterCampaign(ctx context.Context, c *client, spec []byte, wait bool, stdout, stderr io.Writer) int {
+	body, err := json.Marshal(struct {
+		Spec json.RawMessage `json:"spec"`
+	}{json.RawMessage(spec)})
+	if err != nil {
+		fmt.Fprintln(stderr, "marchctl: bad spec file (not JSON):", err)
+		return exitUsage
+	}
+	resp, err := c.do(ctx, "POST", "/v1/fabric/campaigns", body)
+	if err != nil {
+		fmt.Fprintln(stderr, "marchctl:", err)
+		return exitTransport
+	}
+	if resp.status != 200 {
+		fmt.Fprintf(stderr, "marchctl: cluster campaign rejected: HTTP %d: %s\n", resp.status, apiErrorOf(resp))
+		return exitRemote
+	}
+	var sv sessionView
+	if err := json.Unmarshal(resp.body, &sv); err != nil {
+		fmt.Fprintln(stderr, "marchctl: bad session body:", err)
+		return exitRemote
+	}
+	if !wait {
+		fmt.Fprintln(stdout, string(resp.body))
+		return exitOK
+	}
+	for !sv.Done {
+		if err := sleepCtx(ctx, c.poll); err != nil {
+			fmt.Fprintln(stderr, "marchctl:", err)
+			return exitTransport
+		}
+		r, err := c.getJSON(ctx, "/v1/fabric/campaigns/"+sv.ID, &sv)
+		if err != nil {
+			fmt.Fprintln(stderr, "marchctl:", err)
+			return exitTransport
+		}
+		if r.status != 200 {
+			fmt.Fprintf(stderr, "marchctl: HTTP %d: %s\n", r.status, apiErrorOf(r))
+			return exitRemote
+		}
+		resp = r
+	}
+	fmt.Fprintln(stdout, string(resp.body))
 	return exitOK
 }

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"marchgen/internal/fabric"
 	"marchgen/internal/retry"
 	"marchgen/internal/service"
 )
@@ -158,7 +159,7 @@ func TestRetryAfterOverridesBackoff(t *testing.T) {
 	}))
 	defer srv.Close()
 
-	c := newClient(srv.URL, 3, time.Millisecond)
+	c := newClient(srv.URL, 3, time.Millisecond, time.Minute)
 	c.pol = retry.Policy{MaxAttempts: 3, BaseDelay: time.Hour, MaxDelay: time.Hour}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
@@ -289,6 +290,99 @@ func TestWaitAndResultCommands(t *testing.T) {
 	code, _, stderr = runCtl(t, "-addr", srv.URL, "result", "no-such-job")
 	if code != exitRemote || !strings.Contains(stderr, "unknown job") {
 		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+}
+
+// TestClusterCampaignRoundTrip drives `campaign -cluster -wait` against a
+// coordinator-mode marchd with one in-process fabric worker: the spec file
+// is the same bare JSON the local campaign path accepts, and the final
+// stdout is the fabric session status with every shard committed.
+func TestClusterCampaignRoundTrip(t *testing.T) {
+	s := service.New(service.Config{Workers: 1, DataDir: t.TempDir(), Coordinator: true})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	w := &fabric.Worker{Coordinator: srv.URL, Name: "ctl-test", Poll: 5 * time.Millisecond}
+	done := make(chan error, 1)
+	go func() { done <- w.Run(ctx) }()
+	t.Cleanup(func() {
+		cancel()
+		if err := <-done; err != nil && !strings.Contains(err.Error(), "context canceled") {
+			t.Errorf("worker: %v", err)
+		}
+	})
+
+	specFile := filepath.Join(t.TempDir(), "sweep.json")
+	spec := `{"name":"ctl-cluster","lists":["list2"],"orders":["up","down"],"shard_size":1}`
+	if err := os.WriteFile(specFile, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr := runCtl(t,
+		"-addr", srv.URL, "-poll", "10ms", "-timeout", "2m",
+		"campaign", "-cluster", "-spec", specFile, "-wait")
+	if code != exitOK {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	var sv struct {
+		ID             string         `json:"id"`
+		Shards         int            `json:"shards"`
+		Committed      int            `json:"committed"`
+		Done           bool           `json:"done"`
+		ShardsByWorker map[string]int `json:"shards_by_worker"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &sv); err != nil {
+		t.Fatalf("stdout is not a session status: %v\n%s", err, stdout)
+	}
+	if !sv.Done || sv.Committed != sv.Shards || sv.Shards != 2 {
+		t.Fatalf("session = %+v, want 2/2 shards done", sv)
+	}
+	if len(sv.ShardsByWorker) == 0 {
+		t.Fatalf("session lost the per-worker attribution: %+v", sv)
+	}
+}
+
+// TestTimeoutBoundsRetryTime pins the -timeout satellite: a server that
+// always answers 503 with an hour-long Retry-After must make marchctl
+// give up within its own deadline — immediately, in fact, because the
+// retry budget refuses a sleep it cannot afford — instead of honoring
+// the header into a de-facto hang.
+func TestTimeoutBoundsRetryTime(t *testing.T) {
+	var calls int
+	var mu sync.Mutex
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		w.Header().Set("Retry-After", "3600")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"error":"overloaded, come back in an hour"}`)
+	}))
+	defer srv.Close()
+
+	start := time.Now()
+	code, _, stderr := runCtl(t,
+		"-addr", srv.URL, "-retries", "5", "-timeout", "1s",
+		"submit", "-list", "list2")
+	if code != exitTransport {
+		t.Fatalf("exit = %d, want %d; stderr:\n%s", code, exitTransport, stderr)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("command took %v; -timeout 1s did not bound the retry time", elapsed)
+	}
+	if !strings.Contains(stderr, "overloaded") {
+		t.Fatalf("stderr lost the server's last error:\n%s", stderr)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 1 {
+		t.Fatalf("server saw %d attempts; the 1h Retry-After should have ended retrying after the first", calls)
 	}
 }
 

@@ -9,11 +9,19 @@
 // interrupted campaign resumes from its checkpoint on re-POST, across
 // restarts of the daemon.
 //
+// Cluster mode (DESIGN.md §13): -coordinator additionally serves the
+// distributed campaign fabric under /v1/fabric/*, leasing shard ranges of
+// campaigns submitted to POST /v1/fabric/campaigns out to peers; -join URL
+// turns this instance into a fabric worker pulling leases from that
+// coordinator (the two can be combined — a coordinator that also works).
+//
 // Usage:
 //
 //	marchd -addr :8080
 //	marchd -addr 127.0.0.1:0 -workers 4 -cache 256
 //	marchd -addr :8080 -data /var/lib/marchd/campaigns
+//	marchd -addr :8080 -data /var/lib/marchd/campaigns -coordinator
+//	marchd -addr :8081 -join http://coordinator:8080
 //
 // Shutdown: SIGINT/SIGTERM stops accepting connections, drains in-flight
 // jobs up to -drain-timeout, and exits 0 on a clean drain.
@@ -36,6 +44,7 @@ import (
 
 	"marchgen/internal/buildinfo"
 	"marchgen/internal/cliflag"
+	"marchgen/internal/fabric"
 	"marchgen/internal/service"
 )
 
@@ -52,6 +61,10 @@ func main() {
 		dataDir      = flag.String("data", "", "campaign store root (default: marchd-campaigns under the OS temp dir)")
 		campaigns    = flag.Int("campaigns", 2, "maximum concurrently running campaigns")
 		chaos503     = flag.Int("chaos-503", 0, "TESTING: answer the first N /v1/ requests with 503 + Retry-After: 0 (exercises client retry paths)")
+		coordinator  = flag.Bool("coordinator", false, "serve the distributed campaign fabric (/v1/fabric/*) from this instance")
+		joinURL      = flag.String("join", "", "coordinator URL to join as a fabric worker (e.g. http://host:8080)")
+		fabricLease  = flag.Int("fabric-lease", 4, "coordinator: shards per fabric lease grant")
+		fabricTTL    = flag.Duration("fabric-ttl", 10*time.Second, "coordinator: fabric lease heartbeat deadline")
 		lanes        = flag.String("lanes", "on", cliflag.LanesUsage)
 		quiet        = flag.Bool("quiet", false, "disable the per-request log")
 		version      = flag.Bool("version", false, "print version and exit")
@@ -74,16 +87,19 @@ func main() {
 	}
 
 	srv := service.New(service.Config{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		CacheSize:    *cacheSize,
-		RetainJobs:   *retain,
-		JobTimeout:   *jobTimeout,
-		SyncTimeout:  *syncTimeout,
-		DataDir:      *dataDir,
-		MaxCampaigns: *campaigns,
-		DisableLanes: lanesOff,
-		Logger:       reqLogger,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		CacheSize:         *cacheSize,
+		RetainJobs:        *retain,
+		JobTimeout:        *jobTimeout,
+		SyncTimeout:       *syncTimeout,
+		DataDir:           *dataDir,
+		MaxCampaigns:      *campaigns,
+		DisableLanes:      lanesOff,
+		Coordinator:       *coordinator,
+		FabricLeaseShards: *fabricLease,
+		FabricLeaseTTL:    *fabricTTL,
+		Logger:            reqLogger,
 	})
 
 	handler := srv.Handler()
@@ -112,9 +128,30 @@ func main() {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
+	// Fabric worker mode: pull shard leases from the coordinator until
+	// shutdown. A permanent rejection (version skew, bad URL) is fatal —
+	// an instance asked to work that cannot is misconfigured, and failing
+	// loud beats idling silently.
+	workerErr := make(chan error, 1)
+	if *joinURL != "" {
+		w := &fabric.Worker{
+			Coordinator: *joinURL,
+			Name:        ln.Addr().String(),
+			Logf:        logger.Printf,
+		}
+		logger.Printf("joining fabric coordinator %s", *joinURL)
+		go func() { workerErr <- w.Run(ctx) }()
+	}
+
+	code := 0
 	select {
 	case err := <-serveErr:
 		logger.Fatalf("serve: %v", err)
+	case err := <-workerErr:
+		if err != nil && !errors.Is(err, context.Canceled) {
+			logger.Printf("fabric worker: %v", err)
+			code = 1
+		}
 	case <-ctx.Done():
 	}
 	stop() // restore default signal handling: a second signal kills hard
@@ -123,7 +160,6 @@ func main() {
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 
-	code := 0
 	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Printf("http shutdown: %v", err)
 		code = 1

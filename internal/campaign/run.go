@@ -96,6 +96,27 @@ type SpecFile struct {
 // Dir returns the store directory of a spec under the given root.
 func (s Spec) Dir(root string) string { return filepath.Join(root, s.ID()) }
 
+// EnsureSpecFile writes dir/spec.json for the canonical spec if it is not
+// already present. Both the single-node engine and the fabric coordinator
+// go through it, so a campaign directory carries the same spec.json bytes
+// whichever path created it.
+func EnsureSpecFile(fsys iofault.FS, dir string, c Spec) error {
+	if fsys == nil {
+		fsys = iofault.OS{}
+	}
+	if _, err := os.Stat(filepath.Join(dir, specFileName)); !errors.Is(err, os.ErrNotExist) {
+		if err != nil {
+			return fmt.Errorf("campaign: %w", err)
+		}
+		return nil
+	}
+	sf, err := json.Marshal(SpecFile{ID: c.ID(), Hash: c.Hash(), Spec: c})
+	if err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
+	return store.WriteFileAtomicFS(fsys, filepath.Join(dir, specFileName), sf)
+}
+
 // LoadSpecFile reads the spec.json of a campaign directory.
 func LoadSpecFile(dir string) (SpecFile, error) {
 	raw, err := os.ReadFile(filepath.Join(dir, specFileName))
@@ -139,14 +160,8 @@ func Run(ctx context.Context, spec Spec, root string, opts RunOptions) (Summary,
 	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return Summary{}, fmt.Errorf("campaign: %w", err)
 	}
-	if _, err := os.Stat(filepath.Join(dir, specFileName)); errors.Is(err, os.ErrNotExist) {
-		sf, err := json.Marshal(SpecFile{ID: c.ID(), Hash: hash, Spec: c})
-		if err != nil {
-			return Summary{}, fmt.Errorf("campaign: %w", err)
-		}
-		if err := store.WriteFileAtomicFS(fsys, filepath.Join(dir, specFileName), sf); err != nil {
-			return Summary{}, err
-		}
+	if err := EnsureSpecFile(fsys, dir, c); err != nil {
+		return Summary{}, err
 	}
 
 	st, err := store.OpenFS(dir, hash, fsys)
@@ -168,7 +183,7 @@ func Run(ctx context.Context, spec Spec, root string, opts RunOptions) (Summary,
 
 	var (
 		eventMu sync.Mutex
-		memo    = newGenMemo()
+		memo    = NewMemo()
 	)
 	emit := func(ev Event) {
 		if opts.OnEvent == nil {
@@ -270,7 +285,7 @@ func Run(ctx context.Context, spec Spec, root string, opts RunOptions) (Summary,
 // would deadlock the committer and poison the whole pool — a panic fails
 // the shard with its captured stack, and the campaign aborts cleanly at
 // the last committed checkpoint.
-func safeRunShard(ctx context.Context, sh Shard, memo *genMemo, emit func(Event), lanesOff bool) (out shardOut) {
+func safeRunShard(ctx context.Context, sh Shard, memo *Memo, emit func(Event), lanesOff bool) (out shardOut) {
 	defer func() {
 		if r := recover(); r != nil {
 			out = shardOut{idx: sh.ID, err: fmt.Errorf("campaign: shard %d panicked: %v\n%s", sh.ID, r, debug.Stack())}
@@ -281,7 +296,7 @@ func safeRunShard(ctx context.Context, sh Shard, memo *genMemo, emit func(Event)
 
 // runShard executes a shard's units in order, aborting on the first
 // infrastructure error (cancellation).
-func runShard(ctx context.Context, sh Shard, memo *genMemo, emit func(Event), lanesOff bool) shardOut {
+func runShard(ctx context.Context, sh Shard, memo *Memo, emit func(Event), lanesOff bool) shardOut {
 	recs := make([]store.Record, 0, len(sh.Units))
 	for _, u := range sh.Units {
 		if err := ctx.Err(); err != nil {
@@ -299,6 +314,15 @@ func runShard(ctx context.Context, sh Shard, memo *genMemo, emit func(Event), la
 		emit(Event{Kind: EventUnitDone, Shard: sh.ID, Seq: u.Seq, Err: res.Error})
 	}
 	return shardOut{idx: sh.ID, recs: recs}
+}
+
+// ExecuteShard runs one shard of a plan and returns its records in exactly
+// the committed form — the worker half of the distributed fabric
+// (internal/fabric). Records are deterministic functions of the shard's
+// units, so two workers executing the same shard produce identical bytes.
+func ExecuteShard(ctx context.Context, sh Shard, memo *Memo, disableLanes bool) ([]store.Record, error) {
+	out := safeRunShard(ctx, sh, memo, func(Event) {}, disableLanes)
+	return out.recs, out.err
 }
 
 func summarize(c Spec, dir string, st *store.Store, resumedFrom int) (Summary, error) {
@@ -326,11 +350,13 @@ func summarize(c Spec, dir string, st *store.Store, resumedFrom int) (Summary, e
 	}, nil
 }
 
-// genMemo deduplicates generation work across units that share generator
+// Memo deduplicates generation work across units that share generator
 // coordinates (list, profile, order, size) and differ only in derived axes
 // (width, topology, verify): the first unit generates, the rest reuse the result.
-// Results are deterministic, so memoization cannot change any record.
-type genMemo struct {
+// Results are deterministic, so memoization cannot change any record — which
+// is also why fabric workers can each hold a private Memo without breaking
+// the byte-identity of the merged result set.
+type Memo struct {
 	mu sync.Mutex
 	m  map[string]*genEntry
 }
@@ -341,11 +367,13 @@ type genEntry struct {
 	err  error
 }
 
-func newGenMemo() *genMemo { return &genMemo{m: make(map[string]*genEntry)} }
+// NewMemo returns an empty generation memo, shareable across ExecuteShard
+// calls of one process.
+func NewMemo() *Memo { return &Memo{m: make(map[string]*genEntry)} }
 
 // runUnitMemo is runUnit with the generation step memoized on the unit's
 // generator coordinates.
-func runUnitMemo(ctx context.Context, u Unit, memo *genMemo, lanesOff bool) (UnitResult, error) {
+func runUnitMemo(ctx context.Context, u Unit, memo *Memo, lanesOff bool) (UnitResult, error) {
 	if memo == nil {
 		return runUnit(ctx, u, lanesOff)
 	}

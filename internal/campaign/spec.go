@@ -26,6 +26,11 @@ import (
 // mixing incompatible records.
 const specSchema = "marchcamp/spec/v2"
 
+// SpecSchema is the public name of the identity schema version. The fabric
+// join handshake (internal/fabric) exchanges it so a coordinator and its
+// workers can refuse to mix records across incompatible derivations.
+const SpecSchema = specSchema
+
 // Generator profiles a spec may sweep.
 const (
 	ProfileStandard   = "standard"   // default minimization (March ABL profile)

@@ -100,7 +100,7 @@ func runUnit(ctx context.Context, u Unit, lanesOff bool) (UnitResult, error) {
 }
 
 // generateForUnit is the generation step alone: the part units sharing
-// (list, profile, order, size) coordinates can reuse (see genMemo).
+// (list, profile, order, size) coordinates can reuse (see Memo).
 func generateForUnit(ctx context.Context, u Unit, lanesOff bool) (core.Result, error) {
 	faults, ok := faultlist.ByName(u.List)
 	if !ok {

@@ -36,6 +36,18 @@ type Policy struct {
 	// Rand returns a jitter factor in [0, 1); nil means math/rand. Tests
 	// inject a constant for deterministic delays.
 	Rand func() float64
+	// MaxElapsed bounds the total time Do spends across all attempts and
+	// sleeps, measured from its first invocation of op: once the budget is
+	// spent — or the next delay (including a server's Retry-After) would
+	// overrun it — Do stops and returns the last error instead of sleeping
+	// toward a deadline it cannot meet. <=0 means unbounded, the historical
+	// behavior. This is the marchctl -timeout knob: MaxAttempts bounds how
+	// many times we try, MaxElapsed bounds how long we keep trying.
+	MaxElapsed time.Duration
+	// Now supplies the clock for the MaxElapsed budget; nil means
+	// time.Now. Tests inject a fake to verify budget arithmetic without
+	// real sleeping.
+	Now func() time.Time
 }
 
 func (p Policy) maxAttempts() int {
@@ -131,12 +143,20 @@ func After(err error, delay time.Duration) error {
 	return &afterError{err: err, delay: delay}
 }
 
+func (p Policy) now() time.Time {
+	if p.Now != nil {
+		return p.Now()
+	}
+	return time.Now()
+}
+
 // Do invokes op until it succeeds, returns a Permanent error, the policy's
-// attempts are exhausted, or ctx is done. The returned error is the last
-// attempt's (with Permanent/After wrappers stripped), or ctx.Err() if the
-// context ended the loop first.
+// attempts are exhausted, its MaxElapsed budget runs out, or ctx is done.
+// The returned error is the last attempt's (with Permanent/After wrappers
+// stripped), or ctx.Err() if the context ended the loop first.
 func Do(ctx context.Context, p Policy, op func(ctx context.Context) error) error {
 	max := p.maxAttempts()
+	start := p.now()
 	var last error
 	for attempt := 0; attempt < max; attempt++ {
 		if err := ctx.Err(); err != nil {
@@ -159,6 +179,16 @@ func Do(ctx context.Context, p Policy, op func(ctx context.Context) error) error
 		if errors.As(err, &after) {
 			delay = after.delay
 			last = after.err
+		}
+		// The elapsed budget: stop — rather than sleep — when the budget
+		// is already spent or the pending delay would overrun it. A
+		// server's huge Retry-After must not pin the client past its own
+		// deadline.
+		if p.MaxElapsed > 0 {
+			remaining := p.MaxElapsed - p.now().Sub(start)
+			if remaining <= 0 || delay > remaining {
+				break
+			}
 		}
 		if err := p.sleep(ctx, delay); err != nil {
 			return err

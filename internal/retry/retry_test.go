@@ -191,3 +191,75 @@ func TestZeroPolicyDefaults(t *testing.T) {
 		t.Fatalf("zero-value defaults drifted: %d %v %v", p.maxAttempts(), p.baseDelay(), p.maxDelay())
 	}
 }
+
+// fakeTime is an injectable Now whose clock advances only when the test
+// (or its sleep recorder) says so.
+type fakeTime struct{ t time.Time }
+
+func (f *fakeTime) now() time.Time { return f.t }
+
+func TestDoStopsWhenMaxElapsedSpent(t *testing.T) {
+	clock := &fakeTime{t: time.Unix(0, 0)}
+	calls := 0
+	// Every attempt "takes" 40ms of virtual time; the 100ms budget admits
+	// the first two sleeps' worth of attempts and then stops mid-policy.
+	err := Do(context.Background(), Policy{
+		MaxAttempts: 10,
+		MaxElapsed:  100 * time.Millisecond,
+		Rand:        half,
+		Now:         clock.now,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			clock.t = clock.t.Add(d)
+			return ctx.Err()
+		},
+	}, func(ctx context.Context) error {
+		calls++
+		clock.t = clock.t.Add(40 * time.Millisecond)
+		return fmt.Errorf("transient %d", calls)
+	})
+	if err == nil {
+		t.Fatal("want the last transient error")
+	}
+	if calls >= 10 {
+		t.Fatalf("budget did not stop the loop: %d calls", calls)
+	}
+	if calls < 2 {
+		t.Fatalf("budget stopped too early: %d calls", calls)
+	}
+}
+
+func TestDoRefusesSleepBeyondBudget(t *testing.T) {
+	clock := &fakeTime{t: time.Unix(0, 0)}
+	rec := &recorder{}
+	calls := 0
+	// The server demands a 10-minute Retry-After; a 1-second budget must
+	// return the error immediately instead of honoring it.
+	err := Do(context.Background(), Policy{
+		MaxAttempts: 5,
+		MaxElapsed:  time.Second,
+		Rand:        half,
+		Now:         clock.now,
+		Sleep:       rec.sleep,
+	}, func(ctx context.Context) error {
+		calls++
+		return After(errors.New("overloaded"), 10*time.Minute)
+	})
+	if err == nil || err.Error() != "overloaded" {
+		t.Fatalf("err = %v, want the unwrapped server error", err)
+	}
+	if calls != 1 || len(rec.delays) != 0 {
+		t.Fatalf("calls=%d delays=%v; an unaffordable Retry-After must not be slept through", calls, rec.delays)
+	}
+}
+
+func TestDoMaxElapsedZeroMeansUnbounded(t *testing.T) {
+	rec := &recorder{}
+	calls := 0
+	err := Do(context.Background(), Policy{MaxAttempts: 3, Rand: half, Sleep: rec.sleep}, func(ctx context.Context) error {
+		calls++
+		return errors.New("transient")
+	})
+	if err == nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d; zero MaxElapsed must keep the historical behavior", err, calls)
+	}
+}

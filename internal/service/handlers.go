@@ -373,9 +373,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}{"ok"})
 }
 
-// handleMetrics is GET /metrics: the expvar-style counter snapshot.
+// handleMetrics is GET /metrics: the expvar-style counter snapshot, plus
+// the fabric coordinator's counters when this instance runs one.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.jobs.Depth(), s.cache.Len()))
+	snap := s.metrics.snapshot(s.jobs.Depth(), s.cache.Len())
+	if s.fabric != nil {
+		fc := s.fabric.Counters()
+		snap.Fabric = &fc
+	}
+	writeJSON(w, http.StatusOK, snap)
 }
 
 // defaultSimConfig is the exhaustive default the API documents for omitted

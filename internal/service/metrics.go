@@ -5,6 +5,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"marchgen/internal/fabric"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the generation-latency
@@ -166,6 +168,11 @@ type MetricsSnapshot struct {
 	EncodeErrors int64 `json:"response_encode_errors"`
 
 	Generate HistogramSnapshot `json:"generate_latency"`
+
+	// Fabric carries the distributed-campaign counters (fabric_leases_total,
+	// fabric_steals_total, fabric_reassigns_total, ...) when this instance
+	// runs in coordinator mode; absent otherwise.
+	Fabric *fabric.Counters `json:"fabric,omitempty"`
 }
 
 // snapshot copies the registry; queueDepth and cacheEntries are sampled by

@@ -33,6 +33,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"time"
+
+	"marchgen/internal/fabric"
 )
 
 // Config sizes the service.
@@ -66,6 +68,15 @@ type Config struct {
 	// different settings serve byte-identical responses; the request wire
 	// format deliberately cannot carry the knob.
 	DisableLanes bool
+	// Coordinator enables the distributed campaign fabric (DESIGN.md §13):
+	// the /v1/fabric/* endpoints lease shard ranges of submitted campaigns
+	// to peer marchd workers and merge their results into the same store
+	// root the local campaign engine uses.
+	Coordinator bool
+	// FabricLeaseShards bounds shards per fabric lease; 0 means 4.
+	FabricLeaseShards int
+	// FabricLeaseTTL is the fabric lease heartbeat deadline; 0 means 10s.
+	FabricLeaseTTL time.Duration
 	// Logger receives the structured request log; nil disables logging.
 	Logger *log.Logger
 }
@@ -126,6 +137,7 @@ type Server struct {
 	jobs      *jobEngine
 	cache     *resultCache
 	campaigns *campaignManager
+	fabric    *fabric.Coordinator // nil unless Config.Coordinator
 	metrics   *metrics
 	logger    *log.Logger
 	handler   http.Handler
@@ -174,6 +186,24 @@ func New(cfg Config) *Server {
 	s.route(mux, "GET /v1/campaigns/{id}", s.handleCampaignGet)
 	s.route(mux, "GET /v1/campaigns/{id}/results", s.handleCampaignResults)
 	s.route(mux, "DELETE /v1/campaigns/{id}", s.handleCampaignCancel)
+	if cfg.Coordinator {
+		fcfg := fabric.Config{
+			Root:        cfg.dataDir(),
+			LeaseShards: cfg.FabricLeaseShards,
+			LeaseTTL:    cfg.FabricLeaseTTL,
+		}
+		if s.logger != nil {
+			fcfg.Logf = s.logger.Printf
+		}
+		s.fabric = fabric.NewCoordinator(fcfg)
+		s.route(mux, "POST /v1/fabric/join", s.fabric.HandleJoin)
+		s.route(mux, "POST /v1/fabric/lease", s.fabric.HandleLease)
+		s.route(mux, "POST /v1/fabric/heartbeat", s.fabric.HandleHeartbeat)
+		s.route(mux, "POST /v1/fabric/complete", s.fabric.HandleComplete)
+		s.route(mux, "POST /v1/fabric/campaigns", s.fabric.HandleSubmit)
+		s.route(mux, "GET /v1/fabric/campaigns/{id}", s.fabric.HandleSession)
+		s.route(mux, "GET /v1/fabric/status", s.fabric.HandleStatus)
+	}
 	s.route(mux, "GET /healthz", s.handleHealthz)
 	s.route(mux, "GET /metrics", s.handleMetrics)
 	s.handler = s.logging(mux)
@@ -191,6 +221,9 @@ func (s *Server) Handler() http.Handler { return s.handler }
 func (s *Server) Shutdown(ctx context.Context) error {
 	jobErr := s.jobs.Shutdown(ctx)
 	campErr := s.campaigns.Shutdown(ctx)
+	if s.fabric != nil {
+		s.fabric.Shutdown()
+	}
 	if jobErr != nil {
 		return jobErr
 	}

@@ -265,16 +265,27 @@ func (s *Store) Close() error {
 // records. Used by reporting (marchcamp report, the marchd campaign API)
 // without taking writer ownership.
 func Read(dir string) (Checkpoint, []Record, error) {
-	raw, err := os.ReadFile(filepath.Join(dir, checkpointName))
+	cp, err := ReadCheckpoint(dir)
 	if err != nil {
-		return Checkpoint{}, nil, fmt.Errorf("store: checkpoint: %w", err)
-	}
-	var cp Checkpoint
-	if err := json.Unmarshal(raw, &cp); err != nil {
-		return Checkpoint{}, nil, fmt.Errorf("store: checkpoint corrupt: %w", err)
+		return Checkpoint{}, nil, err
 	}
 	recs, err := readRecords(dir, cp)
 	return cp, recs, err
+}
+
+// ReadCheckpoint loads only the checkpoint of a store directory — the
+// cheap completeness probe (`marchcamp report` uses it to decide its exit
+// code without re-reading the whole result set).
+func ReadCheckpoint(dir string) (Checkpoint, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, checkpointName))
+	if err != nil {
+		return Checkpoint{}, fmt.Errorf("store: checkpoint: %w", err)
+	}
+	var cp Checkpoint
+	if err := json.Unmarshal(raw, &cp); err != nil {
+		return Checkpoint{}, fmt.Errorf("store: checkpoint corrupt: %w", err)
+	}
+	return cp, nil
 }
 
 // readRecords decodes the committed prefix of the data file.

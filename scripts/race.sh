@@ -13,6 +13,9 @@
 # bit-parallel lane engine's differential tests (lanes-vs-scalar over the
 # march library and the fuzz seed corpus) run under ./internal/sim/..., so
 # the lane kernels and their scalar-fallback handoff are raced here too.
+# The distributed fabric rides along: its cluster tests run a coordinator
+# and several workers as real goroutines over HTTP (lease grants, steals,
+# heartbeats, the merge committer) — the most concurrency-dense code here.
 set -eu
 cd "$(dirname "$0")/.."
-exec go test -race ./internal/sim/... ./internal/core/... ./internal/oracle/... ./internal/service/... ./internal/campaign/... ./internal/store/... ./internal/iofault/... ./internal/retry/... ./cmd/marchctl/
+exec go test -race ./internal/sim/... ./internal/core/... ./internal/oracle/... ./internal/service/... ./internal/campaign/... ./internal/store/... ./internal/iofault/... ./internal/retry/... ./internal/fabric/... ./cmd/marchctl/

@@ -3,8 +3,10 @@
 # an ephemeral port, run a generate round-trip (submit, poll, fetch result,
 # repeat for a cache hit, assert the latency histogram recorded it) plus a
 # campaign round-trip and the read-only endpoints through curl, then SIGTERM
-# it and require a clean drain (exit 0). Finishes with a marchcamp
-# run + report round-trip over the same campaign engine.
+# it and require a clean drain (exit 0). A 3-process cluster section runs a
+# distributed campaign (one -coordinator marchd, two -join workers, driven
+# by marchctl campaign -cluster) and reports over its merged results.
+# Finishes with a marchcamp run + report round-trip over the same engine.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -245,6 +247,64 @@ while kill -0 "$CHAOS_PID" 2>/dev/null; do
 	i=$((i + 1))
 done
 echo "smoke: marchctl round-trip through injected 503s OK"
+
+# Cluster round-trip (DESIGN.md §13): a coordinator-mode marchd plus two
+# worker marchd instances joined with -join, driven by marchctl campaign
+# -cluster. The merged result set must complete, the fabric counters must
+# show up in /metrics, and marchcamp report over the coordinator's data
+# dir must see a finished campaign (exit 0, not the incomplete exit 4).
+FLOG="$TMP/marchd-coord.log"
+"$BIN" -addr 127.0.0.1:0 -data "$TMP/fabric-campaigns" -coordinator -fabric-ttl 5s 2>"$FLOG" &
+COORD_PID=$!
+trap 'kill -9 "$COORD_PID" 2>/dev/null || true; cleanup' EXIT
+FADDR=""
+i=0
+while [ $i -lt 100 ]; do
+	FADDR=$(sed -n 's/.*listening on \(.*\)/\1/p' "$FLOG" | head -n1)
+	[ -n "$FADDR" ] && break
+	kill -0 "$COORD_PID" 2>/dev/null || { cat "$FLOG" >&2; fail "coordinator marchd died during startup"; }
+	sleep 0.1
+	i=$((i + 1))
+done
+[ -n "$FADDR" ] || fail "coordinator marchd announced no listen address"
+FBASE="http://$FADDR"
+
+W1LOG="$TMP/marchd-worker1.log"
+W2LOG="$TMP/marchd-worker2.log"
+"$BIN" -addr 127.0.0.1:0 -join "$FBASE" 2>"$W1LOG" &
+W1_PID=$!
+"$BIN" -addr 127.0.0.1:0 -join "$FBASE" 2>"$W2LOG" &
+W2_PID=$!
+trap 'kill -9 "$W1_PID" "$W2_PID" "$COORD_PID" 2>/dev/null || true; cleanup' EXIT
+
+cat >"$TMP/cluster.json" <<'EOF'
+{"name":"smoke-cluster","lists":["list2"],"orders":["free","up","down"],"sizes":[3,4],"shard_size":1}
+EOF
+"$CTLBIN" -addr "$FBASE" -poll 100ms -timeout 2m \
+	campaign -cluster -spec "$TMP/cluster.json" -wait >"$TMP/cluster-status.json" \
+	|| { cat "$FLOG" "$W1LOG" "$W2LOG" >&2; fail "marchctl campaign -cluster"; }
+grep -Eq '"done": ?true' "$TMP/cluster-status.json" \
+	|| fail "cluster campaign did not report done: $(cat "$TMP/cluster-status.json")"
+curl -fsS "$FBASE/metrics" | grep -q '"fabric_joins_total": 2' \
+	|| fail "metrics fabric_joins_total (want both workers joined)"
+curl -fsS "$FBASE/metrics" | grep -Eq '"fabric_completed_shards_total": ?6' \
+	|| fail "metrics fabric_completed_shards_total"
+
+# The fabric run landed in the ordinary campaign store layout, so the
+# local report tool closes the loop — and must see a complete sweep.
+go build -o "$TMP/marchcamp" ./cmd/marchcamp
+"$TMP/marchcamp" report -dir "$TMP/fabric-campaigns" | grep -q 'Generated tests:' \
+	|| fail "marchcamp report over the cluster's results"
+kill -TERM "$W1_PID" "$W2_PID" "$COORD_PID" 2>/dev/null || true
+for PID in "$W1_PID" "$W2_PID" "$COORD_PID"; do
+	i=0
+	while kill -0 "$PID" 2>/dev/null; do
+		[ $i -lt 300 ] || fail "cluster marchd $PID did not exit after SIGTERM"
+		sleep 0.1
+		i=$((i + 1))
+	done
+done
+echo "smoke: 3-process cluster campaign via marchctl -cluster OK"
 
 # marchcamp CLI: a minimal run + report round-trip over the same engine.
 CAMPBIN="$TMP/marchcamp"
