@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt-check race bench bench-sim bench-lanes serve test-service smoke chaos cluster-test fuzz verify-oracle check
+.PHONY: build test vet fmt-check race bench bench-sim bench-lanes bench-opt opt-test serve test-service smoke chaos cluster-test fuzz verify-oracle check
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,20 @@ bench-sim:
 ## bench-lanes: alias for the BENCH_sim.json regeneration — named for the
 ## lanes section it fills (speedup_vs_scalar per Table-1 workload).
 bench-lanes: bench-sim
+
+## bench-opt: regenerate BENCH_opt.json — the search-based optimizer run
+## against the paper's Table 1 baselines (37n / 35n for List #1, 9n for
+## List #2), every winner oracle-certified.
+bench-opt:
+	$(GO) run ./cmd/experiments -bench-opt BENCH_opt.json
+
+## opt-test: the optimizer smoke gate — a short-budget, fixed-seed search
+## must find a full-coverage test no longer than the paper's 9n for List #2,
+## certify it through the independent oracle, and reproduce bit-for-bit
+## across two same-seed runs. The marchopt CLI suite rides along.
+opt-test:
+	$(GO) test -count=1 -run 'TestBeatsPaperOnList2|TestDeterministicAcrossRuns|TestWinnerCertifiedAndNeverLonger|TestWinnerAgreesWithOracle' ./internal/optimize/
+	$(GO) test -count=1 ./cmd/marchopt/
 
 ## serve: run the marchd HTTP service on :8080 (see README quick-start).
 serve:
@@ -88,5 +102,6 @@ verify-oracle:
 	$(GO) run ./cmd/marchverify -seed 1 -n 1000 -props
 
 ## check: the full local CI gate — build, vet, gofmt, tests, race, chaos,
-## the cluster gate, the oracle cross-check, the lane benchmark record, smoke.
-check: build vet fmt-check test race chaos cluster-test verify-oracle bench-lanes smoke
+## the cluster gate, the optimizer smoke gate, the oracle cross-check, the
+## lane benchmark record, smoke.
+check: build vet fmt-check test race chaos cluster-test opt-test verify-oracle bench-lanes smoke

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"marchgen/internal/faultlist"
+	"marchgen/internal/linked"
+	"marchgen/internal/march"
+	"marchgen/internal/optimize"
+)
+
+// The optimizer benchmark behind the -bench-opt flag: run the search from
+// the paper's Table 1 tests and record what it finds against the published
+// lengths (March SL 37n and March ABL 35n for List #1, March ABL1 9n for
+// List #2). Seeds are fixed, so BENCH_opt.json regenerates bit-identically
+// up to the timestamp and the wall-clock seconds.
+
+type optBenchEntry struct {
+	List        string  `json:"list"`
+	Faults      int     `json:"faults"`
+	SeedTest    string  `json:"seed_test"`
+	SeedLength  int     `json:"seed_length"`
+	PaperLength int     `json:"paper_length"`
+	Budget      int     `json:"budget"`
+	RngSeed     int64   `json:"rng_seed"`
+	Length      int     `json:"length"`
+	Test        string  `json:"test"`
+	Evaluations int     `json:"evaluations"`
+	Improved    bool    `json:"improved"`
+	MoveTrace   string  `json:"move_trace"`
+	Seconds     float64 `json:"search_seconds"`
+}
+
+type optBenchFile struct {
+	Generated string          `json:"generated"`
+	Note      string          `json:"note"`
+	Entries   []optBenchEntry `json:"entries"`
+}
+
+// optBenchWorkloads are the Table 1 attack points: fixed seeds and budgets
+// so every regeneration searches the same trajectory.
+// Only two library tests fully cover List #1 under this reproduction's
+// simulator (March SL at 41n and the reconstructed 43n test), so those are
+// the List #1 seeds; the published 37n (March ABL) and 35n (March RABL)
+// lengths are the baselines their winners are compared against.
+var optBenchWorkloads = []struct {
+	list    string
+	seed    march.Test
+	paper   int
+	budget  int
+	rngSeed int64
+}{
+	{"list2", march.MarchABL1, 9, 400, 1},
+	{"list1", march.MarchSL, 37, 150, 1},
+	{"list1", march.March43N, 35, 150, 1},
+}
+
+func runBenchOpt(path string, w io.Writer) error {
+	out := optBenchFile{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Note: "search-based optimizer (internal/optimize) seeded from the paper's Table 1 tests; " +
+			"paper_length = the published complexity the run attacks; every winner is " +
+			"oracle-certified before it is recorded",
+	}
+	for _, wl := range optBenchWorkloads {
+		var faults []linked.Fault
+		switch wl.list {
+		case "list1":
+			faults = faultlist.List1()
+		case "list2":
+			faults = faultlist.List2()
+		default:
+			return fmt.Errorf("unknown bench list %q", wl.list)
+		}
+		seed := wl.seed
+		res, err := optimize.Run(faults, optimize.Options{
+			Name:     wl.seed.Name + " opt",
+			Seed:     wl.rngSeed,
+			Budget:   wl.budget,
+			SeedTest: &seed,
+		})
+		if err != nil {
+			return fmt.Errorf("%s from %s: %v", wl.list, wl.seed.Name, err)
+		}
+		e := optBenchEntry{
+			List:        wl.list,
+			Faults:      len(faults),
+			SeedTest:    wl.seed.Name,
+			SeedLength:  res.Stats.SeedLength,
+			PaperLength: wl.paper,
+			Budget:      wl.budget,
+			RngSeed:     wl.rngSeed,
+			Length:      res.Test.Length(),
+			Test:        res.Test.String(),
+			Evaluations: res.Stats.Evaluations,
+			Improved:    res.Stats.Improved,
+			MoveTrace:   res.Test.Prov.MoveTrace,
+			Seconds:     res.Stats.Duration.Seconds(),
+		}
+		out.Entries = append(out.Entries, e)
+		fmt.Fprintf(w, "  %-6s from %-10s (%2dn, paper %2dn): found %2dn in %d evaluations (%.1f s)\n",
+			e.List, e.SeedTest, e.SeedLength, e.PaperLength, e.Length, e.Evaluations, e.Seconds)
+	}
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "wrote", path)
+	return nil
+}

@@ -10,6 +10,8 @@
 //	experiments -quick             # skip the generation-heavy sections
 //	experiments -bench-sim FILE    # only benchmark the fault simulator,
 //	                               # writing FILE (see BENCH_sim.json)
+//	experiments -bench-opt FILE    # only run the march optimizer against
+//	                               # the Table 1 baselines (see BENCH_opt.json)
 //
 // Exit codes:
 //
@@ -57,6 +59,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	quick := fs.Bool("quick", false, "skip the generation-heavy sections")
 	benchSim := fs.String("bench-sim", "", "benchmark the fault simulator and write the results to `FILE`, then exit")
+	benchOpt := fs.String("bench-opt", "", "run the march optimizer against the Table 1 baselines and write the results to `FILE`, then exit")
 	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
@@ -69,6 +72,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *benchSim != "" {
 		fmt.Fprintln(stdout, "== Fault simulator throughput (compiled schedules vs pre-schedule baseline) ==")
 		if err := runBenchSim(*benchSim, stdout); err != nil {
+			fmt.Fprintln(stderr, "experiments:", err)
+			return exitErr
+		}
+		return exitOK
+	}
+
+	if *benchOpt != "" {
+		fmt.Fprintln(stdout, "== March optimizer vs Table 1 baselines (37n / 35n / 9n) ==")
+		if err := runBenchOpt(*benchOpt, stdout); err != nil {
 			fmt.Fprintln(stderr, "experiments:", err)
 			return exitErr
 		}

@@ -7,6 +7,7 @@
 //	faultls -class CFds           # the primitives of one class
 //	faultls -list list2           # the faults of a list
 //	faultls -list list1 -summary  # per-kind counts only
+//	faultls -marches              # the march test library with origins
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"marchgen/internal/faultlist"
 	"marchgen/internal/fp"
 	"marchgen/internal/linked"
+	"marchgen/internal/march"
 )
 
 // Exit codes of the faultls command.
@@ -43,6 +45,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		list    = fs.String("list", "", "list the faults of a fault list (list1, list2, simple, ...)")
 		summary = fs.Bool("summary", false, "with -list: print per-kind counts only")
 		defects = fs.Bool("defects", false, "list the physical defect classes and their fault mappings")
+		marches = fs.Bool("marches", false, "list the march test library with origin and provenance")
 		version = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -60,6 +63,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 			for _, f := range d.FaultPrimitives() {
 				fmt.Fprintf(stdout, "  %s\n", f.ID())
 			}
+		}
+
+	case *marches:
+		for _, t := range march.Lib() {
+			origin := string(t.Origin)
+			if origin == "" {
+				origin = "-"
+			}
+			note := t.Source
+			if t.Reconstructed {
+				note += " (reconstructed)"
+			}
+			if t.Prov != nil {
+				note = fmt.Sprintf("seed=%d budget=%d from %s (%dn)",
+					t.Prov.Seed, t.Prov.Budget, t.Prov.SeedTest, t.Prov.SeedLength)
+			}
+			fmt.Fprintf(stdout, "%-14s %5s  %-10s %s\n", t.Name, t.Complexity(), origin, note)
 		}
 
 	case *classes:

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"marchgen/internal/march"
 )
 
 func runCmd(args ...string) (code int, stdout, stderr string) {
@@ -74,6 +76,28 @@ func TestListAndSummary(t *testing.T) {
 
 	if code, _, stderr := runCmd("-list", "nope"); code != exitUsage || !strings.Contains(stderr, "unknown fault list") {
 		t.Fatalf("bad list: code=%d stderr=%q", code, stderr)
+	}
+}
+
+func TestMarches(t *testing.T) {
+	// A registered optimizer test must show up with its provenance line.
+	reg := march.MustParse("opt-faultls-test", "c(w0) ^(r0,w1) v(r1)")
+	reg.Origin = march.OriginOptimized
+	reg.Prov = &march.Provenance{Seed: 7, Budget: 50, SeedTest: "seed", SeedLength: 9}
+	march.Register(reg)
+
+	code, out, _ := runCmd("-marches")
+	if code != exitOK {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, want := range []string{
+		"March ABL", "37n", "paper", "Benso et al., DATE 2006",
+		"(reconstructed)",
+		"opt-faultls-test", "optimized", "seed=7 budget=50 from seed (9n)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
 	}
 }
 

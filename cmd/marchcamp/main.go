@@ -92,7 +92,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // exampleSpec is the starter sweep `marchcamp example` prints: the paper's
 // Table 1 corner (list1/list2 at the default configuration) widened by one
-// step along each axis.
+// step along each axis, plus a small optimizer budget sweep for the
+// length-vs-budget frontier (budget 0 keeps the unoptimized baseline row).
 func exampleSpec() campaign.Spec {
 	return campaign.Spec{
 		Name:       "table1-sweep",
@@ -102,6 +103,7 @@ func exampleSpec() campaign.Spec {
 		Sizes:      []int{4},
 		Widths:     []int{1, 4},
 		Topologies: []string{"", "8x8"},
+		Optimize:   []campaign.OptAxis{{}, {Budget: 200}, {Budget: 400}},
 		ShardSize:  4,
 	}
 }
@@ -153,8 +155,8 @@ func runPlan(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "units %d, shards %d\n", spec.Units(), len(shards))
 	for _, sh := range shards {
 		for _, u := range sh.Units {
-			fmt.Fprintf(stdout, "  shard %3d  unit %3d  %s  list=%s profile=%s order=%s n=%d w=%d topo=%s\n",
-				sh.ID, u.Seq, u.ID(), u.List, u.Profile, u.Order, u.Size, u.Width, topoOrDash(u.Topology))
+			fmt.Fprintf(stdout, "  shard %3d  unit %3d  %s  list=%s profile=%s order=%s n=%d w=%d topo=%s opt=%s\n",
+				sh.ID, u.Seq, u.ID(), u.List, u.Profile, u.Order, u.Size, u.Width, topoOrDash(u.Topology), optOrDash(u))
 		}
 	}
 	return exitOK
@@ -165,6 +167,13 @@ func topoOrDash(t string) string {
 		return "-"
 	}
 	return t
+}
+
+func optOrDash(u campaign.Unit) string {
+	if u.OptBudget == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("b%d/s%d", u.OptBudget, u.OptSeed)
 }
 
 func runRun(args []string, stdout, stderr io.Writer) int {

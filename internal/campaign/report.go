@@ -35,21 +35,29 @@ func RenderMatrix(w io.Writer, title string, results []UnitResult) error {
 	t := &report.Table{
 		Title: title,
 		Header: []string{"List", "Profile", "Order", "n", "w", "Topo",
-			"Len", "Coverage", "vs SL", "vs LF1", "BIST cyc", "1-order", "Word", "Error"},
+			"Len", "Opt", "Coverage", "vs SL", "vs LF1", "BIST cyc", "1-order", "Word", "Error"},
 	}
 	for _, r := range results {
 		u := r.Unit
 		if r.Error != "" {
 			t.AddRow(u.List, u.Profile, u.Order, fmt.Sprint(u.Size), fmt.Sprint(u.Width),
-				topoCell(u), "-", "-", "-", "-", "-", "-", "-", r.Error)
+				topoCell(u), "-", "-", "-", "-", "-", "-", "-", "-", r.Error)
 			continue
 		}
 		vsSL, vsLF1 := "-", "-"
+		length := r.Length
+		if r.Optimize != nil {
+			length = r.Optimize.Length // the frontier compares the optimized length
+		}
 		switch u.List {
 		case "list1":
-			vsSL = report.Percent(report.Improvement(march.MarchSL.Length(), r.Length))
+			vsSL = report.Percent(report.Improvement(march.MarchSL.Length(), length))
 		case "list2":
-			vsLF1 = report.Percent(report.Improvement(march.MarchLF1.Length(), r.Length))
+			vsLF1 = report.Percent(report.Improvement(march.MarchLF1.Length(), length))
+		}
+		optCell := "-"
+		if r.Optimize != nil {
+			optCell = fmt.Sprintf("%dn@%d", r.Optimize.Length, r.Optimize.Budget)
 		}
 		wordCell := "-"
 		if r.Word != nil {
@@ -57,12 +65,59 @@ func RenderMatrix(w io.Writer, title string, results []UnitResult) error {
 		}
 		t.AddRow(u.List, u.Profile, u.Order, fmt.Sprint(u.Size), fmt.Sprint(u.Width),
 			topoCell(u),
-			fmt.Sprint(r.Length),
+			fmt.Sprint(r.Length), optCell,
 			fmt.Sprintf("%d/%d", r.Coverage.Detected, r.Coverage.Total),
 			vsSL, vsLF1,
 			fmt.Sprint(r.BIST.Cycles),
 			fmt.Sprint(r.BIST.SingleOrder),
 			wordCell, "")
+	}
+	return t.Render(w)
+}
+
+// RenderFrontier writes the length-vs-budget frontier of a campaign with an
+// optimize axis: one row per optimizer sweep point, grouped by generator
+// coordinates and ordered by budget, so the marginal value of search effort
+// reads top to bottom. Units without optimizer records are skipped.
+func RenderFrontier(w io.Writer, results []UnitResult) error {
+	type row struct {
+		r UnitResult
+		o OptimizeJSON
+	}
+	var rows []row
+	for _, r := range results {
+		if r.Error != "" || r.Optimize == nil {
+			continue
+		}
+		rows = append(rows, row{r, *r.Optimize})
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		if a.r.Unit.Seq != b.r.Unit.Seq {
+			// Plan order already groups generator coordinates and orders
+			// budgets within a group; seq is a stable proxy for both.
+			return a.r.Unit.Seq < b.r.Unit.Seq
+		}
+		return a.o.Budget < b.o.Budget
+	})
+	t := &report.Table{
+		Title: "Length-vs-budget frontier (optimizer sweep)",
+		Header: []string{"List", "Profile", "Order", "n",
+			"Seed len", "Budget", "Rng", "Len", "Evals", "Improved", "Test"},
+	}
+	for _, x := range rows {
+		u := x.r.Unit
+		t.AddRow(u.List, u.Profile, u.Order, fmt.Sprint(u.Size),
+			fmt.Sprintf("%dn", x.o.SeedLength),
+			fmt.Sprint(x.o.Budget),
+			fmt.Sprint(x.o.Seed),
+			fmt.Sprintf("%dn", x.o.Length),
+			fmt.Sprint(x.o.Evaluations),
+			fmt.Sprint(x.o.Improved),
+			x.o.Test)
 	}
 	return t.Render(w)
 }
@@ -117,6 +172,19 @@ func Report(w io.Writer, dir string) error {
 		sf.ID, displayName(sf.Spec), len(results), total, cp.Shards, shards)
 	if err := RenderMatrix(w, title, results); err != nil {
 		return err
+	}
+	hasOpt := false
+	for _, r := range results {
+		if r.Optimize != nil {
+			hasOpt = true
+			break
+		}
+	}
+	if hasOpt {
+		fmt.Fprintln(w)
+		if err := RenderFrontier(w, results); err != nil {
+			return err
+		}
 	}
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, "Generated tests:")

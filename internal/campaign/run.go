@@ -352,7 +352,8 @@ func summarize(c Spec, dir string, st *store.Store, resumedFrom int) (Summary, e
 
 // Memo deduplicates generation work across units that share generator
 // coordinates (list, profile, order, size) and differ only in derived axes
-// (width, topology, verify): the first unit generates, the rest reuse the result.
+// (width, topology, verify, optimize): the first unit generates, the rest
+// reuse the result.
 // Results are deterministic, so memoization cannot change any record — which
 // is also why fabric workers can each hold a private Memo without breaking
 // the byte-identity of the merged result set.

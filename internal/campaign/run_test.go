@@ -263,3 +263,71 @@ func TestRunVerifyUnit(t *testing.T) {
 		t.Fatalf("verify-disabled unit recorded a verify document: %+v", presults[0].Verify)
 	}
 }
+
+// An optimize-enabled unit records the optimizer sweep point: the certified
+// winner, its length against the generated seed, and the search effort —
+// and two runs of the same spec in different roots are byte-identical
+// (the frontier data is a pure function of the unit coordinates).
+func TestRunOptimizeUnit(t *testing.T) {
+	spec := Spec{
+		Name:     "opt",
+		Lists:    []string{"list2"},
+		Optimize: []OptAxis{{}, {Budget: 200, Seed: 7}},
+	}
+	root := t.TempDir()
+	sum, err := Run(context.Background(), spec, root, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Units != 2 || sum.UnitErrors != 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	_, recs, err := store.Read(spec.Dir(root))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := Decode(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Optimize != nil {
+		t.Fatalf("budget-0 unit recorded an optimize document: %+v", results[0].Optimize)
+	}
+	o := results[1].Optimize
+	if o == nil {
+		t.Fatal("optimize-enabled unit recorded no optimize document")
+	}
+	if o.Budget != 200 || o.Seed != 7 {
+		t.Fatalf("optimize knobs = %+v", o)
+	}
+	if o.SeedLength != results[1].Length {
+		t.Fatalf("optimizer seed length %d != generated length %d", o.SeedLength, results[1].Length)
+	}
+	if o.Length == 0 || o.Length > o.SeedLength || o.Test == "" || o.MoveTrace == "" {
+		t.Fatalf("optimize document incomplete: %+v", o)
+	}
+	if o.Evaluations == 0 || o.Evaluations > 200 {
+		t.Fatalf("evaluations = %d, want within the 200 budget", o.Evaluations)
+	}
+
+	// Repeat run in a fresh root: byte-identical result set.
+	root2 := t.TempDir()
+	if _, err := Run(context.Background(), spec, root2, RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if string(resultsBytes(t, spec, root)) != string(resultsBytes(t, spec, root2)) {
+		t.Fatal("two runs of the same optimize spec produced different result bytes")
+	}
+
+	// The frontier renders from the stored records.
+	var b strings.Builder
+	if err := Report(&b, spec.Dir(root)); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Length-vs-budget frontier", "Seed len", "Opt"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

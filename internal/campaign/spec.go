@@ -23,8 +23,9 @@ import (
 // specSchema versions the campaign identity derivation. Bump it whenever
 // the canonical spec encoding, the unit encoding, or the result document
 // changes shape: old store directories then refuse to resume instead of
-// mixing incompatible records.
-const specSchema = "marchcamp/spec/v2"
+// mixing incompatible records. v3: the optimize axis (budget, seed) joined
+// the spec, the unit coordinates and the result document.
+const specSchema = "marchcamp/spec/v3"
 
 // SpecSchema is the public name of the identity schema version. The fabric
 // join handshake (internal/fabric) exchanges it so a coordinator and its
@@ -67,9 +68,23 @@ type Spec struct {
 	// (internal/oracle); the unit result then records the divergence count.
 	// Default [false]. A spec of [false, true] sweeps both.
 	Verify []bool `json:"verify,omitempty"`
+	// Optimize sweeps the search-based optimizer (internal/optimize) over
+	// each unit's generated test: every axis value runs the optimizer with
+	// that evaluation budget and rng seed, recording the resulting length —
+	// the raw material of the length-vs-budget frontier report. The default
+	// single value {Budget: 0} disables optimization.
+	Optimize []OptAxis `json:"optimize,omitempty"`
 	// ShardSize is the number of units per shard (the checkpoint
 	// granularity). Default 4.
 	ShardSize int `json:"shard_size,omitempty"`
+}
+
+// OptAxis is one optimizer sweep point: an evaluation budget (0 = no
+// optimization) and the rng seed of the run. Seed 0 canonicalizes to 1, the
+// optimizer's default.
+type OptAxis struct {
+	Budget int   `json:"budget"`
+	Seed   int64 `json:"seed,omitempty"`
 }
 
 // Canonical returns the spec with every default made explicit and
@@ -102,6 +117,10 @@ func (s Spec) Canonical() Spec {
 	s.Verify = dedupBools(s.Verify)
 	if len(s.Verify) == 0 {
 		s.Verify = []bool{false}
+	}
+	s.Optimize = dedupOpt(s.Optimize)
+	if len(s.Optimize) == 0 {
+		s.Optimize = []OptAxis{{}}
 	}
 	if s.ShardSize <= 0 {
 		s.ShardSize = 4
@@ -147,6 +166,14 @@ func (s Spec) Validate() error {
 		}
 		if _, err := ParseTopology(t); err != nil {
 			return err
+		}
+	}
+	for _, o := range c.Optimize {
+		if o.Budget < 0 || o.Budget > 1_000_000 {
+			return fmt.Errorf("campaign: optimize budget %d out of range [0,1000000]", o.Budget)
+		}
+		if o.Seed < 0 {
+			return fmt.Errorf("campaign: optimize seed %d must be non-negative", o.Seed)
 		}
 	}
 	return nil
@@ -210,6 +237,10 @@ type Unit struct {
 	Width    int    `json:"width"`
 	Topology string `json:"topology,omitempty"`
 	Verify   bool   `json:"verify,omitempty"`
+	// OptBudget and OptSeed are the optimizer sweep coordinates; a zero
+	// budget means the unit records generation only.
+	OptBudget int   `json:"opt_budget,omitempty"`
+	OptSeed   int64 `json:"opt_seed,omitempty"`
 }
 
 // ID returns the unit's content address: a SHA-256 over the
@@ -241,8 +272,8 @@ type Shard struct {
 
 // Plan expands the spec into its deterministic shard plan. The unit order
 // is the nested iteration list → profile → order → size → width → topology
-// → verify over the canonical axes; shards are consecutive runs of
-// ShardSize units. Equal canonical specs always produce identical plans —
+// → verify → optimize over the canonical axes; shards are consecutive runs
+// of ShardSize units. Equal canonical specs always produce identical plans —
 // this is what makes checkpoints portable across processes.
 func Plan(s Spec) []Shard {
 	c := s.Canonical()
@@ -254,11 +285,14 @@ func Plan(s Spec) []Shard {
 					for _, width := range c.Widths {
 						for _, tp := range c.Topologies {
 							for _, vf := range c.Verify {
-								units = append(units, Unit{
-									Seq: len(units), List: list, Profile: prof,
-									Order: ord, Size: size, Width: width,
-									Topology: tp, Verify: vf,
-								})
+								for _, opt := range c.Optimize {
+									units = append(units, Unit{
+										Seq: len(units), List: list, Profile: prof,
+										Order: ord, Size: size, Width: width,
+										Topology: tp, Verify: vf,
+										OptBudget: opt.Budget, OptSeed: opt.Seed,
+									})
+								}
 							}
 						}
 					}
@@ -281,7 +315,7 @@ func Plan(s Spec) []Shard {
 func (s Spec) Units() int {
 	c := s.Canonical()
 	return len(c.Lists) * len(c.Profiles) * len(c.Orders) * len(c.Sizes) *
-		len(c.Widths) * len(c.Topologies) * len(c.Verify)
+		len(c.Widths) * len(c.Topologies) * len(c.Verify) * len(c.Optimize)
 }
 
 func dedup(in []string) []string {
@@ -306,6 +340,24 @@ func dedupBools(in []bool) []bool {
 		}
 		if !seen[idx] {
 			seen[idx] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func dedupOpt(in []OptAxis) []OptAxis {
+	var out []OptAxis
+	seen := make(map[OptAxis]bool, len(in))
+	for _, v := range in {
+		if v.Budget > 0 && v.Seed == 0 {
+			v.Seed = 1 // the optimizer's default, made explicit
+		}
+		if v.Budget == 0 {
+			v.Seed = 0 // seed is meaningless without a budget
+		}
+		if !seen[v] {
+			seen[v] = true
 			out = append(out, v)
 		}
 	}

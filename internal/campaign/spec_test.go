@@ -148,3 +148,58 @@ func TestParseTopology(t *testing.T) {
 		}
 	}
 }
+
+func TestOptimizeAxisCanonical(t *testing.T) {
+	s := Spec{
+		Lists: []string{"list2"},
+		Optimize: []OptAxis{
+			{Budget: 100},          // seed 0 canonicalizes to 1
+			{Budget: 100, Seed: 1}, // duplicate of the above
+			{Seed: 9},              // budget 0: seed is meaningless, normalizes to {}
+			{},                     // duplicate of the above
+			{Budget: 100, Seed: 2},
+		},
+	}
+	c := s.Canonical()
+	want := []OptAxis{{Budget: 100, Seed: 1}, {}, {Budget: 100, Seed: 2}}
+	if len(c.Optimize) != len(want) {
+		t.Fatalf("canonical optimize = %+v, want %+v", c.Optimize, want)
+	}
+	for i := range want {
+		if c.Optimize[i] != want[i] {
+			t.Fatalf("canonical optimize[%d] = %+v, want %+v", i, c.Optimize[i], want[i])
+		}
+	}
+	if got := s.Units(); got != 3 {
+		t.Fatalf("Units() = %d, want 3", got)
+	}
+	// Spelling variants hash identically.
+	twin := Spec{Lists: []string{"list2"}, Optimize: []OptAxis{{Budget: 100, Seed: 1}, {}, {Budget: 100, Seed: 2}}}
+	if s.Hash() != twin.Hash() {
+		t.Fatal("optimize spelling variants hash differently")
+	}
+	// The axis enters unit identity.
+	a := Unit{List: "list2", Profile: "standard", Order: "free", Size: 4, Width: 1}
+	b := a
+	b.OptBudget, b.OptSeed = 100, 1
+	if a.ID() == b.ID() {
+		t.Fatal("optimize coordinates do not enter the unit id")
+	}
+}
+
+func TestOptimizeAxisValidate(t *testing.T) {
+	bad := []Spec{
+		{Lists: []string{"list2"}, Optimize: []OptAxis{{Budget: -1}}},
+		{Lists: []string{"list2"}, Optimize: []OptAxis{{Budget: 2_000_000}}},
+		{Lists: []string{"list2"}, Optimize: []OptAxis{{Budget: 10, Seed: -5}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %d validated: %+v", i, s.Optimize)
+		}
+	}
+	ok := Spec{Lists: []string{"list2"}, Optimize: []OptAxis{{Budget: 500, Seed: 3}}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid optimize spec rejected: %v", err)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"marchgen/internal/bist"
 	"marchgen/internal/core"
 	"marchgen/internal/faultlist"
+	"marchgen/internal/optimize"
 	"marchgen/internal/oracle"
 	"marchgen/internal/sim"
 	"marchgen/internal/word"
@@ -55,6 +56,22 @@ type TopoJSON struct {
 	RemotePairs int `json:"logically_adjacent_physically_remote"`
 }
 
+// OptimizeJSON records the optimizer sweep point of a unit with a non-zero
+// optimize budget: the search knobs, the certified winner, and the search
+// effort actually spent. Length vs Budget across units is the raw material
+// of the frontier report. No wall-clock fields — the record must stay a
+// pure function of the unit coordinates.
+type OptimizeJSON struct {
+	Budget      int    `json:"budget"`
+	Seed        int64  `json:"seed"`
+	SeedLength  int    `json:"seed_length"`
+	Length      int    `json:"length"`
+	Test        string `json:"test"`
+	Evaluations int    `json:"evaluations"`
+	Improved    bool   `json:"improved"`
+	MoveTrace   string `json:"move_trace"`
+}
+
 // VerifyJSON is the differential cross-check of a verify-enabled unit: the
 // certified test re-simulated by the independent reference oracle
 // (internal/oracle) and compared with the production simulator's verdicts.
@@ -78,11 +95,12 @@ type UnitResult struct {
 	Coverage CoverageJSON `json:"coverage"`
 	// Simulations is the generator's candidate-evaluation count (the
 	// search-effort column of the sweep).
-	Simulations int         `json:"simulations"`
-	BIST        BISTJSON    `json:"bist"`
-	Word        *WordJSON   `json:"word,omitempty"`
-	Topo        *TopoJSON   `json:"topo,omitempty"`
-	Verify      *VerifyJSON `json:"verify,omitempty"`
+	Simulations int           `json:"simulations"`
+	BIST        BISTJSON      `json:"bist"`
+	Word        *WordJSON     `json:"word,omitempty"`
+	Topo        *TopoJSON     `json:"topo,omitempty"`
+	Verify      *VerifyJSON   `json:"verify,omitempty"`
+	Optimize    *OptimizeJSON `json:"optimize,omitempty"`
 	// Error records a unit-level failure (e.g. a fault list the constrained
 	// generator cannot cover). Failed units are results, not run aborts: the
 	// error text is deterministic and the sweep continues.
@@ -159,6 +177,40 @@ func buildResult(ctx context.Context, u Unit, gen core.Result, err error, lanesO
 		Elements:      cost.Elements,
 		OrderSwitches: cost.OrderSwitches,
 		SingleOrder:   cost.SingleOrder,
+	}
+
+	if u.OptBudget > 0 {
+		faults, ok := faultlist.ByName(u.List)
+		if !ok {
+			res.Error = fmt.Sprintf("unknown fault list %q", u.List)
+			return res, nil
+		}
+		seed := gen.Test
+		opt, err := optimize.RunContext(ctx, faults, optimize.Options{
+			Name:      fmt.Sprintf("%s opt(b=%d,s=%d)", gen.Test.Name, u.OptBudget, u.OptSeed),
+			Seed:      u.OptSeed,
+			Budget:    u.OptBudget,
+			SeedTest:  &seed,
+			BISTCells: bistCells,
+			Config:    sim.Config{Size: u.Size, ExhaustiveOrders: true, DisableLanes: lanesOff},
+		})
+		if err != nil {
+			if ctx.Err() != nil {
+				return res, ctx.Err()
+			}
+			res.Error = err.Error()
+			return res, nil
+		}
+		res.Optimize = &OptimizeJSON{
+			Budget:      u.OptBudget,
+			Seed:        opt.Test.Prov.Seed,
+			SeedLength:  opt.Stats.SeedLength,
+			Length:      opt.Test.Length(),
+			Test:        opt.Test.String(),
+			Evaluations: opt.Stats.Evaluations,
+			Improved:    opt.Stats.Improved,
+			MoveTrace:   opt.Test.Prov.MoveTrace,
+		}
 	}
 
 	if u.Verify {

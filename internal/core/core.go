@@ -258,6 +258,7 @@ func GenerateContext(ctx context.Context, faults []linked.Fault, opts Options) (
 				len(diffs), cand.Name, diffs[0])
 		}
 	}
+	cand.Origin = march.OriginGenerated
 	st.Duration = time.Since(start)
 	return Result{Test: cand, Report: report, Stats: *st}, nil
 }

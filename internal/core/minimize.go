@@ -2,10 +2,12 @@ package core
 
 import (
 	"context"
+	"fmt"
 
 	"marchgen/internal/fp"
 	"marchgen/internal/linked"
 	"marchgen/internal/march"
+	"marchgen/internal/oracle"
 	"marchgen/internal/sim"
 )
 
@@ -175,4 +177,34 @@ func aggressivePass(cand march.Test, accepts, acceptsExhaustive func(march.Test)
 func Certify(t march.Test, faults []linked.Fault) (sim.Report, error) {
 	r := sim.Simulate(t, faults, sim.DefaultConfig())
 	return r, r.Err()
+}
+
+// CertifyWithOracle is the certify-before-land gate of the search-based
+// optimizer (internal/optimize, DESIGN.md §14): the test must be a
+// consistent march test, reach full coverage of the fault list under the
+// production simulator, AND agree bit-for-bit with the independent
+// reference oracle on every verdict. Any failure rejects the test — a
+// candidate that only the fast simulator believes in never lands.
+func CertifyWithOracle(t march.Test, faults []linked.Fault, cfg sim.Config) (sim.Report, error) {
+	if cfg.Size <= 0 {
+		d := sim.DefaultConfig()
+		d.Workers = cfg.Workers
+		d.DisableLanes = cfg.DisableLanes
+		cfg = d
+	}
+	if err := t.CheckConsistency(); err != nil {
+		return sim.Report{}, fmt.Errorf("core: certify %q: %v", t.Name, err)
+	}
+	r := sim.Simulate(t, faults, cfg)
+	if err := r.Err(); err != nil {
+		return r, fmt.Errorf("core: certify %q: %v", t.Name, err)
+	}
+	if !r.Full() {
+		return r, fmt.Errorf("core: certify %q: %d/%d faults covered", t.Name, r.Detected(), r.Total())
+	}
+	if diffs := oracle.CrossCheck(t, faults, cfg); len(diffs) > 0 {
+		return r, fmt.Errorf("core: certify %q: oracle cross-check found %d divergence(s); first: %s",
+			t.Name, len(diffs), diffs[0])
+	}
+	return r, nil
 }

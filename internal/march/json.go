@@ -8,11 +8,13 @@ import (
 // testJSON is the wire form of a march test: the sequence travels in the
 // ASCII notation so files stay human-readable and tool-agnostic.
 type testJSON struct {
-	Name          string `json:"name"`
-	Spec          string `json:"spec"`
-	Length        int    `json:"length"`
-	Source        string `json:"source,omitempty"`
-	Reconstructed bool   `json:"reconstructed,omitempty"`
+	Name          string      `json:"name"`
+	Spec          string      `json:"spec"`
+	Length        int         `json:"length"`
+	Source        string      `json:"source,omitempty"`
+	Origin        Origin      `json:"origin,omitempty"`
+	Provenance    *Provenance `json:"provenance,omitempty"`
+	Reconstructed bool        `json:"reconstructed,omitempty"`
 }
 
 // MarshalJSON encodes the test with its ASCII notation and derived length.
@@ -22,6 +24,8 @@ func (t Test) MarshalJSON() ([]byte, error) {
 		Spec:          t.ASCII(),
 		Length:        t.Length(),
 		Source:        t.Source,
+		Origin:        t.Origin,
+		Provenance:    t.Prov,
 		Reconstructed: t.Reconstructed,
 	})
 }
@@ -43,6 +47,8 @@ func (t *Test) UnmarshalJSON(data []byte) error {
 			w.Name, w.Length, parsed.Length())
 	}
 	parsed.Source = w.Source
+	parsed.Origin = w.Origin
+	parsed.Prov = w.Provenance
 	parsed.Reconstructed = w.Reconstructed
 	*t = parsed
 	return nil

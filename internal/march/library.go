@@ -8,8 +8,11 @@ package march
 // see DESIGN.md ("Substitutions") for how they were reconstructed and what is
 // and is not claimed about them.
 
+import "sync"
+
 func withSource(t Test, source string, reconstructed bool) Test {
 	t.Source = source
+	t.Origin = OriginPaper
 	t.Reconstructed = reconstructed
 	return t
 }
@@ -145,14 +148,16 @@ var (
 )
 
 // Lib returns every march test in the library, classic tests first, then the
-// Table 1 baselines and the paper's generated tests.
+// Table 1 baselines, the paper's generated tests, and finally any tests
+// registered at runtime (optimizer winners), in registration order.
 func Lib() []Test {
-	return []Test{
+	out := []Test{
 		MATSPlus, MarchX, MarchY, MarchCMinus, MarchA, MarchB, MarchU,
 		MarchLR, MarchLA, MarchSS, MarchRAW, PMOVI, MarchG,
 		MarchSL, MarchLF1, March43N,
 		MarchABL, MarchRABL, MarchABL1,
 	}
+	return append(out, Registered()...)
 }
 
 // ByName looks a test up by its conventional name (exact match).
@@ -163,4 +168,40 @@ func ByName(name string) (Test, bool) {
 		}
 	}
 	return Test{}, false
+}
+
+// The runtime extension of the library: optimizer-found tests land here with
+// their provenance, so /v1/library and the listing tools can distinguish
+// them from the shipped baselines. The registry is process-local and
+// concurrency-safe (the marchd job engine registers winners from worker
+// goroutines while /v1/library reads the library).
+var (
+	regMu      sync.Mutex
+	registered []Test
+)
+
+// Register adds a test to the runtime library. A test that is Equal to an
+// already-registered test of the same name is dropped (idempotent
+// re-registration); the return value reports whether the test was added.
+func Register(t Test) bool {
+	regMu.Lock()
+	defer regMu.Unlock()
+	for _, ex := range registered {
+		if ex.Name == t.Name && ex.Equal(t) {
+			return false
+		}
+	}
+	registered = append(registered, t.Clone())
+	return true
+}
+
+// Registered returns the runtime-registered tests in registration order.
+func Registered() []Test {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]Test, 0, len(registered))
+	for _, t := range registered {
+		out = append(out, t.Clone())
+	}
+	return out
 }

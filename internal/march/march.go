@@ -94,6 +94,38 @@ func (e Element) ASCII() string {
 	return e.Order.ASCII() + "(" + fp.FormatOps(e.Ops) + ")"
 }
 
+// Origin classifies where a march test came from: a published paper, the
+// paper's generation algorithm (package core), the search-based optimizer
+// (package optimize), or a seeded random stream (oracle.RandomTests). The
+// zero value is unknown/unspecified.
+type Origin string
+
+// Test origins.
+const (
+	OriginPaper     Origin = "paper"
+	OriginGenerated Origin = "generated"
+	OriginOptimized Origin = "optimized"
+	OriginRandom    Origin = "random"
+)
+
+// Provenance records how a generated or optimized test was produced, in
+// enough detail to reproduce it bit-for-bit: the rng seed and evaluation
+// budget of the optimizer run, the test it started from, and a hash of the
+// accepted move sequence that led from the seed to this test.
+type Provenance struct {
+	// Seed is the rng seed the whole run derives from.
+	Seed int64 `json:"seed,omitempty"`
+	// Budget is the candidate-evaluation budget of the optimizer run.
+	Budget int `json:"budget,omitempty"`
+	// SeedTest names the test the optimizer started from.
+	SeedTest string `json:"seed_test,omitempty"`
+	// SeedLength is the length of that seed test.
+	SeedLength int `json:"seed_length,omitempty"`
+	// MoveTrace is a hex digest of the accepted move sequence (the winner's
+	// lineage) — two runs that took the same path hash identically.
+	MoveTrace string `json:"move_trace,omitempty"`
+}
+
 // Test is a complete march test.
 type Test struct {
 	// Name is the conventional name, e.g. "March SL".
@@ -103,6 +135,12 @@ type Test struct {
 	// Source cites where the sequence was published (empty for generated
 	// tests).
 	Source string
+	// Origin classifies the test's producer (paper / generated / optimized /
+	// random); empty for tests that predate the provenance model.
+	Origin Origin
+	// Prov carries the reproduction metadata of generated/optimized tests;
+	// nil for paper tests.
+	Prov *Provenance
 	// Reconstructed marks tests whose exact sequence is not reprinted in the
 	// paper and was reconstructed for this reproduction (see DESIGN.md); the
 	// complexity is exact, the sequence is a faithful stand-in.
@@ -243,6 +281,10 @@ func (t Test) Clone() Test {
 	out.Elems = make([]Element, len(t.Elems))
 	for i, e := range t.Elems {
 		out.Elems[i] = Element{Order: e.Order, Ops: append([]fp.Op(nil), e.Ops...)}
+	}
+	if t.Prov != nil {
+		p := *t.Prov
+		out.Prov = &p
 	}
 	return out
 }

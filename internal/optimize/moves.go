@@ -1,0 +1,246 @@
+package optimize
+
+import (
+	"fmt"
+	"math/rand"
+
+	"marchgen/internal/fp"
+	"marchgen/internal/march"
+)
+
+// The move set: element-level edits of a march test. Every move returns the
+// mutated test, a short description for the move trace, and whether it
+// applied at all (a move can be inapplicable, e.g. deleting from a
+// single-element test). Moves do NOT guarantee the result is a consistent
+// march test — the evaluator's Validate/CheckConsistency gate filters
+// inconsistent candidates before any simulation is spent on them. Keeping
+// moves dumb and the gate strict is what lets the move set stay small while
+// still reaching sequences the constructive generator never emits.
+//
+// Move selection and every index drawn inside a move come from the run's
+// single rng, so the mutation stream is a pure function of the seed.
+
+// mutate applies one randomly chosen move. The weights favor shrinking moves
+// (delete op/element, merge) over neutral (swap, flip, split, replace) and
+// growing (insert) ones: the fitness target is length, so the search should
+// mostly propose cuts and use insertions only to escape local minima.
+func mutate(rng *rand.Rand, t march.Test) (march.Test, string, bool) {
+	switch rng.Intn(10) {
+	case 0, 1, 2:
+		return deleteOp(rng, t)
+	case 3:
+		return deleteElem(rng, t)
+	case 4:
+		return mergeElems(rng, t)
+	case 5:
+		return swapOps(rng, t)
+	case 6:
+		return flipOrder(rng, t)
+	case 7:
+		return splitElem(rng, t)
+	case 8:
+		return replaceOp(rng, t)
+	default:
+		return insertOp(rng, t)
+	}
+}
+
+// deleteOp removes one operation; if the element had only that operation,
+// the element goes with it.
+func deleteOp(rng *rand.Rand, t march.Test) (march.Test, string, bool) {
+	if len(t.Elems) == 0 {
+		return t, "", false
+	}
+	out := t.Clone()
+	i := rng.Intn(len(out.Elems))
+	if len(out.Elems[i].Ops) == 1 {
+		if len(out.Elems) == 1 {
+			return t, "", false
+		}
+		out.Elems = append(out.Elems[:i], out.Elems[i+1:]...)
+		return out, fmt.Sprintf("delElem@%d", i), true
+	}
+	j := rng.Intn(len(out.Elems[i].Ops))
+	ops := out.Elems[i].Ops
+	out.Elems[i].Ops = append(ops[:j], ops[j+1:]...)
+	return out, fmt.Sprintf("delOp@%d.%d", i, j), true
+}
+
+// deleteElem removes one whole element.
+func deleteElem(rng *rand.Rand, t march.Test) (march.Test, string, bool) {
+	if len(t.Elems) < 2 {
+		return t, "", false
+	}
+	out := t.Clone()
+	i := rng.Intn(len(out.Elems))
+	out.Elems = append(out.Elems[:i], out.Elems[i+1:]...)
+	return out, fmt.Sprintf("delElem@%d", i), true
+}
+
+// insertOp inserts one operation at a random position: a random write, or a
+// read of the fault-free value at that point (so the insertion alone never
+// breaks consistency — later reads may still disagree if a write was
+// inserted, which the gate catches).
+func insertOp(rng *rand.Rand, t march.Test) (march.Test, string, bool) {
+	if len(t.Elems) == 0 {
+		return t, "", false
+	}
+	out := t.Clone()
+	i := rng.Intn(len(out.Elems))
+	j := rng.Intn(len(out.Elems[i].Ops) + 1)
+	var op fp.Op
+	if rng.Intn(2) == 0 {
+		op = fp.W(fp.ValueOf(uint8(rng.Intn(2))))
+	} else {
+		v := valueAt(out, i, j)
+		if !v.IsBinary() {
+			op = fp.W(fp.ValueOf(uint8(rng.Intn(2))))
+		} else {
+			op = fp.R(v)
+		}
+	}
+	ops := out.Elems[i].Ops
+	ops = append(ops[:j], append([]fp.Op{op}, ops[j:]...)...)
+	out.Elems[i].Ops = ops
+	return out, fmt.Sprintf("insOp(%s)@%d.%d", op, i, j), true
+}
+
+// replaceOp overwrites one operation with a random write or consistent read.
+func replaceOp(rng *rand.Rand, t march.Test) (march.Test, string, bool) {
+	if len(t.Elems) == 0 {
+		return t, "", false
+	}
+	out := t.Clone()
+	i := rng.Intn(len(out.Elems))
+	j := rng.Intn(len(out.Elems[i].Ops))
+	var op fp.Op
+	if rng.Intn(2) == 0 {
+		op = fp.W(fp.ValueOf(uint8(rng.Intn(2))))
+	} else {
+		v := valueAt(out, i, j)
+		if !v.IsBinary() {
+			op = fp.W(fp.ValueOf(uint8(rng.Intn(2))))
+		} else {
+			op = fp.R(v)
+		}
+	}
+	out.Elems[i].Ops[j] = op
+	return out, fmt.Sprintf("repOp(%s)@%d.%d", op, i, j), true
+}
+
+// swapOps exchanges two adjacent operations within one element.
+func swapOps(rng *rand.Rand, t march.Test) (march.Test, string, bool) {
+	if len(t.Elems) == 0 {
+		return t, "", false
+	}
+	out := t.Clone()
+	i := rng.Intn(len(out.Elems))
+	if len(out.Elems[i].Ops) < 2 {
+		return t, "", false
+	}
+	j := rng.Intn(len(out.Elems[i].Ops) - 1)
+	ops := out.Elems[i].Ops
+	ops[j], ops[j+1] = ops[j+1], ops[j]
+	return out, fmt.Sprintf("swap@%d.%d", i, j), true
+}
+
+// flipOrder rotates an element's address order Up → Down → Any → Up.
+func flipOrder(rng *rand.Rand, t march.Test) (march.Test, string, bool) {
+	if len(t.Elems) == 0 {
+		return t, "", false
+	}
+	out := t.Clone()
+	i := rng.Intn(len(out.Elems))
+	switch out.Elems[i].Order {
+	case march.Up:
+		out.Elems[i].Order = march.Down
+	case march.Down:
+		out.Elems[i].Order = march.Any
+	default:
+		out.Elems[i].Order = march.Up
+	}
+	return out, fmt.Sprintf("flip(%s)@%d", out.Elems[i].Order.ASCII(), i), true
+}
+
+// splitElem cuts one element in two at a random op boundary; both halves
+// keep the original address order.
+func splitElem(rng *rand.Rand, t march.Test) (march.Test, string, bool) {
+	if len(t.Elems) == 0 {
+		return t, "", false
+	}
+	out := t.Clone()
+	i := rng.Intn(len(out.Elems))
+	if len(out.Elems[i].Ops) < 2 {
+		return t, "", false
+	}
+	j := 1 + rng.Intn(len(out.Elems[i].Ops)-1)
+	e := out.Elems[i]
+	left := march.NewElement(e.Order, e.Ops[:j]...)
+	right := march.NewElement(e.Order, append([]fp.Op(nil), e.Ops[j:]...)...)
+	out.Elems[i] = left
+	out.Elems = append(out.Elems[:i+1], append([]march.Element{right}, out.Elems[i+1:]...)...)
+	return out, fmt.Sprintf("split@%d.%d", i, j), true
+}
+
+// mergeElems joins two adjacent elements. The merged order is the fixed one
+// if exactly one side is ⇕; when both are fixed and disagree the move is
+// inapplicable (the concatenation would change semantics).
+func mergeElems(rng *rand.Rand, t march.Test) (march.Test, string, bool) {
+	if len(t.Elems) < 2 {
+		return t, "", false
+	}
+	out := t.Clone()
+	i := rng.Intn(len(out.Elems) - 1)
+	a, b := out.Elems[i], out.Elems[i+1]
+	order := a.Order
+	switch {
+	case a.Order == march.Any:
+		order = b.Order
+	case b.Order == march.Any || a.Order == b.Order:
+		// keep a.Order
+	default:
+		return t, "", false
+	}
+	merged := march.NewElement(order, append(append([]fp.Op(nil), a.Ops...), b.Ops...)...)
+	out.Elems[i] = merged
+	out.Elems = append(out.Elems[:i+1], out.Elems[i+2:]...)
+	return out, fmt.Sprintf("merge@%d", i), true
+}
+
+// splice crosses two tests: the prefix of a (up to a random element
+// boundary) followed by the suffix of b. Used between beam survivors to
+// recombine partial solutions.
+func splice(rng *rand.Rand, a, b march.Test) (march.Test, string, bool) {
+	if len(a.Elems) == 0 || len(b.Elems) == 0 {
+		return a, "", false
+	}
+	out := a.Clone()
+	cut := 1 + rng.Intn(len(a.Elems))
+	from := rng.Intn(len(b.Elems))
+	bc := b.Clone()
+	out.Elems = append(out.Elems[:cut], bc.Elems[from:]...)
+	return out, fmt.Sprintf("splice@%d+%d", cut, from), true
+}
+
+// valueAt returns the fault-free cell value just before element i, op j —
+// the expectation a read inserted there must carry. VX before the first
+// write.
+func valueAt(t march.Test, i, j int) fp.Value {
+	v := fp.VX
+	for ei := 0; ei <= i && ei < len(t.Elems); ei++ {
+		ops := t.Elems[ei].Ops
+		stop := len(ops)
+		if ei == i {
+			stop = j
+			if stop > len(ops) {
+				stop = len(ops)
+			}
+		}
+		for oi := 0; oi < stop; oi++ {
+			if ops[oi].Kind == fp.OpWrite {
+				v = ops[oi].Data
+			}
+		}
+	}
+	return v
+}

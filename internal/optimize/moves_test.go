@@ -1,0 +1,126 @@
+package optimize
+
+import (
+	"testing"
+
+	"marchgen/internal/fp"
+	"marchgen/internal/march"
+)
+
+// Moves must never corrupt structure: an applied move yields a test that
+// passes Validate (consistency is the evaluator's job), and the parent is
+// never mutated in place.
+func TestMutateStructurallySound(t *testing.T) {
+	rng := Rng(1)
+	parent := march.MarchABL1.Clone()
+	before := parent.ASCII()
+	applied := 0
+	for i := 0; i < 2000; i++ {
+		child, desc, ok := mutate(rng, parent)
+		if !ok {
+			continue
+		}
+		applied++
+		if desc == "" {
+			t.Fatalf("iteration %d: applied move with empty description", i)
+		}
+		if err := child.Validate(); err != nil {
+			t.Fatalf("iteration %d (%s): invalid child: %v\n%s", i, desc, err, child.ASCII())
+		}
+		if parent.ASCII() != before {
+			t.Fatalf("iteration %d (%s): parent mutated in place", i, desc)
+		}
+	}
+	if applied < 1000 {
+		t.Errorf("only %d/2000 moves applied — move set too often inapplicable", applied)
+	}
+}
+
+func TestSpliceStructurallySound(t *testing.T) {
+	rng := Rng(2)
+	a, b := march.MarchABL1.Clone(), march.MarchLF1.Clone()
+	beforeA, beforeB := a.ASCII(), b.ASCII()
+	for i := 0; i < 500; i++ {
+		child, _, ok := splice(rng, a, b)
+		if !ok {
+			t.Fatalf("iteration %d: splice of non-empty tests inapplicable", i)
+		}
+		if err := child.Validate(); err != nil {
+			t.Fatalf("iteration %d: invalid splice: %v\n%s", i, err, child.ASCII())
+		}
+		if a.ASCII() != beforeA || b.ASCII() != beforeB {
+			t.Fatalf("iteration %d: splice mutated a parent", i)
+		}
+	}
+}
+
+func TestMergeConflictingOrdersInapplicable(t *testing.T) {
+	rng := Rng(3)
+	tt := march.MustParse("updown", "^(r0,w1) v(r1,w0)")
+	tt.Elems[0].Order = march.Up
+	tt.Elems[1].Order = march.Down
+	for i := 0; i < 50; i++ {
+		if _, _, ok := mergeElems(rng, tt); ok {
+			t.Fatal("merged ⇑ with ⇓")
+		}
+	}
+}
+
+func TestMergeAdoptsFixedOrder(t *testing.T) {
+	rng := Rng(4)
+	tt := march.MustParse("anyup", "c(w0) ^(r0,w1)")
+	out, _, ok := mergeElems(rng, tt)
+	if !ok {
+		t.Fatal("merge inapplicable")
+	}
+	if len(out.Elems) != 1 || out.Elems[0].Order != march.Up {
+		t.Fatalf("merge = %s", out.ASCII())
+	}
+	if len(out.Elems[0].Ops) != 3 {
+		t.Fatalf("merged ops = %d, want 3", len(out.Elems[0].Ops))
+	}
+}
+
+func TestValueAt(t *testing.T) {
+	tt := march.MustParse("v", "c(w0) ^(r0,w1,r1) v(r1,w0)")
+	cases := []struct {
+		i, j int
+		want fp.Value
+	}{
+		{0, 0, fp.VX}, // before the first write
+		{1, 0, fp.V0}, // after c(w0)
+		{1, 2, fp.V1}, // after the w1
+		{2, 0, fp.V1},
+		{2, 2, fp.V0}, // past the end of the element clamps
+	}
+	for _, c := range cases {
+		if got := valueAt(tt, c.i, c.j); got != c.want {
+			t.Errorf("valueAt(%d,%d) = %s, want %s", c.i, c.j, got, c.want)
+		}
+	}
+}
+
+// deleteOp on a single-op element removes the element; on the last element
+// it is inapplicable.
+func TestDeleteOpCollapsesSingletons(t *testing.T) {
+	rng := Rng(5)
+	single := march.MustParse("one", "c(w0)")
+	if _, _, ok := deleteOp(rng, single); ok {
+		t.Fatal("deleted the only op of the only element")
+	}
+	two := march.MustParse("two", "c(w0) c(r0)")
+	seenElemDrop := false
+	for i := 0; i < 50; i++ {
+		out, desc, ok := deleteOp(rng, two)
+		if !ok {
+			t.Fatal("inapplicable")
+		}
+		if len(out.Elems) != 1 {
+			t.Fatalf("elements = %d after %s", len(out.Elems), desc)
+		}
+		seenElemDrop = true
+	}
+	if !seenElemDrop {
+		t.Fatal("never collapsed a singleton element")
+	}
+}

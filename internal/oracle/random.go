@@ -57,7 +57,7 @@ func RandomTest(rng *rand.Rand, name string) march.Test {
 		}
 		elems = append(elems, march.Element{Order: order, Ops: ops})
 	}
-	return march.Test{Name: name, Elems: elems, Source: "random op stream"}
+	return march.Test{Name: name, Elems: elems, Source: "random op stream", Origin: march.OriginRandom}
 }
 
 // RandomTests derives n deterministic random tests from a seed, named

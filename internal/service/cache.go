@@ -78,8 +78,9 @@ func (c *resultCache) Len() int {
 
 // generateKeySchema versions the key derivation; bump it whenever the
 // result document or the canonical encodings change shape, so stale cache
-// entries can never be served across an upgrade.
-const generateKeySchema = "marchd/generate/v2"
+// entries can never be served across an upgrade. v3: march.Test JSON gained
+// origin/provenance fields.
+const generateKeySchema = "marchd/generate/v3"
 
 // generateKey derives the content address of a generation request: a
 // SHA-256 over the canonical JSON of the fault list and the canonicalized
@@ -103,7 +104,8 @@ func generateKey(faults []marchgen.Fault, opts marchgen.Options) (string, error)
 
 // verifyKeySchema versions the /v1/verify key derivation; bump it on any
 // shape change of the verify result document or its canonical inputs.
-const verifyKeySchema = "marchd/verify/v1"
+// v2: march.Test JSON gained origin/provenance fields.
+const verifyKeySchema = "marchd/verify/v2"
 
 // verifyKey derives the content address of a verification request: the
 // march test, the fault list and the canonicalized simulator configuration.
@@ -114,6 +116,50 @@ func verifyKey(t marchgen.March, faults []marchgen.Fault, cfg marchgen.SimConfig
 		Faults []marchgen.Fault   `json:"faults"`
 		Config marchgen.SimConfig `json:"config"`
 	}{verifyKeySchema, t, faults, cfg.Canonical()}
+	b, err := json.Marshal(payload)
+	if err != nil {
+		return "", fmt.Errorf("service: cache key: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// optimizeKeySchema versions the /v1/optimize key derivation; bump it on any
+// shape change of the optimize result document or its canonical inputs.
+const optimizeKeySchema = "marchd/optimize/v1"
+
+// optimizeKey derives the content address of an optimization request: the
+// fault list, the resolved seed test (or the canonical generator options
+// when the seed is generated), and every search knob that can change the
+// winner. An optimizer run is a pure function of these inputs, so equal
+// keys really do mean byte-identical results.
+func optimizeKey(faults []marchgen.Fault, seedTest *marchgen.March, opts marchgen.OptimizeOptions) (string, error) {
+	payload := struct {
+		Schema    string            `json:"schema"`
+		Faults    []marchgen.Fault  `json:"faults"`
+		SeedTest  *marchgen.March   `json:"seed_test,omitempty"`
+		Generator *marchgen.Options `json:"generator,omitempty"`
+		Name      string            `json:"name"`
+		Seed      int64             `json:"seed"`
+		Budget    int               `json:"budget"`
+		Beam      int               `json:"beam"`
+		Restarts  int               `json:"restarts"`
+		BISTCells int               `json:"bist_cells"`
+	}{
+		Schema:    optimizeKeySchema,
+		Faults:    faults,
+		SeedTest:  seedTest,
+		Name:      opts.Name,
+		Seed:      opts.Seed,
+		Budget:    opts.Budget,
+		Beam:      opts.BeamWidth,
+		Restarts:  opts.Restarts,
+		BISTCells: opts.BISTCells,
+	}
+	if seedTest == nil {
+		gen := opts.Generator.Canonical()
+		payload.Generator = &gen
+	}
 	b, err := json.Marshal(payload)
 	if err != nil {
 		return "", fmt.Errorf("service: cache key: %w", err)

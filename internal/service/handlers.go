@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"marchgen"
+	"marchgen/internal/optimize"
 )
 
 // encodeErrorRecorder is implemented by statusWriter: writeJSON reports
@@ -196,6 +197,89 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 				return nil, err
 			}
 			body, err := marshalVerifyResult(test, len(faults), cfg, diffs, key)
+			if err != nil {
+				return nil, err
+			}
+			s.cache.Put(key, body)
+			return body, nil
+		})
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if created {
+		s.metrics.jobSubmitted()
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, struct {
+		Job  Job    `json:"job"`
+		Poll string `json:"poll"`
+	}{j.snapshot(false), "/v1/jobs/" + j.id})
+}
+
+// handleOptimize is POST /v1/optimize: search for a shorter full-coverage
+// march test starting from a seed (an explicit test or a server-generated
+// one). Asynchronous like /v1/generate: a cache hit answers 200 with the
+// stored document, a miss enqueues a job and answers 202 with the poll
+// location. An improved winner also lands in the runtime march library
+// (with provenance), where /v1/library exposes it.
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	var req optimizeRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	faults, err := req.resolve()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad fault spec: %v", err)
+		return
+	}
+	seedTest, opts, err := req.options()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad march spec: %v", err)
+		return
+	}
+
+	key, err := optimizeKey(faults, seedTest, opts)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	// Applied after the key: lanes never change search outcomes.
+	if s.cfg.DisableLanes {
+		opts.Config.DisableLanes = true
+		opts.Generator.SearchConfig.DisableLanes = true
+		opts.Generator.FinalConfig.DisableLanes = true
+	}
+	if body, ok := s.cache.Get(key); ok {
+		s.metrics.cache(true)
+		w.Header().Set("X-Cache", "hit")
+		writeRaw(w, http.StatusOK, body)
+		return
+	}
+	s.metrics.cache(false)
+	w.Header().Set("X-Cache", "miss")
+
+	j, created, err := s.lookupOrSubmit(key, time.Duration(req.TimeoutMS)*time.Millisecond,
+		func(ctx context.Context) ([]byte, error) {
+			lastEvals := 0
+			opts.OnProgress = func(p marchgen.OptimizeProgress) {
+				s.metrics.optimizeProgress(int64(p.Evaluations - lastEvals))
+				lastEvals = p.Evaluations
+			}
+			res, err := marchgen.OptimizeContext(ctx, faults, opts)
+			if err != nil {
+				return nil, err
+			}
+			s.metrics.optimizeProgress(int64(res.Stats.Evaluations - lastEvals))
+			s.metrics.optimizeDone(res.Stats.Improved)
+			optimize.Land(res)
+			body, err := marshalOptimizeResult(res, key)
 			if err != nil {
 				return nil, err
 			}

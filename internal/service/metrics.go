@@ -38,6 +38,10 @@ type metrics struct {
 	campaignsFailed      int64
 	campaignsInterrupted int64
 
+	optimizeRuns        int64 // completed optimizer jobs
+	optimizeImproved    int64 // runs whose winner beat the seed's length
+	optimizeEvaluations int64 // coverage evaluations, updated live via OnProgress
+
 	panicsTotal  int64 // contained panics: job fns, HTTP handlers
 	encodeErrors int64 // response bodies lost after the status line
 
@@ -109,6 +113,24 @@ func (m *metrics) campaignTerminal(status string) {
 	m.mu.Unlock()
 }
 
+// optimizeProgress adds newly spent coverage evaluations as a running
+// search reports them, so /metrics shows live optimizer progress.
+func (m *metrics) optimizeProgress(delta int64) {
+	m.mu.Lock()
+	m.optimizeEvaluations += delta
+	m.mu.Unlock()
+}
+
+// optimizeDone counts one completed optimizer run.
+func (m *metrics) optimizeDone(improved bool) {
+	m.mu.Lock()
+	m.optimizeRuns++
+	if improved {
+		m.optimizeImproved++
+	}
+	m.mu.Unlock()
+}
+
 // panicked counts one contained panic (job fn or HTTP handler). A
 // non-zero panics_total is an alarm: the process survived, but something
 // reached a state the code never should.
@@ -164,6 +186,10 @@ type MetricsSnapshot struct {
 	CampaignsFailed      int64 `json:"campaigns_failed"`
 	CampaignsInterrupted int64 `json:"campaigns_interrupted"`
 
+	OptimizeRuns        int64 `json:"optimize_runs"`
+	OptimizeImproved    int64 `json:"optimize_improved"`
+	OptimizeEvaluations int64 `json:"optimize_evaluations"`
+
 	PanicsTotal  int64 `json:"panics_total"`
 	EncodeErrors int64 `json:"response_encode_errors"`
 
@@ -196,6 +222,10 @@ func (m *metrics) snapshot(queueDepth, cacheEntries int) MetricsSnapshot {
 		CampaignsDone:        m.campaignsDone,
 		CampaignsFailed:      m.campaignsFailed,
 		CampaignsInterrupted: m.campaignsInterrupted,
+
+		OptimizeRuns:        m.optimizeRuns,
+		OptimizeImproved:    m.optimizeImproved,
+		OptimizeEvaluations: m.optimizeEvaluations,
 
 		PanicsTotal:  m.panicsTotal,
 		EncodeErrors: m.encodeErrors,

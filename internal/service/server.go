@@ -174,6 +174,7 @@ func New(cfg Config) *Server {
 	mux := http.NewServeMux()
 	s.route(mux, "POST /v1/generate", s.handleGenerate)
 	s.route(mux, "POST /v1/verify", s.handleVerify)
+	s.route(mux, "POST /v1/optimize", s.handleOptimize)
 	s.route(mux, "POST /v1/simulate", s.timeout(s.handleSimulate))
 	s.route(mux, "POST /v1/detects", s.timeout(s.handleDetects))
 	s.route(mux, "GET /v1/library", s.handleLibrary)

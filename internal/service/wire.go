@@ -120,6 +120,116 @@ func marshalVerifyResult(test marchgen.March, faults int, cfg marchgen.SimConfig
 	return json.Marshal(out)
 }
 
+// optimizeRequest is the POST /v1/optimize body: a fault list, an optional
+// explicit seed test (a library test by name or an inline sequence;
+// omitted means the server generates the seed with the given generator
+// options), and the search knobs. Omitted knobs take the optimizer's
+// documented defaults, filled in before the cache key is derived so
+// spelling variants share cache entries.
+type optimizeRequest struct {
+	faultSpec
+	// March optionally names the seed test; omitted means generate one.
+	March *marchSpec `json:"march,omitempty"`
+	// Name labels the optimized test ("March OPT" if empty).
+	Name string `json:"name,omitempty"`
+	// Seed is the rng seed (default 1); equal requests reproduce bit-for-bit.
+	Seed int64 `json:"seed,omitempty"`
+	// Budget bounds coverage evaluations (default 2000).
+	Budget int `json:"budget,omitempty"`
+	// BeamWidth is the beam size (default 4).
+	BeamWidth int `json:"beam_width,omitempty"`
+	// Restarts is the annealing restart count (default 3).
+	Restarts int `json:"restarts,omitempty"`
+	// BISTCells enables the BIST cycle tie-break on that memory size.
+	BISTCells int `json:"bist_cells,omitempty"`
+	// Generator configures seed generation when March is omitted.
+	Generator *marchgen.Options `json:"generator,omitempty"`
+	// TimeoutMS is the per-job deadline in milliseconds; 0 (or a value
+	// beyond the server's cap) means the server's maximum job timeout.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// options resolves the request into explicit optimizer options: the seed
+// test (nil when generated server-side) and every knob with its default
+// filled in.
+func (req optimizeRequest) options() (*marchgen.March, marchgen.OptimizeOptions, error) {
+	opts := marchgen.OptimizeOptions{
+		Name:      req.Name,
+		Seed:      req.Seed,
+		Budget:    req.Budget,
+		BeamWidth: req.BeamWidth,
+		Restarts:  req.Restarts,
+		BISTCells: req.BISTCells,
+	}
+	if opts.Name == "" {
+		opts.Name = "March OPT"
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.Budget <= 0 {
+		opts.Budget = 2000
+	}
+	if opts.BeamWidth <= 0 {
+		opts.BeamWidth = 4
+	}
+	if opts.Restarts <= 0 {
+		opts.Restarts = 3
+	}
+	if req.March != nil {
+		t, err := req.March.resolve()
+		if err != nil {
+			return nil, opts, err
+		}
+		opts.SeedTest = &t
+		return &t, opts, nil
+	}
+	if req.Generator != nil {
+		opts.Generator = *req.Generator
+	}
+	opts.Generator = opts.Generator.Canonical()
+	return nil, opts, nil
+}
+
+// optimizeStatsJSON is the wire form of optimizer statistics.
+type optimizeStatsJSON struct {
+	Faults      int     `json:"faults"`
+	SeedLength  int     `json:"seed_length"`
+	Evaluations int     `json:"evaluations"`
+	Accepted    int     `json:"accepted"`
+	Restarts    int     `json:"restarts"`
+	Improved    bool    `json:"improved"`
+	Seconds     float64 `json:"search_seconds"`
+}
+
+// marshalOptimizeResult renders the cached (and returned) result document
+// of an optimization job: the certified winner with its provenance, the
+// seed it started from, the certification report and the run statistics.
+func marshalOptimizeResult(res marchgen.OptimizeResult, key string) ([]byte, error) {
+	out := struct {
+		Test   marchgen.March    `json:"test"`
+		Seed   marchgen.March    `json:"seed"`
+		Report marchgen.Report   `json:"report"`
+		Stats  optimizeStatsJSON `json:"stats"`
+		Key    string            `json:"cache_key"`
+	}{
+		Test:   res.Test,
+		Seed:   res.Seed,
+		Report: res.Report,
+		Stats: optimizeStatsJSON{
+			Faults:      res.Stats.Faults,
+			SeedLength:  res.Stats.SeedLength,
+			Evaluations: res.Stats.Evaluations,
+			Accepted:    res.Stats.Accepted,
+			Restarts:    res.Stats.Restarts,
+			Improved:    res.Stats.Improved,
+			Seconds:     res.Stats.Duration.Seconds(),
+		},
+		Key: key,
+	}
+	return json.Marshal(out)
+}
+
 // detectsRequest is the POST /v1/detects body.
 type detectsRequest struct {
 	March marchSpec `json:"march"`

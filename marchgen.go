@@ -12,6 +12,7 @@ import (
 	"marchgen/internal/graph"
 	"marchgen/internal/linked"
 	"marchgen/internal/march"
+	"marchgen/internal/optimize"
 	"marchgen/internal/oracle"
 	"marchgen/internal/sim"
 )
@@ -246,6 +247,40 @@ func PatternDOT(w io.Writer, n int, faults []Fault, title string) error {
 // configuration, returning the full report.
 func Certify(t March, faults []Fault) (Report, error) {
 	return core.Certify(t, faults)
+}
+
+// Search-based optimizer types, re-exported from internal/optimize.
+type (
+	// OptimizeOptions configures the search-based march-test optimizer
+	// (beam search + annealed mutation over element-level moves).
+	OptimizeOptions = optimize.Options
+	// OptimizeResult is an optimization outcome: the certified winner, the
+	// seed it started from, and run statistics.
+	OptimizeResult = optimize.Result
+	// OptimizeProgress is a point-in-time snapshot of a running search.
+	OptimizeProgress = optimize.Progress
+)
+
+// Optimize searches for a shorter full-coverage march test starting from a
+// seed (explicit or generated). The winner is never longer than the seed and
+// is certified through CertifyWithOracle before being returned. See
+// internal/optimize for the search description (DESIGN.md §14).
+func Optimize(faults []Fault, opts OptimizeOptions) (OptimizeResult, error) {
+	return optimize.Run(faults, opts)
+}
+
+// OptimizeContext is Optimize with cancellation support: a canceled context
+// aborts the search within one candidate evaluation.
+func OptimizeContext(ctx context.Context, faults []Fault, opts OptimizeOptions) (OptimizeResult, error) {
+	return optimize.RunContext(ctx, faults, opts)
+}
+
+// CertifyWithOracle certifies a march test the strong way: consistency,
+// full coverage under the production simulator, and bit-for-bit agreement
+// with the independent reference oracle. The optimizer's certify-before-land
+// gate, exposed for external tooling.
+func CertifyWithOracle(t March, faults []Fault, cfg SimConfig) (Report, error) {
+	return core.CertifyWithOracle(t, faults, cfg)
 }
 
 // VerdictDiff is one disagreement between the production fault simulator and

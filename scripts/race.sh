@@ -13,9 +13,12 @@
 # bit-parallel lane engine's differential tests (lanes-vs-scalar over the
 # march library and the fuzz seed corpus) run under ./internal/sim/..., so
 # the lane kernels and their scalar-fallback handoff are raced here too.
+# The march optimizer rides along: its search loop is sequential, but every
+# fitness evaluation drives Schedule.FullCoverage's worker fan-out, and the
+# service's /v1/optimize job runs it from the job-engine pool.
 # The distributed fabric rides along: its cluster tests run a coordinator
 # and several workers as real goroutines over HTTP (lease grants, steals,
 # heartbeats, the merge committer) — the most concurrency-dense code here.
 set -eu
 cd "$(dirname "$0")/.."
-exec go test -race ./internal/sim/... ./internal/core/... ./internal/oracle/... ./internal/service/... ./internal/campaign/... ./internal/store/... ./internal/iofault/... ./internal/retry/... ./internal/fabric/... ./cmd/marchctl/
+exec go test -race ./internal/sim/... ./internal/core/... ./internal/oracle/... ./internal/optimize/... ./internal/service/... ./internal/campaign/... ./internal/store/... ./internal/iofault/... ./internal/retry/... ./internal/fabric/... ./cmd/marchctl/
