@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt-check race bench bench-sim bench-lanes bench-opt opt-test serve test-service smoke chaos cluster-test fuzz verify-oracle check
+.PHONY: build test vet fmt-check race bench bench-sim bench-lanes bench-opt opt-test serve test-service smoke chaos cluster-test fuzz verify-oracle load-test bench-serve check
 
 build:
 	$(GO) build ./...
@@ -93,6 +93,21 @@ fuzz:
 	$(GO) test -fuzz='^FuzzOpenTornTail$$' -fuzztime 30s ./internal/store/
 	$(GO) test -fuzz='^FuzzLanesVsScalar$$' -fuzztime 30s ./internal/sim/
 	$(GO) test -fuzz='^FuzzSegmentMerge$$' -fuzztime 30s ./internal/fabric/
+	$(GO) test -fuzz='^FuzzRetryAfterParse$$' -fuzztime 30s ./cmd/marchctl/
+
+## load-test: the overload SLO gate (DESIGN.md §15) — a nominal marchload
+## run must finish with zero admission sheds, then a 5x-overload run
+## against a deliberately small instance must shed cold generates with
+## 429 + Retry-After while the cache-hit class stays >=99% green with its
+## p99 within 3x of nominal. Refreshes BENCH_serve.json as a side effect.
+load-test:
+	./scripts/load.sh
+
+## bench-serve: regenerate BENCH_serve.json (serving latency percentiles
+## per workload class, shed counts, allocs-per-cached-hit) via the
+## nominal+overload load.sh run.
+bench-serve:
+	./scripts/load.sh BENCH_serve.json
 
 ## verify-oracle: the differential gate (DESIGN.md §11) — cross-check the
 ## production simulator against the independent reference oracle over the
@@ -103,5 +118,5 @@ verify-oracle:
 
 ## check: the full local CI gate — build, vet, gofmt, tests, race, chaos,
 ## the cluster gate, the optimizer smoke gate, the oracle cross-check, the
-## lane benchmark record, smoke.
-check: build vet fmt-check test race chaos cluster-test opt-test verify-oracle bench-lanes smoke
+## lane benchmark record, the overload SLO gate, smoke.
+check: build vet fmt-check test race chaos cluster-test opt-test verify-oracle bench-lanes load-test smoke

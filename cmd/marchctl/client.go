@@ -15,20 +15,26 @@ import (
 )
 
 // client is the retrying marchd client. Every request runs behind
-// retry.Do: transport errors (connection refused, reset mid-response) and
-// backpressure statuses (502/503/504) are retried with full-jitter
-// backoff, honoring the server's Retry-After header when it sends one;
-// every other status is returned to the caller as the final answer.
+// retry.Do: transport errors (connection refused, reset mid-response),
+// backpressure statuses (502/503/504) and admission sheds (429) are
+// retried with full-jitter backoff, honoring the server's Retry-After
+// header when it sends one — always within the -timeout elapsed budget;
+// every other status is returned to the caller as the final answer. A
+// circuit breaker sits in front of the whole retry loop: a node that
+// fails several logical requests in a row (transport-dead or
+// retry-exhausted) is not hammered further until a cooldown passes and a
+// probe succeeds.
 //
 // Retrying mutating requests is safe because marchd's mutations are
 // idempotent by construction: generation jobs are deduplicated on their
 // content-addressed cache key and campaigns are content-addressed on
 // their spec hash, so a retried submit lands on the same job or campaign.
 type client struct {
-	base string // e.g. "http://127.0.0.1:8080", no trailing slash
-	hc   *http.Client
-	pol  retry.Policy
-	poll time.Duration // status poll interval for -wait
+	base    string // e.g. "http://127.0.0.1:8080", no trailing slash
+	hc      *http.Client
+	pol     retry.Policy
+	poll    time.Duration // status poll interval for -wait
+	breaker retry.Breaker
 }
 
 func newClient(addr string, retries int, poll, timeout time.Duration) *client {
@@ -52,33 +58,56 @@ type response struct {
 }
 
 // transientStatus reports whether an HTTP status is worth retrying: the
-// gateway/backpressure family only. 4xx are caller errors, other 5xx are
-// server bugs a retry will not fix.
+// gateway/backpressure family, plus 429 — marchd's admission controller
+// shedding load, which always carries a Retry-After to honor. Other 4xx
+// are caller errors, other 5xx are server bugs a retry will not fix.
 func transientStatus(status int) bool {
 	switch status {
-	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+	case http.StatusTooManyRequests, http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
 		return true
 	}
 	return false
 }
 
 // retryAfter parses a Retry-After header (seconds form). The HTTP-date
-// form is not produced by marchd and falls back to ok=false.
+// form is not produced by marchd and falls back to ok=false. Huge values
+// are clamped before the seconds-to-Duration conversion can overflow into
+// a negative delay (found by FuzzRetryAfterParse): the retry budget, not
+// this parser, decides that such a wait is hopeless.
 func retryAfter(h http.Header) (time.Duration, bool) {
 	v := h.Get("Retry-After")
 	if v == "" {
 		return 0, false
 	}
-	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	secs, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
 	if err != nil || secs < 0 {
 		return 0, false
+	}
+	const maxSecs = int64(time.Duration(1<<63-1) / time.Second)
+	if secs > maxSecs {
+		secs = maxSecs
 	}
 	return time.Duration(secs) * time.Second, true
 }
 
-// do performs one logical request with retries. body may be nil; it is
-// replayed verbatim on every attempt.
+// do performs one logical request with retries behind the circuit
+// breaker. body may be nil; it is replayed verbatim on every attempt.
+//
+// The breaker counts logical outcomes, not attempts: any final HTTP
+// answer — success or a 4xx/5xx the server chose to send — proves the
+// node alive and closes the run, while a transport-dead or
+// retry-exhausted request counts one failure. Several in a row open the
+// breaker and subsequent requests fail fast locally.
 func (c *client) do(ctx context.Context, method, path string, body []byte) (*response, error) {
+	if err := c.breaker.Allow(); err != nil {
+		return nil, fmt.Errorf("%s %s: %w", method, path, err)
+	}
+	resp, err := c.doRetrying(ctx, method, path, body)
+	c.breaker.Report(err)
+	return resp, err
+}
+
+func (c *client) doRetrying(ctx context.Context, method, path string, body []byte) (*response, error) {
 	var out *response
 	err := retry.Do(ctx, c.pol, func(ctx context.Context) error {
 		var rd io.Reader

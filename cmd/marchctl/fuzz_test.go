@@ -1,0 +1,35 @@
+package main
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// FuzzRetryAfterParse hardens the client's Retry-After parsing: whatever a
+// (broken, hostile, or merely creative) server puts in the header, the
+// parser must not panic and must never hand the retry loop a negative
+// delay — a negative sleep would turn backoff into a busy-loop hammering
+// the very server that asked for relief.
+func FuzzRetryAfterParse(f *testing.F) {
+	for _, seed := range []string{
+		"", "0", "1", "60", "-1", "+3", " 5 ", "\t7\n", "2.5", "1e9",
+		"9223372036854775807", "9999999999999999999999",
+		"Wed, 21 Oct 2015 07:28:00 GMT", "never", "0x10", "١٢", "5;q=1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, v string) {
+		h := http.Header{"Retry-After": {v}}
+		d, ok := retryAfter(h)
+		if !ok && d != 0 {
+			t.Fatalf("retryAfter(%q) = (%v, false): rejected values must carry no delay", v, d)
+		}
+		if d < 0 {
+			t.Fatalf("retryAfter(%q) = %v: negative delay", v, d)
+		}
+		if ok && d%time.Second != 0 {
+			t.Fatalf("retryAfter(%q) = %v: the seconds form must parse to whole seconds", v, d)
+		}
+	})
+}

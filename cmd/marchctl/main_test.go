@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -383,6 +384,117 @@ func TestTimeoutBoundsRetryTime(t *testing.T) {
 	defer mu.Unlock()
 	if calls != 1 {
 		t.Fatalf("server saw %d attempts; the 1h Retry-After should have ended retrying after the first", calls)
+	}
+}
+
+// Test429RetriedWithBudget pins the admission-shed contract: 429 +
+// Retry-After is transient — the client honors the header and retries
+// through to the eventual answer, within its elapsed budget.
+func Test429RetriedWithBudget(t *testing.T) {
+	var calls int
+	var mu sync.Mutex
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		calls++
+		n := calls
+		mu.Unlock()
+		if n <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprintln(w, `{"error":"generate shed under load"}`)
+			return
+		}
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	}))
+	defer srv.Close()
+
+	c := newClient(srv.URL, 5, time.Millisecond, time.Minute)
+	c.pol.Sleep = func(ctx context.Context, d time.Duration) error { return nil }
+	resp, err := c.do(context.Background(), "GET", "/healthz", nil)
+	if err != nil || resp.status != 200 {
+		t.Fatalf("resp=%+v err=%v", resp, err)
+	}
+	mu.Lock()
+	if calls != 3 {
+		mu.Unlock()
+		t.Fatalf("server saw %d requests, want the two 429s retried through", calls)
+	}
+
+	// And the same 429 against an exhausted budget gives up immediately:
+	// Retry-After is honored against MaxElapsed, never past it.
+	calls = 0
+	mu.Unlock()
+	c2 := newClient(srv.URL, 5, time.Millisecond, time.Minute)
+	c2.pol = retry.Policy{MaxAttempts: 5, MaxElapsed: time.Nanosecond}
+	if _, err := c2.do(context.Background(), "GET", "/healthz", nil); err == nil {
+		t.Fatal("exhausted budget still retried through the 429")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 1 {
+		t.Fatalf("server saw %d requests, want 1 (no budget for a second)", calls)
+	}
+}
+
+// TestBreakerFailsFast pins the circuit breaker: once several logical
+// requests in a row exhaust their retries, the client answers locally
+// with ErrOpen instead of hammering the dead node — and a successful
+// probe after the cooldown closes it again.
+func TestBreakerFailsFast(t *testing.T) {
+	var calls int
+	var mu sync.Mutex
+	dead := true
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		calls++
+		isDead := dead
+		mu.Unlock()
+		if isDead {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	}))
+	defer srv.Close()
+
+	c := newClient(srv.URL, 2, time.Millisecond, time.Minute)
+	c.pol.Sleep = func(ctx context.Context, d time.Duration) error { return nil }
+	c.breaker.Threshold = 3
+	c.breaker.Cooldown = time.Millisecond
+
+	for i := 0; i < 3; i++ {
+		if _, err := c.do(context.Background(), "GET", "/healthz", nil); err == nil {
+			t.Fatalf("request %d against the dead node succeeded", i)
+		}
+	}
+	mu.Lock()
+	seen := calls
+	mu.Unlock()
+	if seen != 6 { // 3 logical requests × 2 attempts
+		t.Fatalf("server saw %d attempts before the breaker opened, want 6", seen)
+	}
+	// Open: the next request fails fast without touching the server.
+	if _, err := c.do(context.Background(), "GET", "/healthz", nil); !errors.Is(err, retry.ErrOpen) {
+		t.Fatalf("err = %v, want retry.ErrOpen", err)
+	}
+	mu.Lock()
+	if calls != seen {
+		mu.Unlock()
+		t.Fatalf("breaker-open request still reached the server (%d attempts)", calls)
+	}
+	dead = false
+	mu.Unlock()
+	// After the cooldown the probe goes through, succeeds, and closes the
+	// breaker for the requests behind it.
+	time.Sleep(5 * time.Millisecond)
+	for i := 0; i < 2; i++ {
+		if resp, err := c.do(context.Background(), "GET", "/healthz", nil); err != nil || resp.status != 200 {
+			t.Fatalf("request %d after recovery: resp=%+v err=%v", i, resp, err)
+		}
+	}
+	if got := c.breaker.State(); got != "closed" {
+		t.Fatalf("breaker state after recovery = %s, want closed", got)
 	}
 }
 

@@ -9,6 +9,13 @@
 // interrupted campaign resumes from its checkpoint on re-POST, across
 // restarts of the daemon.
 //
+// Overload (DESIGN.md §15): an admission controller shapes traffic by
+// request class — expensive cold generates/optimizes/campaigns shed first
+// with 429 + Retry-After while cache hits, library reads and job polling
+// stay green; /healthz reports ok|degraded|overloaded with reasons. With
+// -data (or -cache-dir) the result cache persists and warm-starts, so a
+// restarted node serves its working set immediately.
+//
 // Cluster mode (DESIGN.md §13): -coordinator additionally serves the
 // distributed campaign fabric under /v1/fabric/*, leasing shard ranges of
 // campaigns submitted to POST /v1/fabric/campaigns out to peers; -join URL
@@ -59,6 +66,9 @@ func main() {
 		syncTimeout  = flag.Duration("sync-timeout", 60*time.Second, "request timeout of the synchronous endpoints")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "shutdown drain window for in-flight jobs")
 		dataDir      = flag.String("data", "", "campaign store root (default: marchd-campaigns under the OS temp dir)")
+		cacheDir     = flag.String("cache-dir", "", "persistent result-cache directory for warm restarts (default: <data>/resultcache when -data is set; empty -data disables persistence)")
+		admitTarget  = flag.Duration("admit-target", 200*time.Millisecond, "admission control: CoDel queue-wait target (sustained waits above it shed load with 429)")
+		admitIvl     = flag.Duration("admit-interval", time.Second, "admission control: CoDel observation window")
 		campaigns    = flag.Int("campaigns", 2, "maximum concurrently running campaigns")
 		chaos503     = flag.Int("chaos-503", 0, "TESTING: answer the first N /v1/ requests with 503 + Retry-After: 0 (exercises client retry paths)")
 		coordinator  = flag.Bool("coordinator", false, "serve the distributed campaign fabric (/v1/fabric/*) from this instance")
@@ -86,6 +96,14 @@ func main() {
 		reqLogger = nil
 	}
 
+	// Cache persistence is opt-in: an explicit -cache-dir wins; otherwise a
+	// durable -data root implies <data>/resultcache (a node with durable
+	// campaign storage should also warm-start its working set).
+	persistDir := *cacheDir
+	if persistDir == "" && *dataDir != "" {
+		persistDir = *dataDir + "/resultcache"
+	}
+
 	srv := service.New(service.Config{
 		Workers:           *workers,
 		QueueDepth:        *queue,
@@ -93,6 +111,9 @@ func main() {
 		RetainJobs:        *retain,
 		JobTimeout:        *jobTimeout,
 		SyncTimeout:       *syncTimeout,
+		AdmitTarget:       *admitTarget,
+		AdmitInterval:     *admitIvl,
+		CacheDir:          persistDir,
 		DataDir:           *dataDir,
 		MaxCampaigns:      *campaigns,
 		DisableLanes:      lanesOff,

@@ -1,0 +1,248 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("cachehit=8, cold=1,simulate=0,verify=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"cachehit": 8, "cold": 1, "simulate": 0, "verify": 2}
+	for k, v := range want {
+		if mix[k] != v {
+			t.Fatalf("mix[%s] = %d, want %d", k, mix[k], v)
+		}
+	}
+	for _, bad := range []string{"cachehit", "cachehit=-1", "warm=3", "cachehit=0,cold=0", ""} {
+		if _, err := parseMix(bad); err == nil {
+			t.Fatalf("parseMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseClassFloors(t *testing.T) {
+	floors, err := parseClassFloors("cachehit=0.99,simulate=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if floors["cachehit"] != 0.99 || floors["simulate"] != 0.5 {
+		t.Fatalf("floors = %v", floors)
+	}
+	if f, err := parseClassFloors(""); err != nil || f != nil {
+		t.Fatalf("empty spec: %v %v", f, err)
+	}
+	for _, bad := range []string{"cachehit=1.5", "cachehit=-0.1", "cachehit", "cachehit=x"} {
+		if _, err := parseClassFloors(bad); err == nil {
+			t.Fatalf("parseClassFloors(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	for _, tc := range []struct {
+		p    float64
+		want float64
+	}{{0.5, 5}, {0.99, 10}, {0.1, 1}, {1, 10}} {
+		if got := percentile(sorted, tc.p); got != tc.want {
+			t.Fatalf("percentile(%.2f) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Fatalf("percentile(empty) = %v", got)
+	}
+}
+
+// TestGateEvaluation exercises the SLO gate logic on synthetic reports —
+// no server needed.
+func TestGateEvaluation(t *testing.T) {
+	mk := func(shed int64, cachedP99 float64) *loadReport {
+		r := &loadReport{Classes: map[string]classReport{
+			classCacheHit: {Requests: 100, Success: 99, Errors: 1, P99ms: cachedP99},
+			classCold:     {Requests: 50, Success: 10, Shed: shed, Incomplete: 2},
+		}}
+		r.Totals.Shed = shed
+		return r
+	}
+	find := func(r *loadReport, name string) gateResult {
+		for _, g := range r.Gates {
+			if g.Name == name {
+				return g
+			}
+		}
+		t.Fatalf("gate %s missing from %+v", name, r.Gates)
+		return gateResult{}
+	}
+
+	r := mk(5, 10)
+	r.evaluateGates(harnessConfig{maxShed: 0, minShed: -1})
+	if g := find(r, "max-shed"); g.OK {
+		t.Fatalf("max-shed 0 with 5 sheds passed: %+v", g)
+	}
+	r = mk(5, 10)
+	r.evaluateGates(harnessConfig{maxShed: -1, minShed: 1})
+	if g := find(r, "min-shed"); !g.OK {
+		t.Fatalf("min-shed 1 with 5 sheds failed: %+v", g)
+	}
+	r = mk(0, 10)
+	r.evaluateGates(harnessConfig{maxShed: -1, minShed: 1})
+	if g := find(r, "min-shed"); g.OK {
+		t.Fatalf("min-shed 1 with 0 sheds passed: %+v", g)
+	}
+
+	// Success ratio excludes sheds and incompletes: cold did 50 requests but
+	// only 50-38-2=10 were eligible, all successful.
+	r = mk(38, 10)
+	r.evaluateGates(harnessConfig{maxShed: -1, minShed: -1,
+		minClassSuccess: map[string]float64{classCold: 1.0, classCacheHit: 0.995}})
+	if g := find(r, "min-class-success:cold"); !g.OK {
+		t.Fatalf("cold ratio should be 1.0: %+v", g)
+	}
+	if g := find(r, "min-class-success:cachehit"); g.OK {
+		t.Fatalf("cachehit ratio 0.99 above floor 0.995: %+v", g)
+	}
+}
+
+func TestBaselineRatioGate(t *testing.T) {
+	dir := t.TempDir()
+	base := &loadReport{Classes: map[string]classReport{classCacheHit: {P99ms: 40}}}
+	data, _ := json.Marshal(base)
+	path := filepath.Join(dir, "base.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := harnessConfig{maxShed: -1, minShed: -1, baseline: path,
+		maxCachedRatio: 2, cachedFloor: 25 * time.Millisecond}
+
+	r := &loadReport{Classes: map[string]classReport{classCacheHit: {P99ms: 79}}}
+	r.evaluateGates(cfg)
+	if !r.Gates[0].OK {
+		t.Fatalf("p99 79ms within 2x of 40ms failed: %+v", r.Gates[0])
+	}
+	r = &loadReport{Classes: map[string]classReport{classCacheHit: {P99ms: 81}}}
+	r.evaluateGates(cfg)
+	if r.Gates[0].OK {
+		t.Fatalf("p99 81ms above 2x of 40ms passed: %+v", r.Gates[0])
+	}
+	// A fast baseline pulls the cap below the absolute floor; the floor wins
+	// (sub-25ms p99 jitter is noise, not regression).
+	base = &loadReport{Classes: map[string]classReport{classCacheHit: {P99ms: 1}}}
+	data, _ = json.Marshal(base)
+	os.WriteFile(path, data, 0o644)
+	r = &loadReport{Classes: map[string]classReport{classCacheHit: {P99ms: 20}}}
+	r.evaluateGates(cfg)
+	if !r.Gates[0].OK {
+		t.Fatalf("p99 20ms under the 25ms floor failed: %+v", r.Gates[0])
+	}
+	// A missing baseline is a gate failure, not a silent pass.
+	cfg.baseline = filepath.Join(dir, "nope.json")
+	r = &loadReport{Classes: map[string]classReport{classCacheHit: {P99ms: 1}}}
+	r.evaluateGates(cfg)
+	if r.Gates[0].OK {
+		t.Fatal("missing baseline passed the ratio gate")
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},                                  // no -addr, no -selfserve
+		{"-addr", "http://x", "-selfserve"}, // both
+		{"-selfserve", "-mix", "bogus=1"},
+		{"-selfserve", "-min-class-success", "cachehit=2"},
+	} {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != exitUsage {
+			t.Fatalf("run(%v) = %d, want %d (stderr: %s)", args, code, exitUsage, errb.String())
+		}
+	}
+}
+
+// TestSelfserveNominalRun drives a short real run against an in-process
+// marchd: no sheds at nominal load, a well-formed report on disk, and the
+// alloc sample present.
+func TestSelfserveNominalRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives real load for a second")
+	}
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-selfserve", "-duration", "1s", "-concurrency", "4",
+		"-mix", "cachehit=8,simulate=2,verify=1", // no cold: nominal stays cheap
+		"-alloc-sample", "100", "-max-shed", "0", "-min-class-success", "cachehit=0.99",
+		"-out", out,
+	}, &stdout, &stderr)
+	if code != exitOK {
+		t.Fatalf("run = %d, stderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r loadReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatalf("bad report: %v", err)
+	}
+	if r.Totals.Requests == 0 || r.Totals.Shed != 0 {
+		t.Fatalf("totals = %+v", r.Totals)
+	}
+	hit := r.Classes[classCacheHit]
+	if hit.Success == 0 || hit.P99ms <= 0 {
+		t.Fatalf("cachehit = %+v", hit)
+	}
+	if r.AllocsPerCachedHit == nil || *r.AllocsPerCachedHit <= 0 {
+		t.Fatalf("allocs_per_cached_hit = %v", r.AllocsPerCachedHit)
+	}
+	if r.Healthz["ok"] == 0 {
+		t.Fatalf("healthz samples = %v", r.Healthz)
+	}
+	for _, g := range r.Gates {
+		if !g.OK {
+			t.Fatalf("gate %s failed at nominal load: %s", g.Name, g.Detail)
+		}
+	}
+}
+
+// TestSelfserveOverloadSheds drives 5x-style overload against a tiny
+// server and asserts the degrade contract: cold generates shed with 429s
+// while the cache-hit class stays fully green.
+func TestSelfserveOverloadSheds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives real load for a couple of seconds")
+	}
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-selfserve", "-workers", "2", "-queue", "4",
+		"-admit-target", "25ms", "-admit-interval", "200ms",
+		"-duration", "2s", "-concurrency", "16",
+		"-mix", "cachehit=8,cold=6,simulate=2,verify=1",
+		"-min-shed", "1", "-min-class-success", "cachehit=0.99",
+		"-out", out,
+	}, &stdout, &stderr)
+	if code != exitOK {
+		t.Fatalf("run = %d, stderr: %s", code, stderr.String())
+	}
+	var r loadReport
+	data, _ := os.ReadFile(out)
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatalf("bad report: %v", err)
+	}
+	if r.Totals.Shed == 0 {
+		t.Fatal("overload run shed nothing")
+	}
+	hit := r.Classes[classCacheHit]
+	if hit.Shed != 0 {
+		t.Fatalf("cache hits were shed under overload: %+v", hit)
+	}
+	if hit.Requests == 0 || hit.Success != hit.Requests {
+		t.Fatalf("cache hits not fully green: %+v", hit)
+	}
+}

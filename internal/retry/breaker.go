@@ -1,0 +1,123 @@
+package retry
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrOpen is returned by Breaker.Allow while the breaker refuses calls.
+// Callers should treat it as an immediate local failure — the point of the
+// breaker is to answer without touching the flapping backend.
+var ErrOpen = errors.New("retry: circuit breaker open")
+
+// Breaker is a small client-side circuit breaker: the companion of Do for
+// a backend that is not merely busy but broken. Backoff spaces retries of
+// one request; the breaker stops new requests entirely after a run of
+// consecutive failures, then probes with a single request after a cooldown
+// (half-open) and closes again on success.
+//
+// State machine: closed → (Threshold consecutive failures) → open →
+// (Cooldown elapses) → half-open → one probe call → closed on success,
+// back to open on failure.
+//
+// The zero value is usable: threshold 5, cooldown 2s, real clock. All
+// methods are safe for concurrent use.
+type Breaker struct {
+	// Threshold is the consecutive-failure count that opens the breaker;
+	// <=0 means 5.
+	Threshold int
+	// Cooldown is how long the breaker stays open before admitting a probe;
+	// <=0 means 2s.
+	Cooldown time.Duration
+	// Now supplies the clock; nil means time.Now (tests inject a fake).
+	Now func() time.Time
+
+	mu       sync.Mutex
+	failures int       // consecutive failures while closed
+	openedAt time.Time // zero while closed
+	probing  bool      // half-open: one probe is in flight
+}
+
+func (b *Breaker) threshold() int {
+	if b.Threshold <= 0 {
+		return 5
+	}
+	return b.Threshold
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown <= 0 {
+		return 2 * time.Second
+	}
+	return b.Cooldown
+}
+
+func (b *Breaker) now() time.Time {
+	if b.Now != nil {
+		return b.Now()
+	}
+	return time.Now()
+}
+
+// Allow reports whether a call may proceed: nil from a closed breaker or
+// as the half-open probe, ErrOpen (wrapped with the remaining cooldown)
+// otherwise. Every Allow that returns nil must be matched by exactly one
+// Report with the call's outcome.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.openedAt.IsZero() {
+		return nil
+	}
+	if b.probing {
+		// A probe is already out; everyone else keeps failing fast until it
+		// reports back.
+		return fmt.Errorf("%w (probe in flight)", ErrOpen)
+	}
+	if wait := b.cooldown() - b.now().Sub(b.openedAt); wait > 0 {
+		return fmt.Errorf("%w (retry in %s)", ErrOpen, wait.Round(time.Millisecond))
+	}
+	b.probing = true
+	return nil
+}
+
+// Report records the outcome of a call admitted by Allow. A success closes
+// the breaker and clears its failure run; a failure extends the run and —
+// at the threshold, or on a failed half-open probe — (re)opens it.
+func (b *Breaker) Report(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil {
+		b.failures = 0
+		b.openedAt = time.Time{}
+		b.probing = false
+		return
+	}
+	if b.probing {
+		// The probe failed: back to fully open, cooldown restarts.
+		b.probing = false
+		b.openedAt = b.now()
+		return
+	}
+	b.failures++
+	if b.openedAt.IsZero() && b.failures >= b.threshold() {
+		b.openedAt = b.now()
+	}
+}
+
+// State renders the breaker's current state for logs and tests:
+// "closed", "open", or "half-open".
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case b.openedAt.IsZero():
+		return "closed"
+	case b.probing:
+		return "half-open"
+	default:
+		return "open"
+	}
+}

@@ -1,0 +1,157 @@
+package retry
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-advanced clock for breaker tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	return &Breaker{Threshold: threshold, Cooldown: cooldown, Now: clk.now}, clk
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b, _ := newBreaker(3, time.Second)
+	boom := errors.New("boom")
+	for i := 0; i < 3; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("Allow before threshold (failure %d): %v", i, err)
+		}
+		b.Report(boom)
+	}
+	if got := b.State(); got != "open" {
+		t.Fatalf("state after %d failures = %s, want open", 3, got)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("Allow while open = %v, want ErrOpen", err)
+	}
+}
+
+func TestBreakerSuccessResetsFailureRun(t *testing.T) {
+	b, _ := newBreaker(3, time.Second)
+	boom := errors.New("boom")
+	// Two failures, then a success: the run resets, so two more failures
+	// still stay under the threshold.
+	for _, err := range []error{boom, boom, nil, boom, boom} {
+		if aerr := b.Allow(); aerr != nil {
+			t.Fatalf("Allow: %v", aerr)
+		}
+		b.Report(err)
+	}
+	if got := b.State(); got != "closed" {
+		t.Fatalf("state = %s, want closed (failure run was reset)", got)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clk := newBreaker(2, time.Second)
+	boom := errors.New("boom")
+	for i := 0; i < 2; i++ {
+		_ = b.Allow()
+		b.Report(boom)
+	}
+	// Before the cooldown: still open, and the error names the wait.
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("Allow before cooldown = %v", err)
+	}
+	clk.advance(time.Second)
+	// After the cooldown: exactly one probe passes, everyone else fails
+	// fast until it reports.
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe Allow = %v, want nil", err)
+	}
+	if got := b.State(); got != "half-open" {
+		t.Fatalf("state during probe = %s, want half-open", got)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("second Allow during probe = %v, want ErrOpen", err)
+	}
+	// A failed probe re-opens with a fresh cooldown.
+	b.Report(boom)
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("Allow after failed probe = %v, want ErrOpen", err)
+	}
+	clk.advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe Allow = %v, want nil", err)
+	}
+	// A successful probe closes the breaker for good.
+	b.Report(nil)
+	if got := b.State(); got != "closed" {
+		t.Fatalf("state after successful probe = %s, want closed", got)
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("Allow after close = %v", err)
+	}
+}
+
+func TestBreakerZeroValueDefaults(t *testing.T) {
+	var b Breaker
+	boom := errors.New("boom")
+	for i := 0; i < 5; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("Allow %d: %v", i, err)
+		}
+		b.Report(boom)
+	}
+	if got := b.State(); got != "open" {
+		t.Fatalf("zero-value breaker after 5 failures = %s, want open", got)
+	}
+}
+
+// TestBreakerConcurrentReports drives Allow/Report from many goroutines;
+// under -race (scripts/race.sh covers internal/retry) this doubles as the
+// breaker's data-race gate. The invariant checked here is weaker — no
+// panic, and a terminal all-success run always closes the breaker.
+func TestBreakerConcurrentReports(t *testing.T) {
+	b, clk := newBreaker(4, time.Millisecond)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := b.Allow(); err != nil {
+					continue
+				}
+				if (g+i)%3 == 0 {
+					b.Report(fmt.Errorf("fail %d/%d", g, i))
+				} else {
+					b.Report(nil)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	clk.advance(time.Hour)
+	// Drain to a known state: admitted calls that succeed must close it.
+	for i := 0; i < 8; i++ {
+		if err := b.Allow(); err == nil {
+			b.Report(nil)
+		}
+	}
+	if got := b.State(); got != "closed" {
+		t.Fatalf("state after success drain = %s, want closed", got)
+	}
+}

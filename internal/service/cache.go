@@ -6,20 +6,36 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 
 	"marchgen"
+	"marchgen/internal/iofault"
+	"marchgen/internal/store"
 )
 
 // resultCache is a concurrency-safe LRU over content-addressed result
 // documents. Keys are canonical hashes (see generateKey), values are the
 // exact marshaled response bytes — a cache hit therefore returns
 // byte-identical output to the request that populated it.
+//
+// With a persistence directory set, the cache is write-through: every Put
+// lands the entry as <dir>/<key>.json via the store's atomic write, an
+// eviction deletes its file, and warmStart reloads the most recent
+// CacheSize entries at boot — a restarted node serves its working set
+// from the first request. Keys are content addresses, so a reloaded entry
+// can never be wrong, only unused (a schema bump changes every key and
+// strands the old files until eviction cleans them up).
 type resultCache struct {
 	mu    sync.Mutex
 	max   int
 	ll    *list.List // front = most recently used
 	items map[string]*list.Element
+	dir   string // "" disables persistence
+	logf  func(format string, args ...any)
 }
 
 type cacheEntry struct {
@@ -52,8 +68,14 @@ func (c *resultCache) Get(key string) ([]byte, bool) {
 }
 
 // Put inserts or refreshes an entry, evicting the least recently used one
-// when the cache is over capacity.
+// when the cache is over capacity. With persistence enabled the entry is
+// also written through to disk (atomically; a write failure is logged and
+// the entry stays memory-only) and evicted entries lose their files.
 func (c *resultCache) Put(key string, val []byte) {
+	c.put(key, val, true)
+}
+
+func (c *resultCache) put(key string, val []byte, persist bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
@@ -62,11 +84,96 @@ func (c *resultCache) Put(key string, val []byte) {
 		return
 	}
 	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	if persist && c.dir != "" {
+		if err := store.WriteFileAtomicFS(iofault.OS{}, c.entryPath(key), val); err != nil && c.logf != nil {
+			c.logf("cache persist %s: %v", key, err)
+		}
+	}
 	for c.ll.Len() > c.max {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry).key)
+		k := oldest.Value.(*cacheEntry).key
+		delete(c.items, k)
+		if c.dir != "" {
+			// Best-effort: a leftover file only costs disk until the key is
+			// evicted again; it can never serve a wrong answer.
+			_ = os.Remove(c.entryPath(k))
+		}
 	}
+}
+
+func (c *resultCache) entryPath(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// enablePersist turns on write-through persistence rooted at dir and
+// warm-starts the LRU from the entries already there: the newest (by
+// mtime) up-to-capacity files are loaded, oldest first, so recency order
+// survives the restart. Unreadable files and stray names are skipped.
+func (c *resultCache) enablePersist(dir string, logf func(format string, args ...any)) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("service: cache dir: %w", err)
+	}
+	c.mu.Lock()
+	c.dir = dir
+	c.logf = logf
+	max := c.max
+	c.mu.Unlock()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("service: cache warm-start: %w", err)
+	}
+	type candidate struct {
+		key   string
+		path  string
+		mtime int64
+	}
+	var cands []candidate
+	for _, e := range entries {
+		name := e.Name()
+		key, ok := strings.CutSuffix(name, ".json")
+		if !ok || e.IsDir() || !isHexKey(key) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		cands = append(cands, candidate{key: key, path: filepath.Join(dir, name), mtime: info.ModTime().UnixNano()})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].mtime < cands[j].mtime })
+	if len(cands) > max {
+		cands = cands[len(cands)-max:]
+	}
+	loaded := 0
+	for _, cand := range cands {
+		val, err := os.ReadFile(cand.path)
+		if err != nil || len(val) == 0 {
+			continue
+		}
+		c.put(cand.key, val, false)
+		loaded++
+	}
+	if logf != nil && loaded > 0 {
+		logf("cache warm-start: %d entries from %s", loaded, dir)
+	}
+	return nil
+}
+
+// isHexKey reports whether s looks like one of our SHA-256 content
+// addresses; anything else in the cache directory is ignored.
+func isHexKey(s string) bool {
+	if len(s) != sha256.Size*2 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		ch := s[i]
+		if (ch < '0' || ch > '9') && (ch < 'a' || ch > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 // Len returns the number of cached entries.

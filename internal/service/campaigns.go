@@ -348,6 +348,13 @@ func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// Campaigns are the most expensive class, first on the shed order; their
+	// occupancy stays bounded by the campaign manager itself.
+	if shed := s.admit.admitPressure(classCampaign); shed != nil {
+		s.metrics.shed(string(classCampaign))
+		writeShed(w, shed)
+		return
+	}
 	run, created, err := s.campaigns.Start(spec)
 	switch {
 	case errors.Is(err, ErrCampaignsFull), errors.Is(err, ErrDraining):

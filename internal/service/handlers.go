@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"marchgen"
@@ -18,12 +19,29 @@ type encodeErrorRecorder interface {
 	recordEncodeError(error)
 }
 
-// writeJSON marshals v as the response body with the given status. The
-// status line is already out when an encode error surfaces, so the
-// response cannot be repaired — but the failure is not dropped either:
-// it is recorded on the response writer, logged through the structured
-// request log and counted in /metrics as response_encode_errors.
+// headerWrittenChecker is implemented by statusWriter: writeJSON consults
+// it so a response whose status line is already out (a client
+// disconnecting mid-write can bounce an error path back into a second
+// write attempt) never gets a second, superfluous status line.
+type headerWrittenChecker interface {
+	headerWritten() bool
+}
+
+// writeJSON marshals v as the response body with the given status. If a
+// status line already went out on this response, nothing is written — a
+// second WriteHeader would be a protocol violation — and the dropped
+// status is recorded as an encode error instead. When the encode itself
+// fails, the status line is already out and the response cannot be
+// repaired, but the failure is not dropped either: it is recorded on the
+// response writer, logged through the structured request log and counted
+// in /metrics as response_encode_errors.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	if hw, ok := w.(headerWrittenChecker); ok && hw.headerWritten() {
+		if rec, ok := w.(encodeErrorRecorder); ok {
+			rec.recordEncodeError(fmt.Errorf("status %d dropped: response already started", status))
+		}
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
@@ -50,6 +68,58 @@ type apiError struct {
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeShed answers an admission refusal: HTTP 429 with the controller's
+// drain-rate-derived, jittered Retry-After (whole seconds — the header's
+// granularity).
+func writeShed(w http.ResponseWriter, shed *shedError) {
+	w.Header().Set("Retry-After", strconv.Itoa(int(shed.retryAfter/time.Second)))
+	writeError(w, http.StatusTooManyRequests, "%v", shed)
+}
+
+// requestTimeout resolves a request's effective deadline: the body's
+// timeout_ms tightened by an X-Deadline header, which accepts a Go
+// duration ("1.5s") or a bare integer millisecond count. 0 means the
+// server's maximum applies. The deadline propagates into the job context,
+// so an abandoned client's work stops burning workers at its deadline.
+func requestTimeout(r *http.Request, bodyMS int64) (time.Duration, error) {
+	d := time.Duration(bodyMS) * time.Millisecond
+	h := r.Header.Get("X-Deadline")
+	if h == "" {
+		return d, nil
+	}
+	hd, err := time.ParseDuration(h)
+	if err != nil {
+		ms, merr := strconv.ParseInt(h, 10, 64)
+		if merr != nil {
+			return 0, fmt.Errorf("bad X-Deadline %q: want a duration like \"30s\" or integer milliseconds", h)
+		}
+		hd = time.Duration(ms) * time.Millisecond
+	}
+	if hd <= 0 {
+		return 0, fmt.Errorf("bad X-Deadline %q: must be positive", h)
+	}
+	if d <= 0 || hd < d {
+		d = hd
+	}
+	return d, nil
+}
+
+// writeSubmitError finishes an async submit's error path: admission sheds
+// answer 429 + Retry-After, engine backpressure (full queue, draining)
+// answers 503, anything else 500.
+func writeSubmitError(w http.ResponseWriter, err error) {
+	var shed *shedError
+	switch {
+	case errors.As(err, &shed):
+		writeShed(w, shed)
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
 }
 
 // decodeBody strictly decodes the request body into v: unknown fields and
@@ -110,7 +180,12 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	s.metrics.cache(false)
 	w.Header().Set("X-Cache", "miss")
 
-	j, created, err := s.lookupOrSubmit(key, time.Duration(req.TimeoutMS)*time.Millisecond,
+	timeout, err := requestTimeout(r, req.TimeoutMS)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j, created, err := s.lookupOrSubmit(classGenerate, key, timeout,
 		func(ctx context.Context) ([]byte, error) {
 			start := time.Now()
 			res, err := marchgen.GenerateContext(ctx, faults, opts)
@@ -125,13 +200,8 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 			s.metrics.observeGenerate(time.Since(start))
 			return body, nil
 		})
-	switch {
-	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
-		return
-	case err != nil:
-		writeError(w, http.StatusInternalServerError, "%v", err)
+	if err != nil {
+		writeSubmitError(w, err)
 		return
 	}
 	if created {
@@ -190,7 +260,12 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	s.metrics.cache(false)
 	w.Header().Set("X-Cache", "miss")
 
-	j, created, err := s.lookupOrSubmit(key, time.Duration(req.TimeoutMS)*time.Millisecond,
+	timeout, err := requestTimeout(r, req.TimeoutMS)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j, created, err := s.lookupOrSubmit(classVerify, key, timeout,
 		func(ctx context.Context) ([]byte, error) {
 			diffs := marchgen.CrossCheck(test, faults, cfg)
 			if err := ctx.Err(); err != nil {
@@ -203,13 +278,8 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 			s.cache.Put(key, body)
 			return body, nil
 		})
-	switch {
-	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
-		return
-	case err != nil:
-		writeError(w, http.StatusInternalServerError, "%v", err)
+	if err != nil {
+		writeSubmitError(w, err)
 		return
 	}
 	if created {
@@ -265,7 +335,12 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	s.metrics.cache(false)
 	w.Header().Set("X-Cache", "miss")
 
-	j, created, err := s.lookupOrSubmit(key, time.Duration(req.TimeoutMS)*time.Millisecond,
+	timeout, err := requestTimeout(r, req.TimeoutMS)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j, created, err := s.lookupOrSubmit(classOptimize, key, timeout,
 		func(ctx context.Context) ([]byte, error) {
 			lastEvals := 0
 			opts.OnProgress = func(p marchgen.OptimizeProgress) {
@@ -286,13 +361,8 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 			s.cache.Put(key, body)
 			return body, nil
 		})
-	switch {
-	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
-		return
-	case err != nil:
-		writeError(w, http.StatusInternalServerError, "%v", err)
+	if err != nil {
+		writeSubmitError(w, err)
 		return
 	}
 	if created {
@@ -372,17 +442,59 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		cfg = defaultSimConfig()
 	}
 	cfg.DisableLanes = s.cfg.DisableLanes
-	report := marchgen.SimulateWith(test, faults, cfg)
-	if err := report.Err(); err != nil {
-		// Simulation errors are request-shaped: the march test or config
-		// cannot express the fault list (⇕ expansion cap, memory too small).
-		writeError(w, http.StatusUnprocessableEntity, "simulation failed: %v", err)
+	if shed := s.admit.acquire(classSimulate); shed != nil {
+		s.metrics.shed(string(classSimulate))
+		writeShed(w, shed)
 		return
 	}
-	writeJSON(w, http.StatusOK, struct {
-		Report  marchgen.Report `json:"report"`
-		Summary string          `json:"summary"`
-	}{report, report.Summary()})
+	ctx, cancel, err := syncContext(r)
+	if err != nil {
+		s.admit.release(classSimulate)
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	defer cancel()
+	// The simulator has no context hook, so the deadline is enforced by
+	// racing it: the goroutine owns the admission slot until the work
+	// really finishes, even when the response has already gone out as 504
+	// — abandoned work must keep counting against the class's concurrency.
+	ch := make(chan marchgen.Report, 1)
+	go func() {
+		defer s.admit.release(classSimulate)
+		ch <- marchgen.SimulateWith(test, faults, cfg)
+	}()
+	select {
+	case <-ctx.Done():
+		writeError(w, http.StatusGatewayTimeout, "deadline exceeded before simulation finished")
+		return
+	case report := <-ch:
+		if err := report.Err(); err != nil {
+			// Simulation errors are request-shaped: the march test or config
+			// cannot express the fault list (⇕ expansion cap, memory too small).
+			writeError(w, http.StatusUnprocessableEntity, "simulation failed: %v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Report  marchgen.Report `json:"report"`
+			Summary string          `json:"summary"`
+		}{report, report.Summary()})
+	}
+}
+
+// syncContext derives a synchronous handler's work context: the request
+// context (which http.TimeoutHandler already bounds by the server's sync
+// timeout), tightened by X-Deadline when the client sends one.
+func syncContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	d, err := requestTimeout(r, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	if d <= 0 {
+		ctx, cancel := context.WithCancel(r.Context())
+		return ctx, cancel, nil
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	return ctx, cancel, nil
 }
 
 // handleDetects is POST /v1/detects: does the march test detect this one
@@ -407,7 +519,13 @@ func (s *Server) handleDetects(w http.ResponseWriter, r *http.Request) {
 		cfg = *req.Config
 	}
 	cfg.DisableLanes = s.cfg.DisableLanes
+	if shed := s.admit.acquire(classSimulate); shed != nil {
+		s.metrics.shed(string(classSimulate))
+		writeShed(w, shed)
+		return
+	}
 	detected, witness, err := marchgen.DetectsWith(test, *req.Fault, cfg)
+	s.admit.release(classSimulate)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "simulation failed: %v", err)
 		return
@@ -450,17 +568,31 @@ func (s *Server) handleFaultLists(w http.ResponseWriter, r *http.Request) {
 	}{lists})
 }
 
-// handleHealthz is GET /healthz.
+// handleHealthz is GET /healthz: the degrade ladder. Status is
+// ok | degraded | overloaded with the controller's reasons; the answer is
+// always 200 (an overloaded service is still alive — load balancers that
+// want to steer away read the body, not the status code). This endpoint
+// and the other cheap reads (/v1/library, /v1/faultlists, cache hits, job
+// polling, /metrics) are never admission-controlled: under overload the
+// cheap path stays green.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	level, reasons := s.admit.pressure()
 	writeJSON(w, http.StatusOK, struct {
-		Status string `json:"status"`
-	}{"ok"})
+		Status       string                   `json:"status"`
+		Reasons      []string                 `json:"reasons,omitempty"`
+		Classes      map[string]classSnapshot `json:"classes"`
+		QueueDepth   int                      `json:"job_queue_depth"`
+		CacheEntries int                      `json:"cache_entries"`
+	}{level.String(), reasons, s.admit.snapshot(), s.jobs.Depth(), s.cache.Len()})
 }
 
 // handleMetrics is GET /metrics: the expvar-style counter snapshot, plus
 // the fabric coordinator's counters when this instance runs one.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.metrics.snapshot(s.jobs.Depth(), s.cache.Len())
+	level, _ := s.admit.pressure()
+	snap.Pressure = level.String()
+	snap.Admission = s.admit.snapshot()
 	if s.fabric != nil {
 		fc := s.fabric.Counters()
 		snap.Fabric = &fc

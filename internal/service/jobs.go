@@ -60,6 +60,7 @@ var (
 type job struct {
 	id      string
 	created time.Time
+	class   admitClass
 	fn      func(context.Context) ([]byte, error)
 	ctx     context.Context
 	cancel  context.CancelFunc
@@ -107,6 +108,38 @@ func (j *job) finalize(status JobStatus, result []byte, err error) {
 	close(j.done)
 }
 
+// tryStart atomically moves a queued job to running. It returns false when
+// the job is already terminal (canceled while queued): exactly one of
+// tryStart and cancelQueued wins, which is what keeps the engine's queued
+// counter and the admission controller's slots exact under racing
+// cancels.
+func (j *job) tryStart() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.Terminal() {
+		return false
+	}
+	j.status = JobRunning
+	j.started = time.Now()
+	return true
+}
+
+// cancelQueued atomically finalizes a job that is still queued; it returns
+// false if the job already started (or is already terminal), in which case
+// the caller must cancel via the context instead.
+func (j *job) cancelQueued() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != JobQueued {
+		return false
+	}
+	j.status = JobCanceled
+	j.err = context.Canceled
+	j.finished = time.Now()
+	close(j.done)
+	return true
+}
+
 // jobEngine is a bounded worker pool with a bounded queue: the async half
 // of the marchd service. Generation work is submitted as closures; each job
 // carries its own deadline-bearing context derived from the engine's base
@@ -124,9 +157,18 @@ type jobEngine struct {
 	jobs     map[string]*job
 	order    []string // insertion order, for retention eviction
 	draining bool
+	// queued counts jobs admitted but not yet started. It is NOT len(queue):
+	// a job canceled while queued leaves a tombstone in the channel until a
+	// worker drains it, but releases its queued slot (and its admission
+	// budget) the moment the cancel lands.
+	queued int
 
+	// onStart, when set, runs when a worker dequeues a live job, with the
+	// job already marked running (admission queue-wait observation).
+	onStart func(*job)
 	// onTerminal, when set, runs after a job reaches a terminal state (used
-	// for metrics and in-flight dedup bookkeeping).
+	// for metrics, admission slot release and in-flight dedup bookkeeping).
+	// It fires exactly once per job.
 	onTerminal func(*job)
 	// onPanic, when set, runs once per contained job panic (metrics).
 	onPanic func()
@@ -160,15 +202,18 @@ func (e *jobEngine) worker() {
 }
 
 func (e *jobEngine) runJob(j *job) {
-	defer j.cancel() // release the deadline timer
-	j.mu.Lock()
-	if j.status.Terminal() { // canceled while queued
-		j.mu.Unlock()
+	defer j.cancel()   // release the deadline timer
+	if !j.tryStart() { // canceled while queued: its slot was already released
 		return
 	}
-	j.status = JobRunning
-	j.started = time.Now()
-	j.mu.Unlock()
+	e.mu.Lock()
+	if e.queued > 0 {
+		e.queued--
+	}
+	e.mu.Unlock()
+	if e.onStart != nil {
+		e.onStart(j)
+	}
 
 	result, err := e.safeRun(j)
 	switch {
@@ -212,10 +257,10 @@ func newJobID() (string, error) {
 	return "j-" + hex.EncodeToString(b[:]), nil
 }
 
-// Submit enqueues fn as a new job with the given deadline (capped at the
-// engine's maximum; 0 means the maximum). It never blocks: a full queue
-// returns ErrQueueFull immediately.
-func (e *jobEngine) Submit(timeout time.Duration, fn func(context.Context) ([]byte, error)) (*job, error) {
+// Submit enqueues fn as a new job of the given admission class with the
+// given deadline (capped at the engine's maximum; 0 means the maximum). It
+// never blocks: a full queue returns ErrQueueFull immediately.
+func (e *jobEngine) Submit(class admitClass, timeout time.Duration, fn func(context.Context) ([]byte, error)) (*job, error) {
 	if timeout <= 0 || timeout > e.maxTimeout {
 		timeout = e.maxTimeout
 	}
@@ -232,6 +277,7 @@ func (e *jobEngine) Submit(timeout time.Duration, fn func(context.Context) ([]by
 	j := &job{
 		id:      id,
 		created: time.Now(),
+		class:   class,
 		fn:      fn,
 		ctx:     ctx,
 		cancel:  cancel,
@@ -245,6 +291,7 @@ func (e *jobEngine) Submit(timeout time.Duration, fn func(context.Context) ([]by
 	case e.queue <- j:
 		e.jobs[j.id] = j
 		e.order = append(e.order, j.id)
+		e.queued++
 		e.evictLocked()
 		return j, nil
 	default:
@@ -283,19 +330,24 @@ func (e *jobEngine) Get(id string) (*job, bool) {
 	return j, ok
 }
 
-// Cancel cancels a job: a queued job terminates immediately, a running one
-// as soon as its work observes the canceled context. Canceling a terminal
-// job is a no-op. The second return reports whether the id was known.
+// Cancel cancels a job: a queued job terminates immediately (releasing its
+// queue slot — the tombstone left in the channel holds nothing), a running
+// one as soon as its work observes the canceled context. Canceling a
+// terminal job is a no-op. The second return reports whether the id was
+// known.
 func (e *jobEngine) Cancel(id string) (*job, bool) {
 	j, ok := e.Get(id)
 	if !ok {
 		return nil, false
 	}
-	j.mu.Lock()
-	queued := j.status == JobQueued
-	j.mu.Unlock()
-	if queued {
-		j.finalize(JobCanceled, nil, context.Canceled)
+	if j.cancelQueued() {
+		// The cancel won the race against a worker's tryStart: this path
+		// owns the slot release and the (single) terminal notification.
+		e.mu.Lock()
+		if e.queued > 0 {
+			e.queued--
+		}
+		e.mu.Unlock()
 		if e.onTerminal != nil {
 			e.onTerminal(j)
 		}
@@ -304,8 +356,14 @@ func (e *jobEngine) Cancel(id string) (*job, bool) {
 	return j, true
 }
 
-// Depth returns the number of queued (not yet running) jobs.
-func (e *jobEngine) Depth() int { return len(e.queue) }
+// Depth returns the number of queued (not yet running) jobs. Tombstones —
+// jobs canceled while queued but not yet drained from the channel by a
+// worker — are not counted: their slots are already free.
+func (e *jobEngine) Depth() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.queued
+}
 
 // Shutdown stops accepting work and drains: queued and running jobs are
 // allowed to finish until ctx expires, after which every remaining job's

@@ -22,7 +22,7 @@ func TestJobEngineRunsSubmittedWork(t *testing.T) {
 	e := newJobEngine(2, 8, time.Minute, 16)
 	defer e.Shutdown(context.Background())
 
-	j, err := e.Submit(0, func(ctx context.Context) ([]byte, error) {
+	j, err := e.Submit(classGenerate, 0, func(ctx context.Context) ([]byte, error) {
 		return []byte(`{"ok":true}`), nil
 	})
 	if err != nil {
@@ -44,7 +44,7 @@ func TestJobEngineQueueFull(t *testing.T) {
 		<-release
 		return nil, nil
 	}
-	j1, err := e.Submit(0, blocker)
+	j1, err := e.Submit(classGenerate, 0, blocker)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,11 +53,11 @@ func TestJobEngineQueueFull(t *testing.T) {
 	for e.Depth() != 0 && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
-	j2, err := e.Submit(0, blocker)
+	j2, err := e.Submit(classGenerate, 0, blocker)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Submit(0, blocker); !errors.Is(err, ErrQueueFull) {
+	if _, err := e.Submit(classGenerate, 0, blocker); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("third submit: err = %v, want ErrQueueFull", err)
 	}
 	close(release)
@@ -69,7 +69,7 @@ func TestJobEngineQueueFull(t *testing.T) {
 func TestJobEngineCancelQueued(t *testing.T) {
 	e := newJobEngine(1, 4, time.Minute, 16)
 	release := make(chan struct{})
-	j1, err := e.Submit(0, func(ctx context.Context) ([]byte, error) {
+	j1, err := e.Submit(classGenerate, 0, func(ctx context.Context) ([]byte, error) {
 		<-release
 		return nil, nil
 	})
@@ -77,7 +77,7 @@ func TestJobEngineCancelQueued(t *testing.T) {
 		t.Fatal(err)
 	}
 	ran := false
-	j2, err := e.Submit(0, func(ctx context.Context) ([]byte, error) {
+	j2, err := e.Submit(classGenerate, 0, func(ctx context.Context) ([]byte, error) {
 		ran = true
 		return nil, nil
 	})
@@ -99,7 +99,7 @@ func TestJobEngineCancelRunning(t *testing.T) {
 	e := newJobEngine(1, 4, time.Minute, 16)
 	defer e.Shutdown(context.Background())
 	started := make(chan struct{})
-	j, err := e.Submit(0, func(ctx context.Context) ([]byte, error) {
+	j, err := e.Submit(classGenerate, 0, func(ctx context.Context) ([]byte, error) {
 		close(started)
 		<-ctx.Done()
 		return nil, ctx.Err()
@@ -120,7 +120,7 @@ func TestJobEngineCancelRunning(t *testing.T) {
 func TestJobEngineDeadline(t *testing.T) {
 	e := newJobEngine(1, 4, 20*time.Millisecond, 16)
 	defer e.Shutdown(context.Background())
-	j, err := e.Submit(time.Hour /* capped to the engine max */, func(ctx context.Context) ([]byte, error) {
+	j, err := e.Submit(classGenerate, time.Hour /* capped to the engine max */, func(ctx context.Context) ([]byte, error) {
 		<-ctx.Done()
 		return nil, ctx.Err()
 	})
@@ -137,7 +137,7 @@ func TestJobEngineShutdownDrains(t *testing.T) {
 	e := newJobEngine(2, 16, time.Minute, 32)
 	var jobs []*job
 	for i := 0; i < 8; i++ {
-		j, err := e.Submit(0, func(ctx context.Context) ([]byte, error) {
+		j, err := e.Submit(classGenerate, 0, func(ctx context.Context) ([]byte, error) {
 			time.Sleep(5 * time.Millisecond)
 			return []byte("x"), nil
 		})
@@ -154,7 +154,7 @@ func TestJobEngineShutdownDrains(t *testing.T) {
 			t.Fatalf("job %s = %s after drain, want done", s.ID, s.Status)
 		}
 	}
-	if _, err := e.Submit(0, nil); !errors.Is(err, ErrDraining) {
+	if _, err := e.Submit(classGenerate, 0, nil); !errors.Is(err, ErrDraining) {
 		t.Fatalf("submit after shutdown: %v, want ErrDraining", err)
 	}
 }
@@ -162,7 +162,7 @@ func TestJobEngineShutdownDrains(t *testing.T) {
 func TestJobEngineShutdownExpiryCancelsStragglers(t *testing.T) {
 	e := newJobEngine(1, 4, time.Minute, 16)
 	started := make(chan struct{})
-	j, err := e.Submit(0, func(ctx context.Context) ([]byte, error) {
+	j, err := e.Submit(classGenerate, 0, func(ctx context.Context) ([]byte, error) {
 		close(started)
 		<-ctx.Done() // only a canceled context lets this job end
 		return nil, ctx.Err()
@@ -191,7 +191,7 @@ func TestJobEnginePanicContained(t *testing.T) {
 	panics := 0
 	e.onPanic = func() { panics++ }
 
-	boom, err := e.Submit(0, func(ctx context.Context) ([]byte, error) {
+	boom, err := e.Submit(classGenerate, 0, func(ctx context.Context) ([]byte, error) {
 		panic("generation exploded")
 	})
 	if err != nil {
@@ -208,7 +208,7 @@ func TestJobEnginePanicContained(t *testing.T) {
 
 	// The same (sole) worker must still serve subsequent jobs.
 	for i := 0; i < 3; i++ {
-		next, err := e.Submit(0, func(ctx context.Context) ([]byte, error) {
+		next, err := e.Submit(classGenerate, 0, func(ctx context.Context) ([]byte, error) {
 			return []byte(`"alive"`), nil
 		})
 		if err != nil {
@@ -227,7 +227,7 @@ func TestJobEngineRetention(t *testing.T) {
 	e := newJobEngine(1, 16, time.Minute, 3)
 	var ids []string
 	for i := 0; i < 6; i++ {
-		j, err := e.Submit(0, func(ctx context.Context) ([]byte, error) { return nil, nil })
+		j, err := e.Submit(classGenerate, 0, func(ctx context.Context) ([]byte, error) { return nil, nil })
 		if err != nil {
 			t.Fatal(err)
 		}

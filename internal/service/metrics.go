@@ -1,6 +1,7 @@
 package service
 
 import (
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
@@ -45,6 +46,8 @@ type metrics struct {
 	panicsTotal  int64 // contained panics: job fns, HTTP handlers
 	encodeErrors int64 // response bodies lost after the status line
 
+	sheds map[string]int64 // admission sheds (429s) per class
+
 	genCount   int64
 	genSum     float64 // seconds
 	genBuckets []int64 // cumulative-style counts per latencyBuckets entry, +Inf last
@@ -54,6 +57,7 @@ func newMetrics() *metrics {
 	return &metrics{
 		requests:   make(map[string]int64),
 		statuses:   make(map[int]int64),
+		sheds:      make(map[string]int64),
 		genBuckets: make([]int64, len(latencyBuckets)+1),
 	}
 }
@@ -148,6 +152,13 @@ func (m *metrics) encodeError() {
 	m.mu.Unlock()
 }
 
+// shed counts one admission refusal (HTTP 429) for the class.
+func (m *metrics) shed(class string) {
+	m.mu.Lock()
+	m.sheds[class]++
+	m.mu.Unlock()
+}
+
 // observeGenerate records one completed generation's wall-clock latency.
 func (m *metrics) observeGenerate(d time.Duration) {
 	s := d.Seconds()
@@ -193,12 +204,47 @@ type MetricsSnapshot struct {
 	PanicsTotal  int64 `json:"panics_total"`
 	EncodeErrors int64 `json:"response_encode_errors"`
 
+	// Pressure is the degrade-ladder level (ok | degraded | overloaded) at
+	// snapshot time; ShedsByClass counts admission 429s per request class;
+	// Admission is the controller's live per-class occupancy.
+	Pressure     string                   `json:"pressure"`
+	ShedsByClass map[string]int64         `json:"sheds_by_class"`
+	Admission    map[string]classSnapshot `json:"admission"`
+
+	// Runtime samples the Go runtime: marchload derives its
+	// allocs-per-cached-hit figure from the mallocs delta across a run of
+	// back-to-back cache hits.
+	Runtime RuntimeSnapshot `json:"runtime"`
+
 	Generate HistogramSnapshot `json:"generate_latency"`
 
 	// Fabric carries the distributed-campaign counters (fabric_leases_total,
 	// fabric_steals_total, fabric_reassigns_total, ...) when this instance
 	// runs in coordinator mode; absent otherwise.
 	Fabric *fabric.Counters `json:"fabric,omitempty"`
+}
+
+// RuntimeSnapshot is a point-in-time sample of the Go runtime's memory
+// statistics, exposed so load harnesses can compute allocation deltas
+// (allocs-per-request) without in-process access.
+type RuntimeSnapshot struct {
+	Mallocs         uint64 `json:"mallocs"`
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+	HeapAllocBytes  uint64 `json:"heap_alloc_bytes"`
+	NumGC           uint32 `json:"num_gc"`
+	Goroutines      int    `json:"goroutines"`
+}
+
+func sampleRuntime() RuntimeSnapshot {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return RuntimeSnapshot{
+		Mallocs:         ms.Mallocs,
+		TotalAllocBytes: ms.TotalAlloc,
+		HeapAllocBytes:  ms.HeapAlloc,
+		NumGC:           ms.NumGC,
+		Goroutines:      runtime.NumGoroutine(),
+	}
 }
 
 // snapshot copies the registry; queueDepth and cacheEntries are sampled by
@@ -230,6 +276,9 @@ func (m *metrics) snapshot(queueDepth, cacheEntries int) MetricsSnapshot {
 		PanicsTotal:  m.panicsTotal,
 		EncodeErrors: m.encodeErrors,
 
+		ShedsByClass: make(map[string]int64, len(m.sheds)),
+		Runtime:      sampleRuntime(),
+
 		Generate: HistogramSnapshot{
 			Count:   m.genCount,
 			SumSecs: m.genSum,
@@ -242,6 +291,9 @@ func (m *metrics) snapshot(queueDepth, cacheEntries int) MetricsSnapshot {
 	}
 	for k, v := range m.statuses {
 		s.Statuses[strconv.Itoa(k)] = v
+	}
+	for k, v := range m.sheds {
+		s.ShedsByClass[k] = v
 	}
 	return s
 }

@@ -53,6 +53,18 @@ type Config struct {
 	// SyncTimeout is the request-scoped timeout of the synchronous
 	// endpoints (simulate, detects); 0 means 60 seconds.
 	SyncTimeout time.Duration
+	// AdmitTarget is the CoDel queue-wait target of the admission
+	// controller: sustained queue waits above it put the service under
+	// pressure. 0 means 200ms.
+	AdmitTarget time.Duration
+	// AdmitInterval is the CoDel observation window: waits must stay above
+	// target for a full interval before the controller starts shedding on
+	// estimated wait. 0 means 1s.
+	AdmitInterval time.Duration
+	// CacheDir, when set, makes the result cache write-through persistent
+	// rooted at this directory and warm-starts the LRU from it at boot;
+	// "" keeps the cache memory-only.
+	CacheDir string
 	// DataDir is the durable root of the campaign result stores (one
 	// subdirectory per campaign); "" means a "marchd-campaigns" directory
 	// under the OS temp dir.
@@ -136,6 +148,7 @@ type Server struct {
 	cfg       Config
 	jobs      *jobEngine
 	cache     *resultCache
+	admit     *admission
 	campaigns *campaignManager
 	fabric    *fabric.Coordinator // nil unless Config.Coordinator
 	metrics   *metrics
@@ -157,9 +170,27 @@ func New(cfg Config) *Server {
 		logger:   cfg.Logger,
 		inflight: make(map[string]string),
 	}
+	if cfg.CacheDir != "" {
+		var logf func(string, ...any)
+		if cfg.Logger != nil {
+			logf = cfg.Logger.Printf
+		}
+		if err := s.cache.enablePersist(cfg.CacheDir, logf); err != nil && cfg.Logger != nil {
+			// A broken cache directory degrades to a memory-only cache; it
+			// must never stop the service from coming up.
+			cfg.Logger.Printf("%v (cache persistence disabled)", err)
+		}
+	}
+	s.admit = newAdmission(cfg.workers(), cfg.queueDepth(), cfg.maxCampaigns(), cfg.AdmitTarget, cfg.AdmitInterval)
 	s.jobs = newJobEngine(cfg.workers(), cfg.queueDepth(), cfg.jobTimeout(), cfg.retainJobs())
+	s.jobs.onStart = func(j *job) {
+		snap := j.snapshot(false)
+		s.admit.started(j.class, snap.Started.Sub(snap.Created))
+	}
 	s.jobs.onTerminal = func(j *job) {
-		s.metrics.jobTerminal(j.snapshot(false).Status)
+		snap := j.snapshot(false)
+		s.admit.finished(j.class, !snap.Started.IsZero(), snap.Status == JobDone)
+		s.metrics.jobTerminal(snap.Status)
 		s.clearInflight(j.id)
 	}
 	s.jobs.onPanic = func() {
@@ -330,12 +361,21 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 // response bodies through.
 func (w *statusWriter) recordEncodeError(err error) { w.encodeErr = err }
 
+// headerWritten implements the interface writeJSON consults before
+// emitting a status line, so it can never write a second one.
+func (w *statusWriter) headerWritten() bool { return w.wroteHeader }
+
 // lookupOrSubmit deduplicates concurrent generation requests on their
 // cache key: if a live job is already computing the key it is returned
-// (created=false); otherwise fn is submitted as a new job. The server lock
-// is held across the submit so two concurrent misses cannot both spawn
-// work for one key.
-func (s *Server) lookupOrSubmit(key string, timeout time.Duration, fn func(context.Context) ([]byte, error)) (*job, bool, error) {
+// (created=false); otherwise fn is submitted as a new job of the given
+// admission class. The server lock is held across the submit so two
+// concurrent misses cannot both spawn work for one key.
+//
+// Admission is checked here, after the dedup lookup: piggybacking on a
+// job that is already admitted costs the service nothing, so it is never
+// shed. Only genuinely new work spends an admission slot. A shed is
+// returned as a *shedError (HTTP 429 + Retry-After upstream).
+func (s *Server) lookupOrSubmit(class admitClass, key string, timeout time.Duration, fn func(context.Context) ([]byte, error)) (*job, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if id, ok := s.inflight[key]; ok {
@@ -344,8 +384,15 @@ func (s *Server) lookupOrSubmit(key string, timeout time.Duration, fn func(conte
 		}
 		delete(s.inflight, key)
 	}
-	j, err := s.jobs.Submit(timeout, fn)
+	if shed := s.admit.admit(class); shed != nil {
+		s.metrics.shed(string(class))
+		return nil, false, shed
+	}
+	j, err := s.jobs.Submit(class, timeout, fn)
 	if err != nil {
+		// The engine refused after admission said yes (queue tombstones, or
+		// a drain that began in between): hand the slot straight back.
+		s.admit.finished(class, false, false)
 		return nil, false, err
 	}
 	s.inflight[key] = j.id

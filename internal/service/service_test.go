@@ -8,6 +8,7 @@ import (
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -297,17 +298,24 @@ func TestQueueBackpressure(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 
-	// Fill the queue slot; the next distinct request must get backpressure.
+	// Fill the queue slot; the next distinct request must get shed by the
+	// admission controller: 429 with a Retry-After.
 	wB := do(t, s, "POST", "/v1/generate", `{"list":"list1","options":{"name":"fill-1"}}`)
 	if wB.Code != http.StatusAccepted {
 		t.Fatalf("second POST: status %d: %s", wB.Code, wB.Body.String())
 	}
 	wC := do(t, s, "POST", "/v1/generate", `{"list":"list1","options":{"name":"fill-2"}}`)
-	if wC.Code != http.StatusServiceUnavailable {
-		t.Fatalf("third POST: status %d, want 503", wC.Code)
+	if wC.Code != http.StatusTooManyRequests {
+		t.Fatalf("third POST: status %d, want 429", wC.Code)
 	}
-	if wC.Header().Get("Retry-After") == "" {
-		t.Fatal("503 without Retry-After")
+	if ra := wC.Header().Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After")
+	} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q, want a positive whole-second count", ra)
+	}
+	m := decode[MetricsSnapshot](t, do(t, s, "GET", "/metrics", ""))
+	if m.ShedsByClass["generate"] == 0 {
+		t.Fatalf("sheds_by_class[generate] = %d, want nonzero", m.ShedsByClass["generate"])
 	}
 
 	// Cancel both jobs so the deferred Shutdown drains quickly.
@@ -481,7 +489,8 @@ func TestConcurrentClients(t *testing.T) {
 				w := do(t, s, "POST", "/v1/generate", `{"list":"list2"}`)
 				switch w.Code {
 				case http.StatusOK, http.StatusAccepted:
-				case http.StatusServiceUnavailable: // backpressure is a valid answer
+				case http.StatusServiceUnavailable: // engine backpressure is a valid answer
+				case http.StatusTooManyRequests: // as is an admission shed
 				default:
 					errs <- fmt.Sprintf("generate: %d %s", w.Code, w.Body.String())
 				}
@@ -605,7 +614,7 @@ func TestSubmitIDsAreUnique(t *testing.T) {
 	defer e.Shutdown(context.Background())
 	seen := make(map[string]bool)
 	for i := 0; i < 32; i++ {
-		j, err := e.Submit(0, func(ctx context.Context) ([]byte, error) { return nil, nil })
+		j, err := e.Submit(classGenerate, 0, func(ctx context.Context) ([]byte, error) { return nil, nil })
 		if err != nil {
 			t.Fatal(err)
 		}

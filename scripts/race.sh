@@ -19,6 +19,10 @@
 # The distributed fabric rides along: its cluster tests run a coordinator
 # and several workers as real goroutines over HTTP (lease grants, steals,
 # heartbeats, the merge committer) — the most concurrency-dense code here.
+# The overload layer (DESIGN.md §15) is raced from three sides: the
+# admission controller's interleaving test in ./internal/service/, the
+# circuit breaker's concurrent-report test in ./internal/retry/, and
+# ./cmd/marchload/ driving a live in-process server from many workers.
 set -eu
 cd "$(dirname "$0")/.."
-exec go test -race ./internal/sim/... ./internal/core/... ./internal/oracle/... ./internal/optimize/... ./internal/service/... ./internal/campaign/... ./internal/store/... ./internal/iofault/... ./internal/retry/... ./internal/fabric/... ./cmd/marchctl/
+exec go test -race ./internal/sim/... ./internal/core/... ./internal/oracle/... ./internal/optimize/... ./internal/service/... ./internal/campaign/... ./internal/store/... ./internal/iofault/... ./internal/retry/... ./internal/fabric/... ./cmd/marchctl/ ./cmd/marchload/

@@ -248,6 +248,80 @@ while kill -0 "$CHAOS_PID" 2>/dev/null; do
 done
 echo "smoke: marchctl round-trip through injected 503s OK"
 
+# Overload round-trip (DESIGN.md §15): a deliberately tiny marchd (one
+# worker, one queue slot) is prewarmed with a list2 result, then saturated
+# with unique cold generates. The admission controller must answer at
+# least one of them 429 with a non-empty Retry-After, and the prewarmed
+# cache hit must keep answering 200 throughout — the degrade contract's
+# "cheap path stays green".
+OLOG="$TMP/marchd-overload.log"
+"$BIN" -addr 127.0.0.1:0 -data "$TMP/overload-campaigns" -workers 1 -queue 1 \
+	-admit-target 25ms -admit-interval 200ms -drain-timeout 2s 2>"$OLOG" &
+OVER_PID=$!
+trap 'kill -9 "$OVER_PID" 2>/dev/null || true; cleanup' EXIT
+OADDR=""
+i=0
+while [ $i -lt 100 ]; do
+	OADDR=$(sed -n 's/.*listening on \(.*\)/\1/p' "$OLOG" | head -n1)
+	[ -n "$OADDR" ] && break
+	kill -0 "$OVER_PID" 2>/dev/null || { cat "$OLOG" >&2; fail "overload marchd died during startup"; }
+	sleep 0.1
+	i=$((i + 1))
+done
+[ -n "$OADDR" ] || fail "overload marchd announced no listen address"
+OBASE="http://$OADDR"
+
+# Prewarm: one list2 generation polled to completion becomes the cache hit.
+WJOB=$(curl -fsS -X POST "$OBASE/v1/generate" -d '{"list":"list2"}' \
+	| sed -n 's/.*"id": "\([^"]*\)".*/\1/p' | head -n1)
+[ -n "$WJOB" ] || fail "overload prewarm returned no job id"
+i=0
+WSTATUS=""
+while [ $i -lt 300 ]; do
+	WSTATUS=$(curl -fsS "$OBASE/v1/jobs/$WJOB" | sed -n 's/.*"status": "\([^"]*\)".*/\1/p' | head -n1)
+	[ "$WSTATUS" = "done" ] && break
+	sleep 0.1
+	i=$((i + 1))
+done
+[ "$WSTATUS" = "done" ] || fail "overload prewarm stuck in state '$WSTATUS'"
+
+# Saturate the cold path: unique names make every request a cache miss.
+# With one worker and one queue slot the admission controller must start
+# shedding; capture the first 429's Retry-After.
+RETRY_AFTER=""
+i=0
+while [ $i -lt 50 ]; do
+	HDRS=$(curl -sS -D - -o /dev/null -X POST "$OBASE/v1/generate" \
+		-d "{\"list\":\"list1\",\"options\":{\"name\":\"smoke-cold-$i\"}}" | tr -d '\r')
+	CODE=$(printf '%s\n' "$HDRS" | sed -n 's/^HTTP[^ ]* \([0-9]*\).*/\1/p' | head -n1)
+	if [ "$CODE" = "429" ]; then
+		RETRY_AFTER=$(printf '%s\n' "$HDRS" | sed -n 's/^Retry-After: //p' | head -n1)
+		break
+	fi
+	i=$((i + 1))
+done
+[ -n "$RETRY_AFTER" ] || fail "no 429 with Retry-After while saturating the cold path"
+case "$RETRY_AFTER" in
+'' | *[!0-9]*) fail "429 Retry-After is not a whole-second count: '$RETRY_AFTER'" ;;
+esac
+
+# While the cold path is saturated, the prewarmed cache hit stays green.
+OHIT=$(curl -fsS -D - -o /dev/null -X POST "$OBASE/v1/generate" -d '{"list":"list2"}' \
+	| tr -d '\r' | sed -n 's/^X-Cache: //p')
+[ "$OHIT" = "hit" ] || fail "cache hit failed while the cold path was saturated (X-Cache: $OHIT)"
+# healthz is never admission-controlled: it must still answer during
+# overload, and the metrics snapshot must have recorded the sheds.
+curl -fsS "$OBASE/healthz" >/dev/null || fail "healthz unreachable during overload"
+curl -fsS "$OBASE/metrics" | grep -q '"sheds_by_class"' || fail "metrics missing sheds_by_class during overload"
+kill -TERM "$OVER_PID" 2>/dev/null || true
+i=0
+while kill -0 "$OVER_PID" 2>/dev/null; do
+	[ $i -lt 300 ] || fail "overload marchd did not exit after SIGTERM"
+	sleep 0.1
+	i=$((i + 1))
+done
+echo "smoke: 429 + Retry-After under saturation while cache hits stay green OK"
+
 # Cluster round-trip (DESIGN.md §13): a coordinator-mode marchd plus two
 # worker marchd instances joined with -join, driven by marchctl campaign
 # -cluster. The merged result set must complete, the fabric counters must
