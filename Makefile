@@ -52,6 +52,14 @@ opt-test:
 	$(GO) test -count=1 -run 'TestBeatsPaperOnList2|TestDeterministicAcrossRuns|TestWinnerCertifiedAndNeverLonger|TestWinnerAgreesWithOracle' ./internal/optimize/
 	$(GO) test -count=1 ./cmd/marchopt/
 
+## diag-test: the diagnosis gate — the adaptive loop must localize an
+## injected fault end to end both in-process (internal/diagnose) and over
+## the HTTP surface (/v1/diagnose), and the parse/localize/next pipeline
+## must hold its invariants on the seed corpus of hostile syndromes.
+diag-test:
+	$(GO) test -count=1 ./internal/diagnose/
+	$(GO) test -count=1 -run 'TestDiagnose' ./internal/service/
+
 ## serve: run the marchd HTTP service on :8080 (see README quick-start).
 serve:
 	$(GO) run ./cmd/marchd -addr :8080
@@ -83,9 +91,12 @@ cluster-test:
 	$(GO) test -count=1 -run 'TestCluster|TestFabric' ./internal/fabric/ ./internal/service/
 
 ## fuzz: time-boxed fuzzing of every parser boundary (march notation, FP
-## specs, op streams), the store's torn-tail recovery, and the fabric's
+## specs, op streams), the store's torn-tail recovery, the fabric's
 ## segment-merge path (dup/out-of-order/torn segments must never corrupt a
-## committed prefix), 30s per target, seeded from */testdata/fuzz/.
+## committed prefix), the diagnosis syndrome pipeline (hostile/partial/
+## contradictory syndromes must reject or localize, never panic), and the
+## word background set (size, round-trip, bit-pair separation, coverage
+## monotonicity), 30s per target, seeded from */testdata/fuzz/.
 fuzz:
 	$(GO) test -fuzz='^FuzzParseFP$$' -fuzztime 30s ./internal/fp/
 	$(GO) test -fuzz='^FuzzParseOps$$' -fuzztime 30s ./internal/fp/
@@ -94,6 +105,8 @@ fuzz:
 	$(GO) test -fuzz='^FuzzLanesVsScalar$$' -fuzztime 30s ./internal/sim/
 	$(GO) test -fuzz='^FuzzSegmentMerge$$' -fuzztime 30s ./internal/fabric/
 	$(GO) test -fuzz='^FuzzRetryAfterParse$$' -fuzztime 30s ./cmd/marchctl/
+	$(GO) test -fuzz='^FuzzDiagnoseSyndrome$$' -fuzztime 30s ./internal/diagnose/
+	$(GO) test -fuzz='^FuzzWordBackgrounds$$' -fuzztime 30s ./internal/word/
 
 ## load-test: the overload SLO gate (DESIGN.md §15) — a nominal marchload
 ## run must finish with zero admission sheds, then a 5x-overload run
@@ -117,6 +130,7 @@ verify-oracle:
 	$(GO) run ./cmd/marchverify -seed 1 -n 1000 -props
 
 ## check: the full local CI gate — build, vet, gofmt, tests, race, chaos,
-## the cluster gate, the optimizer smoke gate, the oracle cross-check, the
-## lane benchmark record, the overload SLO gate, smoke.
-check: build vet fmt-check test race chaos cluster-test opt-test verify-oracle bench-lanes load-test smoke
+## the cluster gate, the optimizer smoke gate, the diagnosis gate, the
+## oracle cross-check, the lane benchmark record, the overload SLO gate,
+## smoke.
+check: build vet fmt-check test race chaos cluster-test opt-test diag-test verify-oracle bench-lanes load-test smoke

@@ -155,8 +155,9 @@ func runPlan(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "units %d, shards %d\n", spec.Units(), len(shards))
 	for _, sh := range shards {
 		for _, u := range sh.Units {
-			fmt.Fprintf(stdout, "  shard %3d  unit %3d  %s  list=%s profile=%s order=%s n=%d w=%d topo=%s opt=%s\n",
-				sh.ID, u.Seq, u.ID(), u.List, u.Profile, u.Order, u.Size, u.Width, topoOrDash(u.Topology), optOrDash(u))
+			fmt.Fprintf(stdout, "  shard %3d  unit %3d  %s  list=%s profile=%s order=%s n=%d w=%d p=%s%s topo=%s opt=%s\n",
+				sh.ID, u.Seq, u.ID(), u.List, u.Profile, u.Order, u.Size, u.Width,
+				portsOrOne(u), transparentMark(u), topoOrDash(u.Topology), optOrDash(u))
 		}
 	}
 	return exitOK
@@ -173,7 +174,25 @@ func optOrDash(u campaign.Unit) string {
 	if u.OptBudget == 0 {
 		return "-"
 	}
-	return fmt.Sprintf("b%d/s%d", u.OptBudget, u.OptSeed)
+	s := fmt.Sprintf("b%d/s%d", u.OptBudget, u.OptSeed)
+	if u.OptBISTWeight > 0 {
+		s += fmt.Sprintf("/w%g", u.OptBISTWeight)
+	}
+	return s
+}
+
+func portsOrOne(u campaign.Unit) string {
+	if u.Ports <= 1 {
+		return "1"
+	}
+	return fmt.Sprint(u.Ports)
+}
+
+func transparentMark(u campaign.Unit) string {
+	if u.Transparent {
+		return " transparent"
+	}
+	return ""
 }
 
 func runRun(args []string, stdout, stderr io.Writer) int {

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -186,6 +187,99 @@ func TestReportExitsIncompleteOnPartialResults(t *testing.T) {
 	}
 	if code, _, stderr := runCmd("report", "-dir", root); code != exitOK {
 		t.Fatalf("complete report exit = %d, stderr:\n%s", code, stderr)
+	}
+}
+
+// TestReportMixedAxesMatrix pins the report path on a sweep that mixes every
+// axis — widths, ports, transparent mode and a BIST-weighted optimizer point
+// — in one campaign: the completeness gate must still drive the exit code
+// (4 while shards are missing, 0 once every shard is committed), and the
+// finished matrix must read the per-unit axis results into the word,
+// transparent, mport and BIST columns instead of dashes.
+func TestReportMixedAxesMatrix(t *testing.T) {
+	spec := campaign.Spec{
+		Name:        "axes-matrix",
+		Lists:       []string{"list1"},
+		Widths:      []int{1, 4},
+		Ports:       []int{1, 2},
+		Transparent: []bool{false, true},
+		Optimize:    []campaign.OptAxis{{}, {Budget: 150, BISTWeight: 0.5}},
+		ShardSize:   8,
+	}
+	spec = spec.Canonical()
+	root := t.TempDir()
+	dir := spec.Dir(root)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := campaign.EnsureSpecFile(nil, dir, spec); err != nil {
+		t.Fatal(err)
+	}
+	plan := campaign.Plan(spec)
+	if len(plan) != 2 || spec.Units() != 16 {
+		t.Fatalf("plan: %d shards, %d units, want 2 and 16", len(plan), spec.Units())
+	}
+
+	memo := campaign.NewMemo()
+	commit := func(sh campaign.Shard, seq int) {
+		t.Helper()
+		st, err := store.Open(dir, spec.Hash())
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, err := campaign.ExecuteShard(context.Background(), sh, memo, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range recs {
+			if err := st.Append(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := st.Commit(seq); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	commit(plan[0], 1)
+	if code, _, stderr := runCmd("report", "-dir", root); code != exitIncomplete {
+		t.Fatalf("half-committed mixed-axes report exit = %d, want %d; stderr:\n%s",
+			code, exitIncomplete, stderr)
+	}
+
+	commit(plan[1], 2)
+	code, out, stderr := runCmd("report", "-dir", root)
+	if code != exitOK {
+		t.Fatalf("complete report exit = %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(out, "16/16 units") {
+		t.Fatalf("report does not count 16/16 units:\n%s", out)
+	}
+	// No unit may have failed: a transparent-ineligible or port-invalid
+	// combination would surface in the Error column.
+	if strings.Contains(out, "transform") || strings.Contains(out, "error") {
+		t.Fatalf("matrix contains unit errors:\n%s", out)
+	}
+	// Axis columns are populated from the per-unit results, not dashes:
+	// the word and transparent columns as detected/faults fractions, the
+	// mport column as the lifted single-port coverage of the weak-fault
+	// catalog, and the optimizer's BIST-cycle override with its * marker.
+	wordFrac := regexp.MustCompile(`\b\d+/384\b`) // width-4 intra-word testable faults
+	if !wordFrac.MatchString(out) {
+		t.Fatalf("no word-axis fraction in the matrix:\n%s", out)
+	}
+	if !strings.Contains(out, "/38") {
+		t.Fatalf("no mport-axis fraction (weak-fault catalog) in the matrix:\n%s", out)
+	}
+	if !regexp.MustCompile(`\d+\*`).MatchString(out) {
+		t.Fatalf("no BIST-weighted optimizer cycle cell in the matrix:\n%s", out)
+	}
+	// The frontier table renders the weighted sweep point with its weight.
+	if !strings.Contains(out, "frontier") || !strings.Contains(out, "0.5") {
+		t.Fatalf("frontier table missing the weighted point:\n%s", out)
 	}
 }
 

@@ -46,6 +46,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"marchgen/internal/buildinfo"
@@ -77,7 +78,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		version = fs.Bool("version", false, "print version and exit")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: marchctl [flags] <submit|wait|result|simulate|campaign> [command flags]")
+		fmt.Fprintln(stderr, "usage: marchctl [flags] <submit|wait|result|simulate|diagnose|campaign> [command flags]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -106,6 +107,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return cmdResult(ctx, c, rest[1:], stdout, stderr)
 	case "simulate":
 		return cmdSimulate(ctx, c, rest[1:], stdout, stderr)
+	case "diagnose":
+		return cmdDiagnose(ctx, c, rest[1:], stdout, stderr)
 	case "campaign":
 		return cmdCampaign(ctx, c, rest[1:], stdout, stderr)
 	default:
@@ -306,6 +309,110 @@ func cmdSimulate(ctx context.Context, c *client, args []string, stdout, stderr i
 	}
 	fmt.Fprintln(stdout, string(resp.body))
 	return exitOK
+}
+
+// obsFlag collects repeated "-obs" values: each is one executed test and
+// its syndrome, "NAME:id1,id2,..." (an empty id list means a clean run).
+type obsFlag []string
+
+func (o *obsFlag) String() string { return strings.Join(*o, " ") }
+func (o *obsFlag) Set(v string) error {
+	*o = append(*o, v)
+	return nil
+}
+
+// cmdDiagnose posts an adaptive fault-localization request: the fault-model
+// space and the syndromes of the march tests a tester has executed. The
+// server answers with the consistent candidate set and — while it is still
+// ambiguous — the follow-up march that best splits it. Like submit, a cache
+// hit answers immediately and a miss enqueues a job.
+func cmdDiagnose(ctx context.Context, c *client, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("marchctl diagnose", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var obs obsFlag
+	var (
+		list      = fs.String("list", "", "fault-model space: the fault list the defect is assumed to come from")
+		bodyFile  = fs.String("body", "", "full request JSON file (\"-\" reads stdin); overrides -list/-obs")
+		timeoutMS = fs.Int64("timeout-ms", 0, "per-job deadline in milliseconds (0 = server default)")
+		wait      = fs.Bool("wait", false, "poll the job to completion and print its result")
+	)
+	fs.Var(&obs, "obs", "executed test and its syndrome, \"NAME:M1#0@2,M3#1@0\" (repeatable; empty syndrome = clean run)")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	var body []byte
+	switch {
+	case *bodyFile != "":
+		var err error
+		if *bodyFile == "-" {
+			body, err = io.ReadAll(os.Stdin)
+		} else {
+			body, err = os.ReadFile(*bodyFile)
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "marchctl:", err)
+			return exitUsage
+		}
+	case *list != "" && len(obs) > 0:
+		type marchRef struct {
+			Name string `json:"name"`
+		}
+		type observation struct {
+			March    marchRef `json:"march"`
+			Syndrome []string `json:"syndrome"`
+		}
+		var obsDocs []observation
+		for _, o := range obs {
+			name, ids, _ := strings.Cut(o, ":")
+			doc := observation{March: marchRef{Name: strings.TrimSpace(name)}, Syndrome: []string{}}
+			for _, id := range strings.Split(ids, ",") {
+				if id = strings.TrimSpace(id); id != "" {
+					doc.Syndrome = append(doc.Syndrome, id)
+				}
+			}
+			obsDocs = append(obsDocs, doc)
+		}
+		var err error
+		body, err = json.Marshal(struct {
+			List         string        `json:"list"`
+			Observations []observation `json:"observations"`
+			TimeoutMS    int64         `json:"timeout_ms,omitempty"`
+		}{*list, obsDocs, *timeoutMS})
+		if err != nil {
+			fmt.Fprintln(stderr, "marchctl:", err)
+			return exitUsage
+		}
+	default:
+		fmt.Fprintln(stderr, "marchctl diagnose: need -body, or -list with at least one -obs")
+		return exitUsage
+	}
+	resp, err := c.do(ctx, "POST", "/v1/diagnose", body)
+	if err != nil {
+		fmt.Fprintln(stderr, "marchctl:", err)
+		return exitTransport
+	}
+	switch resp.status {
+	case 200: // cache hit: the result document itself
+		fmt.Fprintln(stdout, string(resp.body))
+		return exitOK
+	case 202:
+		var accepted struct {
+			Job  jobView `json:"job"`
+			Poll string  `json:"poll"`
+		}
+		if err := json.Unmarshal(resp.body, &accepted); err != nil {
+			fmt.Fprintln(stderr, "marchctl: bad 202 body:", err)
+			return exitRemote
+		}
+		if !*wait {
+			fmt.Fprintf(stdout, "job %s %s; poll with: marchctl wait %s\n", accepted.Job.ID, accepted.Job.Status, accepted.Job.ID)
+			return exitOK
+		}
+		return waitAndPrintResult(ctx, c, accepted.Job.ID, stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "marchctl: diagnose rejected: HTTP %d: %s\n", resp.status, apiErrorOf(resp))
+		return exitRemote
+	}
 }
 
 // campaignView mirrors the service's campaign snapshot wire form (the

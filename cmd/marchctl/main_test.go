@@ -236,6 +236,49 @@ func TestSimulateRoundTrip(t *testing.T) {
 	}
 }
 
+// TestDiagnoseRoundTrip drives `marchctl diagnose` against a real marchd:
+// a clean MATS+ run (empty syndrome) over the single-cell model space is
+// consistent with many candidates, so the server must answer with an
+// ambiguous verdict and a follow-up march recommendation.
+func TestDiagnoseRoundTrip(t *testing.T) {
+	srv, _ := newFlakyService(t, 0, false)
+	code, stdout, stderr := runCtl(t,
+		"-addr", srv.URL, "-poll", "5ms", "-timeout", "2m",
+		"diagnose", "-list", "simple1", "-obs", "MATS+:", "-wait")
+	if code != exitOK {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	var doc struct {
+		Status     string `json:"status"`
+		Candidates []any  `json:"candidates"`
+		Next       *struct {
+			Name string `json:"name"`
+			Spec string `json:"spec"`
+		} `json:"next"`
+		Key string `json:"cache_key"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &doc); err != nil {
+		t.Fatalf("stdout is not a diagnose document: %v\n%s", err, stdout)
+	}
+	if doc.Status != "ambiguous" || len(doc.Candidates) < 2 || doc.Key == "" {
+		t.Fatalf("diagnose document = %+v", doc)
+	}
+	if doc.Next == nil || doc.Next.Spec == "" {
+		t.Fatalf("no follow-up march recommended: %+v", doc)
+	}
+
+	// Repeating the identical request is a cache hit: same document, no job.
+	code, stdout2, stderr := runCtl(t,
+		"-addr", srv.URL, "-poll", "5ms", "-timeout", "2m",
+		"diagnose", "-list", "simple1", "-obs", "MATS+:", "-wait")
+	if code != exitOK {
+		t.Fatalf("repeat exit = %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout2, doc.Key) {
+		t.Fatalf("repeat answer lost the cache key %s:\n%s", doc.Key, stdout2)
+	}
+}
+
 func TestCampaignRoundTripWithWait(t *testing.T) {
 	srv, _ := newFlakyService(t, 1, false) // one injected 503 on the submit itself
 	specFile := filepath.Join(t.TempDir(), "sweep.json")
@@ -500,14 +543,16 @@ func TestBreakerFailsFast(t *testing.T) {
 
 func TestUsageErrors(t *testing.T) {
 	cases := [][]string{
-		{},                          // no command
-		{"frobnicate"},              // unknown command
-		{"submit"},                  // missing -list
-		{"wait"},                    // missing job id
-		{"result"},                  // missing job id
-		{"simulate"},                // missing -march/-spec
-		{"campaign"},                // missing -spec
-		{"-retries", "x", "submit"}, // bad flag value
+		{},                               // no command
+		{"frobnicate"},                   // unknown command
+		{"submit"},                       // missing -list
+		{"wait"},                         // missing job id
+		{"result"},                       // missing job id
+		{"simulate"},                     // missing -march/-spec
+		{"diagnose"},                     // missing -body / -list+-obs
+		{"diagnose", "-list", "simple1"}, // -list without any -obs
+		{"campaign"},                     // missing -spec
+		{"-retries", "x", "submit"},      // bad flag value
 	}
 	for _, args := range cases {
 		if code, _, _ := runCtl(t, args...); code != exitUsage {

@@ -51,6 +51,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		kinds      = fs.Bool("kinds", false, "print per-kind coverage breakdown")
 		ascii      = fs.Bool("ascii", false, "print the test with ASCII order markers instead of arrows")
 		verify     = fs.Bool("verify", false, "cross-check the certification with the independent reference oracle")
+		width      = fs.Int("width", 0, "word width in bits: also grade the test on the intra-word faults of a w-bit word (0/1 = bit-oriented)")
+		transp     = fs.Bool("transparent", false, "with -width > 1, also derive and grade the transparent in-field variant")
+		ports      = fs.Int("ports", 0, "port count: 2 also grades the lifted test on the two-port weak-fault catalog (0/1 = single-port)")
 		asJSON     = fs.Bool("json", false, "emit the generated test and its certification report as JSON")
 		lanes      = fs.String("lanes", "on", cliflag.LanesUsage)
 		version    = fs.Bool("version", false, "print version and exit")
@@ -80,7 +83,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return exitUsage
 	}
 
-	opts := marchgen.Options{Name: *name, Aggressive: *aggressive, Orders: constraint, CertifyWithOracle: *verify}
+	opts := marchgen.Options{
+		Name: *name, Aggressive: *aggressive, Orders: constraint, CertifyWithOracle: *verify,
+		Width: *width, Transparent: *transp, Ports: *ports,
+	}
 	if lanesOff {
 		// DisableLanes survives the generator's default-config substitution
 		// (it is an execution detail, not a model parameter) but never
@@ -99,11 +105,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// defaults filled in) — the same form the marchd API and its result
 		// cache use.
 		out := struct {
-			Test    marchgen.March   `json:"test"`
-			Report  marchgen.Report  `json:"report"`
-			Options marchgen.Options `json:"options"`
-			Seconds float64          `json:"generation_seconds"`
-		}{res.Test, res.Report, opts, res.Stats.Duration.Seconds()}
+			Test    marchgen.March        `json:"test"`
+			Report  marchgen.Report       `json:"report"`
+			Options marchgen.Options      `json:"options"`
+			Word    *marchgen.WordResult  `json:"word,omitempty"`
+			Mport   *marchgen.MportResult `json:"mport,omitempty"`
+			Seconds float64               `json:"generation_seconds"`
+		}{res.Test, res.Report, opts, res.Word, res.Mport, res.Stats.Duration.Seconds()}
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
@@ -122,6 +130,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "coverage: %d/%d faults (%.1f%%)\n", res.Report.Detected(), res.Report.Total(), res.Report.Coverage())
 	if *verify {
 		fmt.Fprintln(stdout, "oracle cross-check: agreed on every fault")
+	}
+	if res.Word != nil {
+		fmt.Fprintf(stdout, "word (w=%d, %d backgrounds): %d/%d intra-word faults detected\n",
+			res.Word.Width, res.Word.Backgrounds, res.Word.Detected, res.Word.Faults)
+		if res.Word.Transparent {
+			fmt.Fprintf(stdout, "  transparent variant: %s  (%d/%d detected)\n",
+				res.Word.TransparentTest, res.Word.TransparentDetected, res.Word.Faults)
+		}
+	}
+	if res.Mport != nil {
+		fmt.Fprintf(stdout, "mport (2 ports): lifted test detects %d/%d weak faults; dedicated %s (%d pairs, %d/%d)\n",
+			res.Mport.LiftedDetected, res.Mport.Faults, res.Mport.Test,
+			res.Mport.TestLength, res.Mport.TestDetected, res.Mport.Faults)
 	}
 	if *kinds {
 		for _, k := range res.Report.ByKind() {

@@ -48,6 +48,49 @@ func TestGenerateJSON(t *testing.T) {
 	}
 }
 
+// TestAxisFlags pins the -width/-ports/-transparent wiring: the axis
+// sections appear in the text rendering exactly when an axis is requested,
+// and out-of-range axes are rejected before generation starts.
+func TestAxisFlags(t *testing.T) {
+	code, out, errOut := runCmd(t, "-list", "list2", "-width", "4", "-ports", "2")
+	if code != exitOK {
+		t.Fatalf("exit %d; stderr: %s", code, errOut)
+	}
+	for _, want := range []string{
+		"word (w=4, 3 backgrounds):",
+		"mport (2 ports): lifted test detects",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Default invocation must not grow axis lines.
+	code, out, _ = runCmd(t, "-list", "list2")
+	if code != exitOK || strings.Contains(out, "word (") || strings.Contains(out, "mport (") {
+		t.Fatalf("default output grew axis sections (exit %d):\n%s", code, out)
+	}
+
+	// list1's generated test admits the transparent variant.
+	code, out, errOut = runCmd(t, "-list", "list1", "-width", "4", "-transparent")
+	if code != exitOK {
+		t.Fatalf("transparent exit %d; stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "transparent variant:") {
+		t.Fatalf("no transparent variant line:\n%s", out)
+	}
+
+	for _, args := range [][]string{
+		{"-list", "list2", "-width", "100"},
+		{"-list", "list2", "-ports", "3"},
+	} {
+		code, _, errOut := runCmd(t, args...)
+		if code == exitOK || !strings.Contains(errOut, "out of range") {
+			t.Errorf("args %v: exit %d, stderr %q; want an out-of-range rejection", args, code, errOut)
+		}
+	}
+}
+
 func TestUsageErrors(t *testing.T) {
 	cases := [][]string{
 		{"-list", "nope"},

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -53,6 +54,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		listTests = fs.Bool("tests", false, "list the library march tests and exit")
 		asJSON    = fs.Bool("json", false, "emit the full report as JSON")
 		bistCells = fs.Int("bist", 0, "also print the BIST cost estimate for a memory of this many cells")
+		width     = fs.Int("width", 0, "also grade the test on the intra-word faults of a w-bit word (0/1 = bit-oriented)")
+		ports     = fs.Int("ports", 0, "port count: 2 also grades the lifted test on the two-port weak-fault catalog")
 		trace     = fs.Bool("trace", false, "for each missed fault printed, also replay its witness scenario step by step")
 		lanes     = fs.String("lanes", "on", cliflag.LanesUsage)
 		version   = fs.Bool("version", false, "print version and exit")
@@ -142,6 +145,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintln(stdout, r.Summary())
 	if *bistCells > 0 {
 		fmt.Fprintf(stdout, "BIST estimate (%d cells): %s\n", *bistCells, marchgen.EstimateBIST(test, *bistCells, 1000))
+	}
+	if *width > 1 {
+		wr, err := marchgen.EvaluateWord(context.Background(), test, *width, false)
+		if err != nil {
+			fmt.Fprintln(stderr, "marchsim:", err)
+			return exitSim
+		}
+		fmt.Fprintf(stdout, "word (w=%d, %d backgrounds): %d/%d intra-word faults detected\n",
+			wr.Width, wr.Backgrounds, wr.Detected, wr.Faults)
+	}
+	if *ports > 1 {
+		mr, err := marchgen.EvaluateMport(context.Background(), test, *ports)
+		if err != nil {
+			fmt.Fprintln(stderr, "marchsim:", err)
+			return exitSim
+		}
+		fmt.Fprintf(stdout, "mport (2 ports): lifted test detects %d/%d weak faults\n",
+			mr.LiftedDetected, mr.Faults)
 	}
 	for i, m := range r.Missed() {
 		if i >= *missed {

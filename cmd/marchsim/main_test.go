@@ -55,6 +55,26 @@ func TestExitMissedFaultsJSON(t *testing.T) {
 	}
 }
 
+// TestAxisFlags pins the -width/-ports grading lines: March SL keeps full
+// intra-word coverage at width 4, and its single-port lift detects none of
+// the two-port weak faults (simultaneous conditions need a dedicated march).
+func TestAxisFlags(t *testing.T) {
+	code, out, errOut := runCmd("-march", "March SL", "-list", "list2", "-width", "4", "-ports", "2")
+	if code != exitFull {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "word (w=4, 3 backgrounds): 384/384") {
+		t.Fatalf("word grading line missing:\n%s", out)
+	}
+	if !strings.Contains(out, "mport (2 ports): lifted test detects 0/38") {
+		t.Fatalf("mport grading line missing:\n%s", out)
+	}
+	// Without the flags the lines must not appear.
+	if _, out, _ := runCmd("-march", "March SL", "-list", "list2"); strings.Contains(out, "word (") || strings.Contains(out, "mport (") {
+		t.Fatalf("default output grew axis lines:\n%s", out)
+	}
+}
+
 func TestExitUsageErrors(t *testing.T) {
 	cases := [][]string{
 		{},                                   // neither -march nor -spec

@@ -37,8 +37,10 @@ import (
 	"marchgen/internal/faultlist"
 	"marchgen/internal/linked"
 	"marchgen/internal/march"
+	"marchgen/internal/mport"
 	"marchgen/internal/oracle"
 	"marchgen/internal/sim"
+	"marchgen/internal/word"
 )
 
 // Exit codes of the marchverify command.
@@ -66,6 +68,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed       = fs.Int64("seed", 1, "seed for the random op streams")
 		n          = fs.Int("n", 0, "number of seeded random op streams to cross-check (rotated across the lists)")
 		props      = fs.Bool("props", false, "also check the metamorphic properties on every pair")
+		width      = fs.Int("width", 0, "also cross-check each test's word-path verdicts (internal/word vs oracle) at this word width")
+		ports      = fs.Int("ports", 0, "port count: 2 also cross-checks each test's mport-path verdicts (internal/mport vs oracle)")
 		minimize   = fs.Bool("minimize", false, "also generate per list with and without minimization and require both Full under the oracle")
 		lanes      = fs.String("lanes", "on", cliflag.LanesUsage)
 		version    = fs.Bool("version", false, "print version and exit")
@@ -151,6 +155,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// Axis cross-checks are per test (the word and mport fault spaces are
+	// fixed by width/port count, not by the fault list).
+	if *width > 1 || *ports > 1 {
+		for _, t := range tests {
+			if *width > 1 {
+				v.checkWord(t, *width)
+			}
+			if *ports > 1 {
+				v.checkMport(t)
+			}
+		}
+	}
+
 	fmt.Fprintf(stdout, "marchverify: %d pairs checked (%d lists, %d tests, %d random streams): %d divergences, %d property violations\n",
 		v.pairs, len(lists), len(tests), *n, v.divergences, v.violations)
 	if v.divergences > 0 || v.violations > 0 {
@@ -191,6 +208,52 @@ func (v *verifier) checkPair(t march.Test, list string, faults []linked.Fault) {
 	for _, viol := range violations {
 		v.violations++
 		fmt.Fprintf(v.stdout, "VIOLATION %s vs %s: %s\n", t.Name, list, viol)
+	}
+}
+
+// checkWord cross-checks one test's word-path verdicts: internal/word versus
+// the mask-based reference in internal/oracle, over the march-testable
+// intra-word faults of the given width.
+func (v *verifier) checkWord(t march.Test, width int) {
+	v.pairs++
+	bgs, err := word.Backgrounds(width)
+	if err != nil {
+		v.violations++
+		fmt.Fprintf(v.stdout, "VIOLATION word w=%d: %v\n", width, err)
+		return
+	}
+	diffs, err := oracle.CrossCheckWord(t, word.TestableIntraWordFaults(width), bgs, word.Config{Words: 2, Width: width})
+	if err != nil {
+		v.violations++
+		fmt.Fprintf(v.stdout, "VIOLATION word %s w=%d: %v\n", t.Name, width, err)
+		return
+	}
+	for _, d := range diffs {
+		v.divergences++
+		fmt.Fprintf(v.stdout, "DIVERGENCE word %s w=%d: %s\n", t.Name, width, d)
+	}
+}
+
+// checkMport cross-checks one test's mport-path verdicts on its lifted (port
+// B idle) form: internal/mport versus the event-based oracle reference, over
+// the two-port weak-fault catalog.
+func (v *verifier) checkMport(t march.Test) {
+	v.pairs++
+	lifted, err := mport.Lift(t)
+	if err != nil {
+		v.violations++
+		fmt.Fprintf(v.stdout, "VIOLATION mport lift %s: %v\n", t.Name, err)
+		return
+	}
+	diffs, err := oracle.CrossCheckMport(lifted, mport.Catalog(), mport.Config{})
+	if err != nil {
+		v.violations++
+		fmt.Fprintf(v.stdout, "VIOLATION mport %s: %v\n", t.Name, err)
+		return
+	}
+	for _, d := range diffs {
+		v.divergences++
+		fmt.Fprintf(v.stdout, "DIVERGENCE mport %s: %s\n", t.Name, d)
 	}
 }
 

@@ -41,6 +41,20 @@ func TestPropsAndMinimize(t *testing.T) {
 	}
 }
 
+// TestAxisCrossChecks pins the -width/-ports differential wall: the word and
+// mport verdict paths of a test are cross-checked against the oracle as extra
+// pairs, and agreement keeps the zero exit.
+func TestAxisCrossChecks(t *testing.T) {
+	code, out, errOut := runCmd(t, "-march", "March SS", "-list", "list2", "-width", "4", "-ports", "2")
+	if code != exitAgree {
+		t.Fatalf("exit %d; stdout: %s stderr: %s", code, out, errOut)
+	}
+	// One bit-level pair plus the word and mport axis checks.
+	if !strings.Contains(out, "3 pairs checked") || !strings.Contains(out, "0 divergences") {
+		t.Fatalf("summary does not count the axis pairs:\n%s", out)
+	}
+}
+
 func TestUsageErrors(t *testing.T) {
 	cases := [][]string{
 		{"-list", "nope"},

@@ -34,14 +34,15 @@ func Decode(recs []store.Record) ([]UnitResult, error) {
 func RenderMatrix(w io.Writer, title string, results []UnitResult) error {
 	t := &report.Table{
 		Title: title,
-		Header: []string{"List", "Profile", "Order", "n", "w", "Topo",
-			"Len", "Opt", "Coverage", "vs SL", "vs LF1", "BIST cyc", "1-order", "Word", "Error"},
+		Header: []string{"List", "Profile", "Order", "n", "w", "P", "Topo",
+			"Len", "Opt", "Coverage", "vs SL", "vs LF1", "BIST cyc", "1-order",
+			"Word", "Transp", "Mport", "Error"},
 	}
 	for _, r := range results {
 		u := r.Unit
 		if r.Error != "" {
 			t.AddRow(u.List, u.Profile, u.Order, fmt.Sprint(u.Size), fmt.Sprint(u.Width),
-				topoCell(u), "-", "-", "-", "-", "-", "-", "-", "-", r.Error)
+				portsCell(u), topoCell(u), "-", "-", "-", "-", "-", "-", "-", "-", "-", "-", r.Error)
 			continue
 		}
 		vsSL, vsLF1 := "-", "-"
@@ -59,18 +60,32 @@ func RenderMatrix(w io.Writer, title string, results []UnitResult) error {
 		if r.Optimize != nil {
 			optCell = fmt.Sprintf("%dn@%d", r.Optimize.Length, r.Optimize.Budget)
 		}
-		wordCell := "-"
+		// The BIST column reads the unit's recorded axis results: the
+		// generated test's estimate, superseded by the optimizer winner's
+		// cost when the sweep point weighted BIST cycles into the fitness.
+		bistCell := fmt.Sprint(r.BIST.Cycles)
+		if r.Optimize != nil && r.Optimize.BISTCycles > 0 {
+			bistCell = fmt.Sprintf("%d*", r.Optimize.BISTCycles)
+		}
+		wordCell, transpCell := "-", "-"
 		if r.Word != nil {
 			wordCell = fmt.Sprintf("%d/%d", r.Word.Detected, r.Word.Faults)
+			if r.Word.Transparent {
+				transpCell = fmt.Sprintf("%d/%d", r.Word.TransparentDetected, r.Word.Faults)
+			}
+		}
+		mportCell := "-"
+		if r.Mport != nil {
+			mportCell = fmt.Sprintf("%d/%d", r.Mport.LiftedDetected, r.Mport.Faults)
 		}
 		t.AddRow(u.List, u.Profile, u.Order, fmt.Sprint(u.Size), fmt.Sprint(u.Width),
-			topoCell(u),
+			portsCell(u), topoCell(u),
 			fmt.Sprint(r.Length), optCell,
 			fmt.Sprintf("%d/%d", r.Coverage.Detected, r.Coverage.Total),
 			vsSL, vsLF1,
-			fmt.Sprint(r.BIST.Cycles),
+			bistCell,
 			fmt.Sprint(r.BIST.SingleOrder),
-			wordCell, "")
+			wordCell, transpCell, mportCell, "")
 	}
 	return t.Render(w)
 }
@@ -106,15 +121,22 @@ func RenderFrontier(w io.Writer, results []UnitResult) error {
 	t := &report.Table{
 		Title: "Length-vs-budget frontier (optimizer sweep)",
 		Header: []string{"List", "Profile", "Order", "n",
-			"Seed len", "Budget", "Rng", "Len", "Evals", "Improved", "Test"},
+			"Seed len", "Budget", "Rng", "Wt", "Len", "BIST cyc", "Evals", "Improved", "Test"},
 	}
 	for _, x := range rows {
 		u := x.r.Unit
+		wt, cyc := "-", "-"
+		if x.o.BISTWeight > 0 {
+			wt = fmt.Sprint(x.o.BISTWeight)
+			cyc = fmt.Sprint(x.o.BISTCycles)
+		}
 		t.AddRow(u.List, u.Profile, u.Order, fmt.Sprint(u.Size),
 			fmt.Sprintf("%dn", x.o.SeedLength),
 			fmt.Sprint(x.o.Budget),
 			fmt.Sprint(x.o.Seed),
+			wt,
 			fmt.Sprintf("%dn", x.o.Length),
+			cyc,
 			fmt.Sprint(x.o.Evaluations),
 			fmt.Sprint(x.o.Improved),
 			x.o.Test)
@@ -127,6 +149,15 @@ func topoCell(u Unit) string {
 		return "-"
 	}
 	return u.Topology
+}
+
+// portsCell renders the unit's port count; the stored 0 is the normalized
+// single-port default.
+func portsCell(u Unit) string {
+	if u.Ports <= 1 {
+		return "1"
+	}
+	return fmt.Sprint(u.Ports)
 }
 
 // RenderTests writes the generated tests of a campaign, one per distinct

@@ -149,6 +149,118 @@ func TestKillResumeByteIdentical(t *testing.T) {
 	}
 }
 
+// TestKillResumeByteIdenticalWithAxes extends the kill/resume guarantee to
+// the word/port axes: a width=4, ports∈{1,2} campaign interrupted mid-run
+// must resume to a store byte-identical to an uninterrupted run, with the
+// per-unit word and multi-port sections fully populated.
+func TestKillResumeByteIdenticalWithAxes(t *testing.T) {
+	spec := Spec{
+		Name:      "axes-resume",
+		Lists:     []string{"list2"},
+		Orders:    []string{"free", "up"},
+		Sizes:     []int{3},
+		Widths:    []int{4},
+		Ports:     []int{1, 2},
+		ShardSize: 1,
+	}
+	if got := spec.Units(); got != 4 {
+		t.Fatalf("spec plans %d units, want 4 (2 order constraints × 2 port counts)", got)
+	}
+
+	// Reference: one uninterrupted run.
+	refRoot := t.TempDir()
+	refSum, err := Run(context.Background(), spec, refRoot, RunOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refSum.Units != 4 || refSum.Shards != 4 || refSum.UnitErrors != 0 {
+		t.Fatalf("reference summary = %+v", refSum)
+	}
+	ref := resultsBytes(t, spec, refRoot)
+
+	// Interrupted: cancel once one shard has committed, tear the tail.
+	killRoot := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var committed atomic.Int32
+	_, err = Run(ctx, spec, killRoot, RunOptions{
+		Workers: 2,
+		OnEvent: func(ev Event) {
+			if ev.Kind == EventShardCommitted && committed.Add(1) == 1 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run error = %v, want context.Canceled", err)
+	}
+	dir := spec.Dir(killRoot)
+	cp, _, err := store.Read(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Shards < 1 || cp.Shards >= 4 {
+		t.Fatalf("kill point left %d shards committed, want a genuine mid-run state", cp.Shards)
+	}
+	f, err := os.OpenFile(store.DataPath(dir), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"id":"u-torn","shard":99,"seq":`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	sum, err := Run(context.Background(), spec, killRoot, RunOptions{Workers: 4, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Units != 4 || sum.Shards != 4 {
+		t.Fatalf("resumed summary = %+v", sum)
+	}
+	got := resultsBytes(t, spec, killRoot)
+	if string(got) != string(ref) {
+		t.Fatalf("resumed axis campaign differs from uninterrupted run:\n got %d bytes\nwant %d bytes", len(got), len(ref))
+	}
+
+	// The axis sections really ran: every unit carries a width-4 word
+	// section, and the two-port units a multi-port section whose dedicated
+	// test covers weak faults the lifted single-port march cannot.
+	_, recs, err := store.Read(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := Decode(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twoPort := 0
+	for _, r := range results {
+		id := r.Unit.ID()
+		if r.Error != "" {
+			t.Fatalf("unit %s error: %s", id, r.Error)
+		}
+		if r.Word == nil || r.Word.Width != 4 || r.Word.Faults == 0 || r.Word.Detected == 0 {
+			t.Fatalf("unit %s word section = %+v, want a populated width-4 evaluation", id, r.Word)
+		}
+		if r.Unit.Ports > 1 {
+			twoPort++
+			if r.Mport == nil || r.Mport.Ports != 2 || r.Mport.TestDetected == 0 {
+				t.Fatalf("unit %s mport section = %+v", id, r.Mport)
+			}
+			if r.Mport.LiftedDetected != 0 {
+				t.Fatalf("unit %s: lifted single-port march detected %d weak faults, want 0",
+					id, r.Mport.LiftedDetected)
+			}
+		} else if r.Mport != nil {
+			t.Fatalf("single-port unit %s has an mport section: %+v", id, r.Mport)
+		}
+	}
+	if twoPort != 2 {
+		t.Fatalf("two-port units = %d, want 2", twoPort)
+	}
+}
+
 func TestRunRejectsInvalidSpec(t *testing.T) {
 	if _, err := Run(context.Background(), Spec{Lists: []string{"nope"}}, t.TempDir(), RunOptions{}); err == nil {
 		t.Fatal("invalid spec ran")

@@ -59,6 +59,17 @@ type Spec struct {
 	// intra-word faults of a w-bit word with the standard log2(w)+1 data
 	// backgrounds.
 	Widths []int `json:"widths,omitempty"`
+	// Ports are port counts: 1 is the paper's single-port memory; 2
+	// additionally evaluates the lifted (port B idle) form of each unit's
+	// test against the two-port weak-fault catalog. The single-port default
+	// is omitted from the canonical form, so pre-axis specs keep their
+	// hashes.
+	Ports []int `json:"ports,omitempty"`
+	// Transparent sweeps the transparent (in-field) transform: true
+	// additionally evaluates the transparent form of each width>1 unit's
+	// test, which preserves memory content instead of initializing it. The
+	// false default is omitted from the canonical form.
+	Transparent []bool `json:"transparent,omitempty"`
 	// Topologies are array shapes "RxC" (e.g. "8x8"); each unit reports the
 	// BIST application cost on that array and how much physical adjacency
 	// the shape hides from logical address order.
@@ -80,11 +91,14 @@ type Spec struct {
 }
 
 // OptAxis is one optimizer sweep point: an evaluation budget (0 = no
-// optimization) and the rng seed of the run. Seed 0 canonicalizes to 1, the
-// optimizer's default.
+// optimization), the rng seed of the run, and the BIST-cycle fitness weight
+// (0 = pure length minimization, the historical objective). Seed 0
+// canonicalizes to 1, the optimizer's default; BISTWeight is omitted at 0,
+// so weight-free specs keep their hashes.
 type OptAxis struct {
-	Budget int   `json:"budget"`
-	Seed   int64 `json:"seed,omitempty"`
+	Budget     int     `json:"budget"`
+	Seed       int64   `json:"seed,omitempty"`
+	BISTWeight float64 `json:"bist_weight,omitempty"`
 }
 
 // Canonical returns the spec with every default made explicit and
@@ -109,6 +123,19 @@ func (s Spec) Canonical() Spec {
 	s.Widths = dedupInts(s.Widths)
 	if len(s.Widths) == 0 {
 		s.Widths = []int{1}
+	}
+	// Ports and Transparent canonicalize the other way: the single default
+	// value is dropped rather than filled in, so a spec that never mentions
+	// the axis hashes identically to one that names only the default —
+	// and identically to every pre-axis spec. Plan fills the default back
+	// in locally.
+	s.Ports = dedupInts(s.Ports)
+	if len(s.Ports) == 1 && s.Ports[0] == 1 {
+		s.Ports = nil
+	}
+	s.Transparent = dedupBools(s.Transparent)
+	if len(s.Transparent) == 1 && !s.Transparent[0] {
+		s.Transparent = nil
 	}
 	s.Topologies = dedup(s.Topologies)
 	if len(s.Topologies) == 0 {
@@ -160,6 +187,11 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("campaign: word width %d out of range [1,64]", w)
 		}
 	}
+	for _, p := range c.Ports {
+		if p < 1 || p > 2 {
+			return fmt.Errorf("campaign: port count %d out of range [1,2]", p)
+		}
+	}
 	for _, t := range c.Topologies {
 		if t == "" {
 			continue
@@ -174,6 +206,9 @@ func (s Spec) Validate() error {
 		}
 		if o.Seed < 0 {
 			return fmt.Errorf("campaign: optimize seed %d must be non-negative", o.Seed)
+		}
+		if o.BISTWeight < 0 || o.BISTWeight > 1000 {
+			return fmt.Errorf("campaign: optimize bist_weight %g out of range [0,1000]", o.BISTWeight)
 		}
 	}
 	return nil
@@ -229,18 +264,26 @@ func ParseTopology(spec string) (topo.Topology, error) {
 // generate-and-certify run. Units are ordered and numbered by the
 // deterministic expansion of the canonical spec.
 type Unit struct {
-	Seq      int    `json:"seq"`
-	List     string `json:"list"`
-	Profile  string `json:"profile"`
-	Order    string `json:"order"`
-	Size     int    `json:"size"`
-	Width    int    `json:"width"`
-	Topology string `json:"topology,omitempty"`
-	Verify   bool   `json:"verify,omitempty"`
-	// OptBudget and OptSeed are the optimizer sweep coordinates; a zero
-	// budget means the unit records generation only.
-	OptBudget int   `json:"opt_budget,omitempty"`
-	OptSeed   int64 `json:"opt_seed,omitempty"`
+	Seq     int    `json:"seq"`
+	List    string `json:"list"`
+	Profile string `json:"profile"`
+	Order   string `json:"order"`
+	Size    int    `json:"size"`
+	Width   int    `json:"width"`
+	// Ports is 0 for the single-port default (the axis value 1 normalizes
+	// to 0 at planning time, so single-port units keep their pre-axis IDs)
+	// and 2 for the two-port evaluation.
+	Ports int `json:"ports,omitempty"`
+	// Transparent selects the in-field (content-preserving) evaluation of a
+	// width>1 unit; false is omitted so pre-axis unit IDs are unchanged.
+	Transparent bool   `json:"transparent,omitempty"`
+	Topology    string `json:"topology,omitempty"`
+	Verify      bool   `json:"verify,omitempty"`
+	// OptBudget, OptSeed and OptBISTWeight are the optimizer sweep
+	// coordinates; a zero budget means the unit records generation only.
+	OptBudget     int     `json:"opt_budget,omitempty"`
+	OptSeed       int64   `json:"opt_seed,omitempty"`
+	OptBISTWeight float64 `json:"opt_bist_weight,omitempty"`
 }
 
 // ID returns the unit's content address: a SHA-256 over the
@@ -271,27 +314,45 @@ type Shard struct {
 }
 
 // Plan expands the spec into its deterministic shard plan. The unit order
-// is the nested iteration list → profile → order → size → width → topology
-// → verify → optimize over the canonical axes; shards are consecutive runs
-// of ShardSize units. Equal canonical specs always produce identical plans —
-// this is what makes checkpoints portable across processes.
+// is the nested iteration list → profile → order → size → width → ports →
+// transparent → topology → verify → optimize over the canonical axes; shards
+// are consecutive runs of ShardSize units. Equal canonical specs always
+// produce identical plans — this is what makes checkpoints portable across
+// processes.
 func Plan(s Spec) []Shard {
 	c := s.Canonical()
+	ports := c.Ports
+	if len(ports) == 0 {
+		ports = []int{1}
+	}
+	transparent := c.Transparent
+	if len(transparent) == 0 {
+		transparent = []bool{false}
+	}
 	var units []Unit
 	for _, list := range c.Lists {
 		for _, prof := range c.Profiles {
 			for _, ord := range c.Orders {
 				for _, size := range c.Sizes {
 					for _, width := range c.Widths {
-						for _, tp := range c.Topologies {
-							for _, vf := range c.Verify {
-								for _, opt := range c.Optimize {
-									units = append(units, Unit{
-										Seq: len(units), List: list, Profile: prof,
-										Order: ord, Size: size, Width: width,
-										Topology: tp, Verify: vf,
-										OptBudget: opt.Budget, OptSeed: opt.Seed,
-									})
+						for _, pc := range ports {
+							for _, tr := range transparent {
+								for _, tp := range c.Topologies {
+									for _, vf := range c.Verify {
+										for _, opt := range c.Optimize {
+											u := Unit{
+												Seq: len(units), List: list, Profile: prof,
+												Order: ord, Size: size, Width: width,
+												Transparent: tr, Topology: tp, Verify: vf,
+												OptBudget: opt.Budget, OptSeed: opt.Seed,
+												OptBISTWeight: opt.BISTWeight,
+											}
+											if pc > 1 {
+												u.Ports = pc
+											}
+											units = append(units, u)
+										}
+									}
 								}
 							}
 						}
@@ -314,8 +375,15 @@ func Plan(s Spec) []Shard {
 // Units counts the plan's units without materializing shards.
 func (s Spec) Units() int {
 	c := s.Canonical()
-	return len(c.Lists) * len(c.Profiles) * len(c.Orders) * len(c.Sizes) *
+	n := len(c.Lists) * len(c.Profiles) * len(c.Orders) * len(c.Sizes) *
 		len(c.Widths) * len(c.Topologies) * len(c.Verify) * len(c.Optimize)
+	if len(c.Ports) > 0 {
+		n *= len(c.Ports)
+	}
+	if len(c.Transparent) > 0 {
+		n *= len(c.Transparent)
+	}
+	return n
 }
 
 func dedup(in []string) []string {
@@ -354,7 +422,8 @@ func dedupOpt(in []OptAxis) []OptAxis {
 			v.Seed = 1 // the optimizer's default, made explicit
 		}
 		if v.Budget == 0 {
-			v.Seed = 0 // seed is meaningless without a budget
+			v.Seed = 0 // seed and weight are meaningless without a budget
+			v.BISTWeight = 0
 		}
 		if !seen[v] {
 			seen[v] = true

@@ -45,6 +45,26 @@ type WordJSON struct {
 	Backgrounds int `json:"backgrounds"`
 	Faults      int `json:"faults"`
 	Detected    int `json:"detected"`
+	// Transparent fields record the in-field variant of a transparent-axis
+	// unit (Li et al.): the initialization-free test and its coverage under
+	// the representative content set. Omitted for non-transparent units, so
+	// pre-axis records are byte-identical.
+	Transparent         bool   `json:"transparent,omitempty"`
+	TransparentTest     string `json:"transparent_test,omitempty"`
+	TransparentDetected int    `json:"transparent_detected,omitempty"`
+}
+
+// MportJSON is the two-port evaluation of a ports=2 unit: the weak-fault
+// catalog coverage retained by the single-port test when lifted (port B
+// idle), plus the dedicated two-port march the directed constructor builds
+// for the catalog.
+type MportJSON struct {
+	Ports          int    `json:"ports"`
+	Faults         int    `json:"faults"`
+	LiftedDetected int    `json:"lifted_detected"`
+	Test           string `json:"test"`
+	TestLength     int    `json:"test_length"`
+	TestDetected   int    `json:"test_detected"`
 }
 
 // TopoJSON reports how the array shape interacts with logical address
@@ -70,6 +90,12 @@ type OptimizeJSON struct {
 	Evaluations int    `json:"evaluations"`
 	Improved    bool   `json:"improved"`
 	MoveTrace   string `json:"move_trace"`
+	// BISTWeight and BISTCycles record the BIST-aware fitness of a weighted
+	// sweep point: the weight applied and the winner's application cost on
+	// the unit's array. Both are omitted for the historical pure-length
+	// objective (weight 0), so weight-free records are byte-identical.
+	BISTWeight float64 `json:"bist_weight,omitempty"`
+	BISTCycles int64   `json:"bist_cycles,omitempty"`
 }
 
 // VerifyJSON is the differential cross-check of a verify-enabled unit: the
@@ -98,6 +124,7 @@ type UnitResult struct {
 	Simulations int           `json:"simulations"`
 	BIST        BISTJSON      `json:"bist"`
 	Word        *WordJSON     `json:"word,omitempty"`
+	Mport       *MportJSON    `json:"mport,omitempty"`
 	Topo        *TopoJSON     `json:"topo,omitempty"`
 	Verify      *VerifyJSON   `json:"verify,omitempty"`
 	Optimize    *OptimizeJSON `json:"optimize,omitempty"`
@@ -187,12 +214,13 @@ func buildResult(ctx context.Context, u Unit, gen core.Result, err error, lanesO
 		}
 		seed := gen.Test
 		opt, err := optimize.RunContext(ctx, faults, optimize.Options{
-			Name:      fmt.Sprintf("%s opt(b=%d,s=%d)", gen.Test.Name, u.OptBudget, u.OptSeed),
-			Seed:      u.OptSeed,
-			Budget:    u.OptBudget,
-			SeedTest:  &seed,
-			BISTCells: bistCells,
-			Config:    sim.Config{Size: u.Size, ExhaustiveOrders: true, DisableLanes: lanesOff},
+			Name:       fmt.Sprintf("%s opt(b=%d,s=%d)", gen.Test.Name, u.OptBudget, u.OptSeed),
+			Seed:       u.OptSeed,
+			Budget:     u.OptBudget,
+			SeedTest:   &seed,
+			BISTCells:  bistCells,
+			BISTWeight: u.OptBISTWeight,
+			Config:     sim.Config{Size: u.Size, ExhaustiveOrders: true, DisableLanes: lanesOff},
 		})
 		if err != nil {
 			if ctx.Err() != nil {
@@ -210,6 +238,13 @@ func buildResult(ctx context.Context, u Unit, gen core.Result, err error, lanesO
 			Evaluations: opt.Stats.Evaluations,
 			Improved:    opt.Stats.Improved,
 			MoveTrace:   opt.Test.Prov.MoveTrace,
+		}
+		if u.OptBISTWeight > 0 {
+			// The quantity the weighted fitness minimized, recorded on the
+			// winner so the report renders the optimized cost, not the
+			// generated test's.
+			res.Optimize.BISTWeight = u.OptBISTWeight
+			res.Optimize.BISTCycles = bist.Estimate(opt.Test, bistCells, bistDelayCycles).Cycles
 		}
 	}
 
@@ -242,6 +277,40 @@ func buildResult(ctx context.Context, u Unit, gen core.Result, err error, lanesO
 		res.Word = &WordJSON{
 			Width: u.Width, Backgrounds: len(bgs),
 			Faults: len(wfaults), Detected: detected,
+		}
+		if u.Transparent {
+			tt, err := word.Transparent(gen.Test)
+			if err != nil {
+				res.Error = err.Error()
+				return res, nil
+			}
+			td, err := word.TransparentCoverage(tt, wfaults, bgs, word.Config{Words: 2, Width: u.Width})
+			if err != nil {
+				res.Error = err.Error()
+				return res, nil
+			}
+			res.Word.Transparent = true
+			res.Word.TransparentTest = tt.String()
+			res.Word.TransparentDetected = td
+		}
+	}
+
+	if u.Ports > 1 {
+		mres, err := core.EvaluateMport(ctx, gen.Test, u.Ports)
+		if err != nil {
+			if ctx.Err() != nil {
+				return res, ctx.Err()
+			}
+			res.Error = err.Error()
+			return res, nil
+		}
+		res.Mport = &MportJSON{
+			Ports:          mres.Ports,
+			Faults:         mres.Faults,
+			LiftedDetected: mres.LiftedDetected,
+			Test:           mres.Test,
+			TestLength:     mres.TestLength,
+			TestDetected:   mres.TestDetected,
 		}
 	}
 	return res, nil

@@ -105,6 +105,19 @@ type Options struct {
 	// path, so an agreement here is meaningful evidence that the coverage
 	// claim does not rest on a simulator bug.
 	CertifyWithOracle bool
+	// Width, when above 1, additionally grades the generated test on a
+	// word-oriented memory of that width: intra-word two-cell faults under
+	// the standard background set (internal/word). 0 or 1 keeps the classic
+	// bit-oriented run byte-identical to pre-axis behavior.
+	Width int
+	// Transparent additionally evaluates the in-field transparent variant
+	// of the test (initialization dropped, content as background — Li et
+	// al.). Only meaningful with Width > 1; ignored otherwise.
+	Transparent bool
+	// Ports, when 2, additionally grades the test against the two-port
+	// weak-fault catalog (internal/mport): coverage of its single-port lift
+	// plus a dedicated two-port march. 0 or 1 means single-port.
+	Ports int
 }
 
 func (o Options) name() string {
@@ -177,6 +190,10 @@ type Result struct {
 	Report sim.Report
 	// Stats describes the run.
 	Stats Stats
+	// Word is the word-oriented evaluation (nil unless Options.Width > 1).
+	Word *WordResult
+	// Mport is the multi-port evaluation (nil unless Options.Ports > 1).
+	Mport *MportResult
 }
 
 // Generate produces a march test covering every fault in the list. It
@@ -196,6 +213,9 @@ func GenerateContext(ctx context.Context, faults []linked.Fault, opts Options) (
 	start := time.Now()
 	if len(faults) == 0 {
 		return Result{}, fmt.Errorf("core: empty fault list")
+	}
+	if err := opts.validateAxes(); err != nil {
+		return Result{}, err
 	}
 	st := &Stats{Faults: len(faults)}
 
@@ -259,8 +279,13 @@ func GenerateContext(ctx context.Context, faults []linked.Fault, opts Options) (
 		}
 	}
 	cand.Origin = march.OriginGenerated
+	res := Result{Test: cand, Report: report}
+	if err := evaluateAxes(ctx, cand, opts, &res); err != nil {
+		return Result{}, err
+	}
 	st.Duration = time.Since(start)
-	return Result{Test: cand, Report: report, Stats: *st}, nil
+	res.Stats = *st
+	return res, nil
 }
 
 // entryConstraint returns the fault-free cell value an element requires on

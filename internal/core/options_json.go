@@ -65,6 +65,10 @@ func (o Options) Canonical() Options {
 	o.MaxRepairRounds = o.maxRepairRounds()
 	o.SearchConfig = o.searchConfig().Canonical()
 	o.FinalConfig = o.finalConfig().Canonical()
+	// Axis options normalize their bit-oriented/single-port defaults to the
+	// zero value and stay off the wire at defaults, so pre-axis requests and
+	// explicit width=1/ports=1 requests hash to the same cache key.
+	o = o.axisDefaults()
 	return o
 }
 
@@ -80,6 +84,9 @@ type optionsJSON struct {
 	CertifyWithOracle bool            `json:"certify_with_oracle"`
 	SearchConfig      sim.Config      `json:"search_config"`
 	FinalConfig       sim.Config      `json:"final_config"`
+	Width             int             `json:"width,omitempty"`
+	Transparent       bool            `json:"transparent,omitempty"`
+	Ports             int             `json:"ports,omitempty"`
 }
 
 // MarshalJSON encodes the canonical form: stable field order, defaults
@@ -96,6 +103,9 @@ func (o Options) MarshalJSON() ([]byte, error) {
 		CertifyWithOracle: co.CertifyWithOracle,
 		SearchConfig:      co.SearchConfig,
 		FinalConfig:       co.FinalConfig,
+		Width:             co.Width,
+		Transparent:       co.Transparent,
+		Ports:             co.Ports,
 	})
 }
 
@@ -116,6 +126,9 @@ func (o *Options) UnmarshalJSON(data []byte) error {
 		CertifyWithOracle: w.CertifyWithOracle,
 		SearchConfig:      w.SearchConfig,
 		FinalConfig:       w.FinalConfig,
+		Width:             w.Width,
+		Transparent:       w.Transparent,
+		Ports:             w.Ports,
 	}
 	return nil
 }

@@ -1,0 +1,71 @@
+package diagnose
+
+import (
+	"strings"
+	"testing"
+
+	"marchgen/internal/faultlist"
+	"marchgen/internal/march"
+	"marchgen/internal/sim"
+)
+
+// FuzzDiagnoseSyndrome feeds hostile, partial and contradictory syndromes
+// through the same path the /v1/diagnose endpoint runs: parse, localize,
+// pick a follow-up. Whatever a tester wires across, the pipeline must
+// reject malformed input with an error (never a panic) and terminate on
+// well-formed input — impossible syndromes just localize to the empty set.
+func FuzzDiagnoseSyndrome(f *testing.F) {
+	// A genuine syndrome of a WDF0 at cell 2 under MATS+, for the corpus.
+	faults := faultlist.SimpleSingleCell()
+	cfg := sim.Config{Size: 4}
+	d, err := Build(march.MATSPlus, faults[:1], cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var real string
+	for _, e := range d.Entries {
+		if len(e.Syndrome) > 0 {
+			real = e.Syndrome.Key()
+			break
+		}
+	}
+
+	f.Add(real, uint8(0))
+	f.Add("", uint8(0))
+	f.Add("M0#0@0", uint8(1))                 // contradictory: element 0 is write-only
+	f.Add("M1#0@2,M1#0@2,M3#1@0", uint8(2))   // duplicates + plausible reads
+	f.Add("M999#999@999", uint8(3))           // far outside the test
+	f.Add("M-1#0@0", uint8(4))                // malformed: negative element
+	f.Add("garbage,M1#0@2", uint8(5))         // malformed entry amid valid ones
+	f.Add("M1#0@2, M2#1@3 ,M0#1@1", uint8(6)) // whitespace forms
+
+	pool := march.Lib()
+	f.Fuzz(func(t *testing.T, raw string, testIdx uint8) {
+		if len(raw) > 2048 {
+			t.Skip("oversized syndrome")
+		}
+		syn, err := ParseSyndrome(strings.Split(raw, ","))
+		if err != nil {
+			return // malformed input must error, and it did
+		}
+		obs := []Observation{{Test: pool[int(testIdx)%len(pool)], Syndrome: syn}}
+		cands, err := Localize(faults, obs, cfg)
+		if err != nil {
+			t.Fatalf("Localize on a parsed syndrome: %v", err)
+		}
+		if len(cands) > len(faults)*cfg.Size {
+			t.Fatalf("%d candidates from %d instances", len(cands), len(faults)*cfg.Size)
+		}
+		used := map[string]bool{obs[0].Test.Name: true}
+		next, ok, err := NextTest(cands, pool, used, cfg)
+		if err != nil {
+			t.Fatalf("NextTest: %v", err)
+		}
+		if ok && used[next.Name] {
+			t.Fatalf("NextTest recommended the already-executed %s", next.Name)
+		}
+		if ok && len(cands) <= 1 {
+			t.Fatal("NextTest proposed a follow-up for a settled candidate set")
+		}
+	})
+}

@@ -146,16 +146,26 @@ func Generate(faults []Fault, opts Options) (Test, Report, error) {
 	}
 
 	// Minimization: drop any element or operation whose removal keeps full
-	// coverage and consistency.
+	// coverage and consistency. The check fails fast — most trials lose some
+	// fault, and rechecking the previous trial's culprit first usually
+	// refutes them on the first fault instead of sweeping the whole catalog.
+	culprit := 0
 	full := func(t Test) (bool, error) {
 		if t.Validate() != nil || t.CheckConsistency(cfg.size()) != nil {
 			return false, nil
 		}
-		r, err := Simulate(t, faults, cfg)
-		if err != nil {
-			return false, err
+		for k := 0; k < len(faults); k++ {
+			i := (culprit + k) % len(faults)
+			det, err := detectsEvery(t, faults[i], cfg)
+			if err != nil {
+				return false, err
+			}
+			if !det {
+				culprit = i
+				return false, nil
+			}
 		}
-		return r.Full(), nil
+		return true, nil
 	}
 	for changed := true; changed; {
 		changed = false

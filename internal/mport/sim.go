@@ -28,13 +28,30 @@ type placement struct {
 	A1   int // lower aggressor (WCC); -1 otherwise
 }
 
-// mach simulates the good and faulty two-port machines in lockstep.
+// mach simulates the good and faulty two-port machines in lockstep. The two
+// sweep orders are precomputed once: address enumeration sits on the hot
+// path of every scenario.
 type mach struct {
 	good, faulty []fp.Value
+	up, down     []int
 }
 
 func newMach(n int) *mach {
-	return &mach{good: make([]fp.Value, n), faulty: make([]fp.Value, n)}
+	up := make([]int, n)
+	down := make([]int, n)
+	for i := 0; i < n; i++ {
+		up[i] = i
+		down[i] = n - 1 - i
+	}
+	return &mach{good: make([]fp.Value, n), faulty: make([]fp.Value, n), up: up, down: down}
+}
+
+// addrs returns the precomputed sweep for a concrete order.
+func (m *mach) addrs(o march.AddrOrder) []int {
+	if o == march.Down {
+		return m.down
+	}
+	return m.up
 }
 
 // stepPair applies one operation pair at port-A address addrA and reports
@@ -108,7 +125,7 @@ func (m *mach) run(t Test, f Fault, pl placement, init []fp.Value, cells []int, 
 		m.faulty[c] = init[i]
 	}
 	for ei, e := range t.Elems {
-		for _, addr := range orders[ei].Addresses(n) {
+		for _, addr := range m.addrs(orders[ei]) {
 			for _, p := range e.Ops {
 				if m.stepPair(f, pl, p, addr, n) {
 					return true
@@ -117,6 +134,40 @@ func (m *mach) run(t Test, f Fault, pl placement, init []fp.Value, cells []int, 
 		}
 	}
 	return false
+}
+
+// detectsEvery reports whether the test detects every scenario of the fault,
+// bailing out at the first miss instead of enumerating the full miss list —
+// the generator's minimizer calls it once per fault per trial, and most
+// trials fail on their first missed scenario.
+func detectsEvery(t Test, f Fault, cfg Config) (bool, error) {
+	if err := t.Validate(); err != nil {
+		return false, err
+	}
+	if err := f.Validate(); err != nil {
+		return false, err
+	}
+	n := cfg.size()
+	if f.Cells() >= n {
+		return false, fmt.Errorf("mport: %d-cell fault needs an array larger than %d", f.Cells(), n)
+	}
+	orderSets := orderCombos(t)
+	m := newMach(n)
+	for _, pl := range placements(f, n) {
+		cells := faultCells(f, pl)
+		for bits := 0; bits < 1<<len(cells); bits++ {
+			init := make([]fp.Value, len(cells))
+			for i := range cells {
+				init[i] = fp.ValueOf(uint8(bits>>i) & 1)
+			}
+			for _, orders := range orderSets {
+				if !m.run(t, f, pl, init, cells, orders, n) {
+					return false, nil
+				}
+			}
+		}
+	}
+	return true, nil
 }
 
 // faultCells lists the concrete addresses a placement binds.

@@ -74,6 +74,12 @@ type Options struct {
 	// BISTCells, when positive, breaks length ties by the estimated BIST
 	// cycle cost on a memory of that many cells (package bist).
 	BISTCells int
+	// BISTWeight, when positive, promotes BIST cycle cost from tie-breaker
+	// to fitness term: candidates are ordered by length + BISTWeight × cycles
+	// (on a BISTCells-cell memory; 4 cells when BISTCells is unset) before
+	// the structural tie-breaks. Zero keeps the pure-length fitness and the
+	// exact historical search trajectory.
+	BISTWeight float64
 	// SeedTest is the test the search starts from. When nil, Run generates
 	// one with core.GenerateContext under Generator. The seed must fully
 	// cover the fault list.
@@ -314,4 +320,17 @@ func tieBreakCost(t march.Test, cells int) int64 {
 		return 0
 	}
 	return bist.Estimate(t, cells, 0).Cycles
+}
+
+// bistCells returns the memory size BIST costs are estimated on: BISTCells
+// when set, the 4-cell simulator default when only the weighted fitness term
+// is active, 0 (cost disabled) otherwise.
+func (o Options) bistCells() int {
+	if o.BISTCells > 0 {
+		return o.BISTCells
+	}
+	if o.BISTWeight > 0 {
+		return 4
+	}
+	return 0
 }

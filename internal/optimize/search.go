@@ -18,18 +18,23 @@ type candidate struct {
 	test  march.Test
 	len   int
 	elems int
-	cost  int64 // BIST cycle tie-break (0 when disabled)
+	cost  int64   // BIST cycle tie-break (0 when disabled)
+	score float64 // weighted length+BIST fitness (0 when BISTWeight is off)
 	ascii string
 	trace []string
 }
 
-// better is the total fitness order: shorter first, then fewer elements
-// (a march element is a BIST sequencer state, and fragmenting into
-// single-op elements is free under the length metric alone), then cheaper
-// in BIST cycles, then lexicographic ASCII rendering. The last key makes
-// every comparison deterministic, which run-to-run reproducibility depends
-// on.
+// better is the total fitness order: the weighted length+BIST score first
+// (inert at the historical 0 when BISTWeight is off), then shorter, then
+// fewer elements (a march element is a BIST sequencer state, and
+// fragmenting into single-op elements is free under the length metric
+// alone), then cheaper in BIST cycles, then lexicographic ASCII rendering.
+// The last key makes every comparison deterministic, which run-to-run
+// reproducibility depends on.
 func (c candidate) better(d candidate) bool {
+	if c.score != d.score {
+		return c.score < d.score
+	}
 	if c.len != d.len {
 		return c.len < d.len
 	}
@@ -121,14 +126,18 @@ func (s *search) covers(t march.Test) (bool, error) {
 }
 
 func (s *search) newCandidate(t march.Test, trace []string) candidate {
-	return candidate{
+	c := candidate{
 		test:  t,
 		len:   t.Length(),
 		elems: len(t.Elems),
-		cost:  tieBreakCost(t, s.opts.BISTCells),
+		cost:  tieBreakCost(t, s.opts.bistCells()),
 		ascii: t.ASCII(),
 		trace: trace,
 	}
+	if w := s.opts.BISTWeight; w > 0 {
+		c.score = float64(c.len) + w*float64(c.cost)
+	}
+	return c
 }
 
 // run executes the restarted annealing loop and returns the best

@@ -47,10 +47,11 @@ const (
 	classVerify   admitClass = "verify"
 	classOptimize admitClass = "optimize"
 	classCampaign admitClass = "campaign"
+	classDiagnose admitClass = "diagnose"
 )
 
 // admitClasses lists every class (stable order for snapshots).
-var admitClasses = []admitClass{classGenerate, classSimulate, classVerify, classOptimize, classCampaign}
+var admitClasses = []admitClass{classGenerate, classSimulate, classVerify, classOptimize, classCampaign, classDiagnose}
 
 // pressureLevel grades the service's congestion state.
 type pressureLevel int
@@ -78,7 +79,10 @@ func (p pressureLevel) String() string {
 // verify are cheaper and hold on until genuine overload.
 func (c admitClass) shedAt() pressureLevel {
 	switch c {
-	case classGenerate, classOptimize, classCampaign:
+	case classGenerate, classOptimize, classCampaign, classDiagnose:
+		// Diagnosis sheds with the cold classes: localization simulates a
+		// signature per candidate instance per observation, which is
+		// generation-grade work, and a tester can always retry.
 		return pressureDegraded
 	}
 	return pressureOverloaded
@@ -173,6 +177,7 @@ func newAdmission(workers, queueDepth, maxCampaigns int, target, interval time.D
 			classOptimize: {limits: classLimits{Concurrency: optConc, Queue: quarter}},
 			classSimulate: {limits: classLimits{Concurrency: 2 * workers, Queue: 0}},
 			classCampaign: {limits: classLimits{Concurrency: maxCampaigns, Queue: maxCampaigns}},
+			classDiagnose: {limits: classLimits{Concurrency: workers, Queue: half}},
 		},
 	}
 	return a

@@ -249,16 +249,19 @@ func TestRetryAfterDrainRateAndClamps(t *testing.T) {
 
 func TestPressureFromQueueOccupancy(t *testing.T) {
 	a, _ := newTestAdmission(2, 8, 2, 0, 0)
-	// Queue capacity across classes: 8 + 4 + 2 + 0 + 2 = 16.
+	// Queue capacity across classes: 8 + 4 + 2 + 0 + 2 + 4 = 20
+	// (generate, verify, optimize, simulate, campaign, diagnose).
 	a.classes[classGenerate].queued = 8
 	a.classes[classVerify].queued = 2
-	level, reasons := a.pressure() // 10/16 = 62%
+	a.classes[classDiagnose].queued = 3
+	level, reasons := a.pressure() // 13/20 = 65%
 	if level != pressureDegraded {
-		t.Fatalf("pressure at 62%% occupancy = %s, want degraded (%v)", level, reasons)
+		t.Fatalf("pressure at 65%% occupancy = %s, want degraded (%v)", level, reasons)
 	}
 	a.classes[classVerify].queued = 4
 	a.classes[classOptimize].queued = 2
-	a.classes[classCampaign].queued = 2 // 16/16
+	a.classes[classCampaign].queued = 2
+	a.classes[classDiagnose].queued = 4 // 20/20
 	if level, _ := a.pressure(); level != pressureOverloaded {
 		t.Fatalf("pressure at full occupancy = %s, want overloaded", level)
 	}

@@ -231,6 +231,39 @@ func verifyKey(t marchgen.March, faults []marchgen.Fault, cfg marchgen.SimConfig
 	return hex.EncodeToString(sum[:]), nil
 }
 
+// diagnoseKeySchema versions the /v1/diagnose key derivation. The endpoint
+// is new in this schema, so v1 covers its whole history.
+const diagnoseKeySchema = "marchd/diagnose/v1"
+
+// diagnoseObservation is the canonical form of one observation for key
+// derivation: the resolved march test — reduced to its name and element
+// string, so library metadata (source, origin) never changes the address —
+// plus the sorted syndrome key.
+type diagnoseObservation struct {
+	Name     string `json:"name"`
+	Spec     string `json:"spec"`
+	Syndrome string `json:"syndrome"`
+}
+
+// diagnoseKey derives the content address of a diagnosis request: the fault
+// list, the canonicalized simulator configuration and the observation
+// sequence (tests plus sorted syndromes). Localization is a pure function of
+// these inputs, so equal keys mean byte-identical candidate sets.
+func diagnoseKey(faults []marchgen.Fault, cfg marchgen.SimConfig, obs []diagnoseObservation) (string, error) {
+	payload := struct {
+		Schema       string                `json:"schema"`
+		Faults       []marchgen.Fault      `json:"faults"`
+		Config       marchgen.SimConfig    `json:"config"`
+		Observations []diagnoseObservation `json:"observations"`
+	}{diagnoseKeySchema, faults, cfg.Canonical(), obs}
+	b, err := json.Marshal(payload)
+	if err != nil {
+		return "", fmt.Errorf("service: cache key: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
 // optimizeKeySchema versions the /v1/optimize key derivation; bump it on any
 // shape change of the optimize result document or its canonical inputs.
 const optimizeKeySchema = "marchd/optimize/v1"
@@ -252,16 +285,20 @@ func optimizeKey(faults []marchgen.Fault, seedTest *marchgen.March, opts marchge
 		Beam      int               `json:"beam"`
 		Restarts  int               `json:"restarts"`
 		BISTCells int               `json:"bist_cells"`
+		// BISTWeight joined in PR 10; omitempty keeps every pre-existing
+		// key (weight 0) byte-identical.
+		BISTWeight float64 `json:"bist_weight,omitempty"`
 	}{
-		Schema:    optimizeKeySchema,
-		Faults:    faults,
-		SeedTest:  seedTest,
-		Name:      opts.Name,
-		Seed:      opts.Seed,
-		Budget:    opts.Budget,
-		Beam:      opts.BeamWidth,
-		Restarts:  opts.Restarts,
-		BISTCells: opts.BISTCells,
+		Schema:     optimizeKeySchema,
+		Faults:     faults,
+		SeedTest:   seedTest,
+		Name:       opts.Name,
+		Seed:       opts.Seed,
+		Budget:     opts.Budget,
+		Beam:       opts.BeamWidth,
+		Restarts:   opts.Restarts,
+		BISTCells:  opts.BISTCells,
+		BISTWeight: opts.BISTWeight,
 	}
 	if seedTest == nil {
 		gen := opts.Generator.Canonical()

@@ -271,7 +271,15 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			body, err := marshalVerifyResult(test, len(faults), cfg, diffs, key)
+			wordAxis, err := crossCheckWordAxis(ctx, test, cfg.Width)
+			if err != nil {
+				return nil, err
+			}
+			mportAxis, err := crossCheckMportAxis(ctx, test, cfg.Ports)
+			if err != nil {
+				return nil, err
+			}
+			body, err := marshalVerifyResult(test, len(faults), cfg, diffs, wordAxis, mportAxis, key)
 			if err != nil {
 				return nil, err
 			}
@@ -458,26 +466,48 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	// racing it: the goroutine owns the admission slot until the work
 	// really finishes, even when the response has already gone out as 504
 	// — abandoned work must keep counting against the class's concurrency.
-	ch := make(chan marchgen.Report, 1)
+	type simOutcome struct {
+		report marchgen.Report
+		word   *marchgen.WordResult
+		mport  *marchgen.MportResult
+		err    error
+	}
+	ch := make(chan simOutcome, 1)
 	go func() {
 		defer s.admit.release(classSimulate)
-		ch <- marchgen.SimulateWith(test, faults, cfg)
+		var out simOutcome
+		out.report = marchgen.SimulateWith(test, faults, cfg)
+		if out.report.Err() == nil {
+			// The axis sections (nil at width=1/ports=1, so pre-axis
+			// responses keep their exact shape).
+			out.word, out.err = marchgen.EvaluateWord(ctx, test, cfg.Width, false)
+			if out.err == nil {
+				out.mport, out.err = marchgen.EvaluateMport(ctx, test, cfg.Ports)
+			}
+		}
+		ch <- out
 	}()
 	select {
 	case <-ctx.Done():
 		writeError(w, http.StatusGatewayTimeout, "deadline exceeded before simulation finished")
 		return
-	case report := <-ch:
-		if err := report.Err(); err != nil {
+	case out := <-ch:
+		if err := out.report.Err(); err != nil {
 			// Simulation errors are request-shaped: the march test or config
 			// cannot express the fault list (⇕ expansion cap, memory too small).
 			writeError(w, http.StatusUnprocessableEntity, "simulation failed: %v", err)
 			return
 		}
+		if out.err != nil {
+			writeError(w, http.StatusUnprocessableEntity, "axis evaluation failed: %v", out.err)
+			return
+		}
 		writeJSON(w, http.StatusOK, struct {
-			Report  marchgen.Report `json:"report"`
-			Summary string          `json:"summary"`
-		}{report, report.Summary()})
+			Report  marchgen.Report       `json:"report"`
+			Word    *marchgen.WordResult  `json:"word,omitempty"`
+			Mport   *marchgen.MportResult `json:"mport,omitempty"`
+			Summary string                `json:"summary"`
+		}{out.report, out.word, out.mport, out.report.Summary()})
 	}
 }
 

@@ -43,6 +43,9 @@ type metrics struct {
 	optimizeImproved    int64 // runs whose winner beat the seed's length
 	optimizeEvaluations int64 // coverage evaluations, updated live via OnProgress
 
+	diagnoseRuns      int64 // completed diagnosis jobs
+	diagnoseLocalized int64 // runs that ended on a singleton candidate set
+
 	panicsTotal  int64 // contained panics: job fns, HTTP handlers
 	encodeErrors int64 // response bodies lost after the status line
 
@@ -135,6 +138,16 @@ func (m *metrics) optimizeDone(improved bool) {
 	m.mu.Unlock()
 }
 
+// diagnoseDone counts one completed diagnosis run.
+func (m *metrics) diagnoseDone(localized bool) {
+	m.mu.Lock()
+	m.diagnoseRuns++
+	if localized {
+		m.diagnoseLocalized++
+	}
+	m.mu.Unlock()
+}
+
 // panicked counts one contained panic (job fn or HTTP handler). A
 // non-zero panics_total is an alarm: the process survived, but something
 // reached a state the code never should.
@@ -200,6 +213,9 @@ type MetricsSnapshot struct {
 	OptimizeRuns        int64 `json:"optimize_runs"`
 	OptimizeImproved    int64 `json:"optimize_improved"`
 	OptimizeEvaluations int64 `json:"optimize_evaluations"`
+
+	DiagnoseRuns      int64 `json:"diagnose_runs"`
+	DiagnoseLocalized int64 `json:"diagnose_localized"`
 
 	PanicsTotal  int64 `json:"panics_total"`
 	EncodeErrors int64 `json:"response_encode_errors"`
@@ -272,6 +288,9 @@ func (m *metrics) snapshot(queueDepth, cacheEntries int) MetricsSnapshot {
 		OptimizeRuns:        m.optimizeRuns,
 		OptimizeImproved:    m.optimizeImproved,
 		OptimizeEvaluations: m.optimizeEvaluations,
+
+		DiagnoseRuns:      m.diagnoseRuns,
+		DiagnoseLocalized: m.diagnoseLocalized,
 
 		PanicsTotal:  m.panicsTotal,
 		EncodeErrors: m.encodeErrors,

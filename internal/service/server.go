@@ -206,6 +206,7 @@ func New(cfg Config) *Server {
 	s.route(mux, "POST /v1/generate", s.handleGenerate)
 	s.route(mux, "POST /v1/verify", s.handleVerify)
 	s.route(mux, "POST /v1/optimize", s.handleOptimize)
+	s.route(mux, "POST /v1/diagnose", s.handleDiagnose)
 	s.route(mux, "POST /v1/simulate", s.timeout(s.handleSimulate))
 	s.route(mux, "POST /v1/detects", s.timeout(s.handleDetects))
 	s.route(mux, "GET /v1/library", s.handleLibrary)

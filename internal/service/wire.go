@@ -101,11 +101,23 @@ type verifyRequest struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
+// verifyAxisJSON is one axis cross-check section of a verify result: the
+// axis dimension, the fault space checked, and every verdict divergence
+// between the production implementation and its independent reference.
+type verifyAxisJSON struct {
+	Width       int      `json:"width,omitempty"`
+	Ports       int      `json:"ports,omitempty"`
+	Faults      int      `json:"faults"`
+	Agree       bool     `json:"agree"`
+	Divergences []string `json:"divergences"`
+}
+
 // marshalVerifyResult renders the cached (and returned) result document of
 // a verification job: the resolved test, the cross-check scope, and every
 // divergence between the two simulators (an empty list means bit-for-bit
-// agreement).
-func marshalVerifyResult(test marchgen.March, faults int, cfg marchgen.SimConfig, diffs []marchgen.VerdictDiff, key string) ([]byte, error) {
+// agreement). The word and mport sections appear only when the config asks
+// for those axes, so pre-axis responses keep their exact shape.
+func marshalVerifyResult(test marchgen.March, faults int, cfg marchgen.SimConfig, diffs []marchgen.VerdictDiff, word, mport *verifyAxisJSON, key string) ([]byte, error) {
 	if diffs == nil {
 		diffs = []marchgen.VerdictDiff{}
 	}
@@ -115,8 +127,10 @@ func marshalVerifyResult(test marchgen.March, faults int, cfg marchgen.SimConfig
 		Config      marchgen.SimConfig     `json:"config"`
 		Agree       bool                   `json:"agree"`
 		Divergences []marchgen.VerdictDiff `json:"divergences"`
+		Word        *verifyAxisJSON        `json:"word,omitempty"`
+		Mport       *verifyAxisJSON        `json:"mport,omitempty"`
 		Key         string                 `json:"cache_key"`
-	}{test, faults, cfg, len(diffs) == 0, diffs, key}
+	}{test, faults, cfg, len(diffs) == 0, diffs, word, mport, key}
 	return json.Marshal(out)
 }
 
@@ -142,6 +156,10 @@ type optimizeRequest struct {
 	Restarts int `json:"restarts,omitempty"`
 	// BISTCells enables the BIST cycle tie-break on that memory size.
 	BISTCells int `json:"bist_cells,omitempty"`
+	// BISTWeight promotes BIST cycles from tie-break to fitness term:
+	// candidates are ordered by length + weight × cycles. 0 keeps the
+	// pure-length search.
+	BISTWeight float64 `json:"bist_weight,omitempty"`
 	// Generator configures seed generation when March is omitted.
 	Generator *marchgen.Options `json:"generator,omitempty"`
 	// TimeoutMS is the per-job deadline in milliseconds; 0 (or a value
@@ -154,12 +172,13 @@ type optimizeRequest struct {
 // filled in.
 func (req optimizeRequest) options() (*marchgen.March, marchgen.OptimizeOptions, error) {
 	opts := marchgen.OptimizeOptions{
-		Name:      req.Name,
-		Seed:      req.Seed,
-		Budget:    req.Budget,
-		BeamWidth: req.BeamWidth,
-		Restarts:  req.Restarts,
-		BISTCells: req.BISTCells,
+		Name:       req.Name,
+		Seed:       req.Seed,
+		Budget:     req.Budget,
+		BeamWidth:  req.BeamWidth,
+		Restarts:   req.Restarts,
+		BISTCells:  req.BISTCells,
+		BISTWeight: req.BISTWeight,
 	}
 	if opts.Name == "" {
 		opts.Name = "March OPT"
@@ -257,12 +276,18 @@ func marshalGenerateResult(res marchgen.Result, opts marchgen.Options, key strin
 		Test    marchgen.March   `json:"test"`
 		Report  marchgen.Report  `json:"report"`
 		Options marchgen.Options `json:"options"`
-		Stats   statsJSON        `json:"stats"`
-		Key     string           `json:"cache_key"`
+		// Word and Mport carry the axis evaluations; absent (and therefore
+		// invisible to pre-axis clients) at width=1/ports=1.
+		Word  *marchgen.WordResult  `json:"word,omitempty"`
+		Mport *marchgen.MportResult `json:"mport,omitempty"`
+		Stats statsJSON             `json:"stats"`
+		Key   string                `json:"cache_key"`
 	}{
 		Test:    res.Test,
 		Report:  res.Report,
 		Options: opts,
+		Word:    res.Word,
+		Mport:   res.Mport,
 		Stats: statsJSON{
 			Faults:               res.Stats.Faults,
 			WalkerElements:       res.Stats.WalkerElements,
@@ -274,5 +299,100 @@ func marshalGenerateResult(res marchgen.Result, opts marchgen.Options, key strin
 		},
 		Key: key,
 	}
+	return json.Marshal(out)
+}
+
+// observationSpec is one executed march test plus the syndrome the tester
+// recorded, as it arrives in a diagnosis request.
+type observationSpec struct {
+	March marchSpec `json:"march"`
+	// Syndrome lists the failing reads in the "M<elem>#<op>@<addr>" form the
+	// simulator's trace renders.
+	Syndrome []string `json:"syndrome"`
+}
+
+// diagnoseRequest is the POST /v1/diagnose body: the fault-model space to
+// search, the memory model, and the observation sequence (executed tests
+// with their syndromes).
+type diagnoseRequest struct {
+	faultSpec
+	// Config selects the memory model; omitted means the 4-cell default.
+	Config *marchgen.SimConfig `json:"config,omitempty"`
+	// Observations is the executed-test/syndrome sequence, in execution
+	// order. At least one is required.
+	Observations []observationSpec `json:"observations"`
+	// TimeoutMS is the per-job deadline in milliseconds; 0 (or a value
+	// beyond the server's cap) means the server's maximum job timeout.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// resolveObservations parses and resolves the observation sequence into the
+// diagnosis engine's form plus the canonical form the cache key hashes.
+func (req diagnoseRequest) resolveObservations() ([]marchgen.DiagnoseObservation, []diagnoseObservation, error) {
+	if len(req.Observations) == 0 {
+		return nil, nil, fmt.Errorf("request has no observations: set \"observations\" to at least one executed test with its syndrome")
+	}
+	obs := make([]marchgen.DiagnoseObservation, 0, len(req.Observations))
+	canon := make([]diagnoseObservation, 0, len(req.Observations))
+	for i, o := range req.Observations {
+		t, err := o.March.resolve()
+		if err != nil {
+			return nil, nil, fmt.Errorf("observation %d: %v", i, err)
+		}
+		syn, err := marchgen.ParseSyndrome(o.Syndrome)
+		if err != nil {
+			return nil, nil, fmt.Errorf("observation %d: %v", i, err)
+		}
+		obs = append(obs, marchgen.DiagnoseObservation{Test: t, Syndrome: syn})
+		canon = append(canon, diagnoseObservation{Name: t.Name, Spec: t.ASCII(), Syndrome: syn.Key()})
+	}
+	return obs, canon, nil
+}
+
+// diagnoseCandidateJSON is the wire form of one surviving fault instance.
+type diagnoseCandidateJSON struct {
+	Fault     marchgen.Fault `json:"fault"`
+	Placement []int          `json:"placement"`
+	ID        string         `json:"id"`
+}
+
+// nextTestJSON names the follow-up march the adaptive strategy recommends.
+type nextTestJSON struct {
+	Name string `json:"name"`
+	Spec string `json:"spec"`
+}
+
+// marshalDiagnoseResult renders the cached (and returned) result document of
+// a diagnosis job: the surviving candidate set, its status (localized /
+// ambiguous / empty), and — while ambiguous — the follow-up march that best
+// splits the survivors.
+func marshalDiagnoseResult(cands []marchgen.DiagnoseCandidate, next *marchgen.March, observations int, cfg marchgen.SimConfig, key string) ([]byte, error) {
+	wireCands := make([]diagnoseCandidateJSON, 0, len(cands))
+	for _, c := range cands {
+		pl := c.Placement
+		if pl == nil {
+			pl = []int{}
+		}
+		wireCands = append(wireCands, diagnoseCandidateJSON{Fault: c.Fault, Placement: pl, ID: c.String()})
+	}
+	status := "ambiguous"
+	switch len(cands) {
+	case 0:
+		status = "empty"
+	case 1:
+		status = "localized"
+	}
+	var wireNext *nextTestJSON
+	if next != nil {
+		wireNext = &nextTestJSON{Name: next.Name, Spec: next.ASCII()}
+	}
+	out := struct {
+		Candidates   []diagnoseCandidateJSON `json:"candidates"`
+		Status       string                  `json:"status"`
+		Next         *nextTestJSON           `json:"next,omitempty"`
+		Observations int                     `json:"observations"`
+		Config       marchgen.SimConfig      `json:"config"`
+		Key          string                  `json:"cache_key"`
+	}{wireCands, status, wireNext, observations, cfg, key}
 	return json.Marshal(out)
 }

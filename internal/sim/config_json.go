@@ -23,6 +23,16 @@ func (c Config) Canonical() Config {
 	}
 	c.Workers = 0
 	c.DisableLanes = false
+	// Width and Ports are identity-bearing, but their bit-oriented /
+	// single-port defaults are normalized to 0 and omitted from the wire so
+	// pre-axis requests and explicit width=1/ports=1 requests share one
+	// canonical form (and therefore one cache key).
+	if c.Width <= 1 {
+		c.Width = 0
+	}
+	if c.Ports <= 1 {
+		c.Ports = 0
+	}
 	return c
 }
 
@@ -35,6 +45,8 @@ type configJSON struct {
 	Size             int  `json:"size"`
 	ExhaustiveOrders bool `json:"exhaustive_orders"`
 	MaxAnyElements   int  `json:"max_any_elements"`
+	Width            int  `json:"width,omitempty"`
+	Ports            int  `json:"ports,omitempty"`
 }
 
 // MarshalJSON encodes the canonical form: stable field order, defaults
@@ -45,6 +57,8 @@ func (c Config) MarshalJSON() ([]byte, error) {
 		Size:             cc.Size,
 		ExhaustiveOrders: cc.ExhaustiveOrders,
 		MaxAnyElements:   cc.MaxAnyElements,
+		Width:            cc.Width,
+		Ports:            cc.Ports,
 	})
 }
 
@@ -59,6 +73,8 @@ func (c *Config) UnmarshalJSON(data []byte) error {
 		Size:             w.Size,
 		ExhaustiveOrders: w.ExhaustiveOrders,
 		MaxAnyElements:   w.MaxAnyElements,
+		Width:            w.Width,
+		Ports:            w.Ports,
 	}
 	return nil
 }

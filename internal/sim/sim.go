@@ -49,6 +49,18 @@ type Config struct {
 	// (the equivalence suite pins this), so the flag exists only as an
 	// escape hatch / debugging aid and does not travel on the wire.
 	DisableLanes bool
+	// Width is the memory word width in bits for word-oriented evaluation
+	// (internal/word). 0 or 1 means the classic bit-oriented memory; values
+	// above 1 add word-background expansion to the paths that understand it.
+	// Width is part of the simulation's identity and travels on the wire,
+	// but only when it departs from the bit-oriented default so width-1
+	// requests stay byte-identical to pre-width clients.
+	Width int
+	// Ports is the number of simultaneous access ports for multi-port
+	// evaluation (internal/mport). 0 or 1 means single-port; 2 enables the
+	// two-port weak-fault path. Like Width it travels on the wire only when
+	// it departs from the single-port default.
+	Ports int
 }
 
 // DefaultConfig is the configuration used throughout the experiments:

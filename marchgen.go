@@ -7,14 +7,17 @@ import (
 
 	"marchgen/internal/bist"
 	"marchgen/internal/core"
+	"marchgen/internal/diagnose"
 	"marchgen/internal/faultlist"
 	"marchgen/internal/fp"
 	"marchgen/internal/graph"
 	"marchgen/internal/linked"
 	"marchgen/internal/march"
+	"marchgen/internal/mport"
 	"marchgen/internal/optimize"
 	"marchgen/internal/oracle"
 	"marchgen/internal/sim"
+	"marchgen/internal/word"
 )
 
 // Core model types, re-exported from the internal packages. The aliases form
@@ -328,4 +331,138 @@ type BISTCost = bist.Cost
 // profiles.
 func EstimateBIST(t March, n int, delayCycles int64) BISTCost {
 	return bist.Estimate(t, n, delayCycles)
+}
+
+// Word-oriented testing types, re-exported from internal/word and core.
+type (
+	// WordBackground is one data background: the pattern a word-wide write
+	// applies for march data 0 (its complement for data 1).
+	WordBackground = word.Background
+	// WordFault is an intra-word two-cell fault (aggressor bit, victim bit).
+	WordFault = word.Fault
+	// WordConfig sizes the word-oriented memory model.
+	WordConfig = word.Config
+	// WordResult is Generate's word-oriented evaluation section.
+	WordResult = core.WordResult
+	// MportResult is Generate's two-port evaluation section.
+	MportResult = core.MportResult
+)
+
+// WordBackgrounds returns the standard background set for a w-bit word:
+// solid plus the log2(w) alternating patterns.
+func WordBackgrounds(width int) ([]WordBackground, error) {
+	return word.Backgrounds(width)
+}
+
+// WordFaults returns the march-testable intra-word two-cell faults of a
+// w-bit word.
+func WordFaults(width int) []WordFault {
+	return word.TestableIntraWordFaults(width)
+}
+
+// WordDetects reports whether the march test, applied word-wide under the
+// background set, detects the intra-word fault from both uniform initial
+// values.
+func WordDetects(t March, f WordFault, bgs []WordBackground, cfg WordConfig) (bool, error) {
+	return word.Detects(t, f, bgs, cfg)
+}
+
+// TransparentMarch derives the transparent in-field variant of a march test
+// (Li et al.): the initializing write element is dropped and the memory's
+// existing content plays the role of the data background, so the test runs
+// without destroying state. Errors when the test does not admit the
+// transform (first element not write-only, or reads that disagree with the
+// running content value).
+func TransparentMarch(t March) (March, error) {
+	return word.Transparent(t)
+}
+
+// EvaluateWord grades a march test on the word axis (and, optionally, its
+// transparent variant). Nil result when width <= 1.
+func EvaluateWord(ctx context.Context, t March, width int, transparent bool) (*WordResult, error) {
+	return core.EvaluateWord(ctx, t, width, transparent)
+}
+
+// EvaluateMport grades a march test on the two-port axis: the weak-fault
+// coverage of its lifted (port B idle) form, plus a dedicated two-port march
+// from the directed constructor. Nil result when ports <= 1.
+func EvaluateMport(ctx context.Context, t March, ports int) (*MportResult, error) {
+	return core.EvaluateMport(ctx, t, ports)
+}
+
+// Diagnosis types, re-exported from internal/diagnose.
+type (
+	// ReadID identifies one read operation of an applied march test.
+	ReadID = diagnose.ReadID
+	// Syndrome is the set of failing reads of one march test run.
+	Syndrome = diagnose.Syndrome
+	// DiagnoseObservation is one executed march test plus its recorded
+	// syndrome.
+	DiagnoseObservation = diagnose.Observation
+	// DiagnoseCandidate is a fault instance (model + placement) consistent
+	// with every observation so far.
+	DiagnoseCandidate = diagnose.Candidate
+	// FaultDictionary maps failure signatures to fault instances.
+	FaultDictionary = diagnose.Dictionary
+	// AdaptiveDiagnosis summarizes an adaptive localization session.
+	AdaptiveDiagnosis = diagnose.AdaptiveResult
+)
+
+// BuildDictionary simulates every fault of the list in every placement under
+// the march test and records the failure signatures.
+func BuildDictionary(t March, faults []Fault, cfg SimConfig) (*FaultDictionary, error) {
+	return diagnose.Build(t, faults, cfg)
+}
+
+// ParseSyndrome parses rendered read IDs ("M1#0@2", ...) into a Syndrome.
+func ParseSyndrome(ids []string) (Syndrome, error) {
+	return diagnose.ParseSyndrome(ids)
+}
+
+// DiagnoseLocalize intersects the observations: a candidate fault instance
+// survives iff its simulated signature matches the recorded syndrome under
+// every observed test.
+func DiagnoseLocalize(faults []Fault, obs []DiagnoseObservation, cfg SimConfig) ([]DiagnoseCandidate, error) {
+	return diagnose.Localize(faults, obs, cfg)
+}
+
+// DiagnoseNextTest picks the march from the pool that best splits the
+// candidate set (minimizing the largest ambiguity class), excluding tests
+// already executed. ok is false when no pool test splits the set.
+func DiagnoseNextTest(cands []DiagnoseCandidate, pool []March, exclude map[string]bool, cfg SimConfig) (March, bool, error) {
+	return diagnose.NextTest(cands, pool, exclude, cfg)
+}
+
+// AdaptiveLocalize drives the whole adaptive loop against a simulated device
+// under test until the candidate set is a singleton, stable, or maxRounds is
+// exhausted.
+func AdaptiveLocalize(target Fault, placement []int, faults []Fault, pool []March, start March, cfg SimConfig, maxRounds int) (AdaptiveDiagnosis, error) {
+	return diagnose.AdaptiveLocalize(target, placement, faults, pool, start, cfg, maxRounds)
+}
+
+// Two-port (dual-port) testing types, re-exported from internal/mport.
+type (
+	// MportTest is a two-port march test in pair notation.
+	MportTest = mport.Test
+	// MportFault is a weak two-port fault (W2RDF/W2DRDF/W2IRF/WCC).
+	MportFault = mport.Fault
+	// MportConfig sizes the two-port memory model.
+	MportConfig = mport.Config
+)
+
+// MportCatalog returns the modeled weak two-port fault catalog.
+func MportCatalog() []MportFault {
+	return mport.Catalog()
+}
+
+// LiftMarch lifts a single-port march test to the two-port notation with
+// port B idle.
+func LiftMarch(t March) (MportTest, error) {
+	return mport.Lift(t)
+}
+
+// GenerateMport constructs a two-port march covering the fault catalog with
+// the directed constructor.
+func GenerateMport(faults []MportFault, opts mport.Options) (MportTest, mport.Report, error) {
+	return mport.Generate(faults, opts)
 }

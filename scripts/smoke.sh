@@ -202,6 +202,58 @@ curl -fsS "$BASE/v1/campaigns/$CAMP/results" | grep -q '"id": *"u-' || fail "cam
 curl -fsS "$BASE/metrics" | grep -q '"campaigns_done": 1' || fail "metrics campaigns_done"
 echo "smoke: campaign round-trip OK"
 
+# Diagnose round-trip (DESIGN.md §16): a clean MATS+ run over the
+# single-cell model space cannot localize anything — the server must
+# answer ambiguous with a follow-up march, and the repeat request must be
+# a cache hit.
+DBODY='{"list":"simple1","observations":[{"march":{"name":"MATS+"},"syndrome":[]}]}'
+DJOB=$(curl -fsS -X POST "$BASE/v1/diagnose" -d "$DBODY" \
+	| sed -n 's/.*"id": "\([^"]*\)".*/\1/p' | head -n1)
+[ -n "$DJOB" ] || fail "diagnose returned no job id"
+i=0
+DSTATUS=""
+while [ $i -lt 300 ]; do
+	DSTATUS=$(curl -fsS "$BASE/v1/jobs/$DJOB" | sed -n 's/.*"status": "\([^"]*\)".*/\1/p' | head -n1)
+	case "$DSTATUS" in
+	done) break ;;
+	failed | canceled) fail "diagnose job ended $DSTATUS" ;;
+	esac
+	sleep 0.1
+	i=$((i + 1))
+done
+[ "$DSTATUS" = "done" ] || fail "diagnose job stuck in state '$DSTATUS'"
+curl -fsS "$BASE/v1/jobs/$DJOB/result" >"$TMP/diagnose.json"
+grep -q '"status": *"ambiguous"' "$TMP/diagnose.json" || fail "diagnose verdict not ambiguous"
+grep -q '"next"' "$TMP/diagnose.json" || fail "diagnose recommended no follow-up march"
+DHIT=$(curl -fsS -D - -o /dev/null -X POST "$BASE/v1/diagnose" -d "$DBODY" \
+	| tr -d '\r' | sed -n 's/^X-Cache: //p')
+[ "$DHIT" = "hit" ] || fail "repeat diagnose was not a cache hit (X-Cache: $DHIT)"
+echo "smoke: /v1/diagnose round-trip + cache hit OK"
+
+# Axis campaign: a width/ports sweep must run to completion over the HTTP
+# API and record per-unit word and mport sections in its results.
+ACAMP=$(curl -fsS -X POST "$BASE/v1/campaigns" \
+	-d '{"name":"smoke-axes","lists":["list2"],"widths":[1,4],"ports":[1,2]}' \
+	| sed -n 's/.*"id": "\(c-[^"]*\)".*/\1/p' | head -n1)
+[ -n "$ACAMP" ] || fail "axis campaign submit returned no id"
+i=0
+ASTATUS=""
+while [ $i -lt 600 ]; do
+	ASTATUS=$(curl -fsS "$BASE/v1/campaigns/$ACAMP" | sed -n 's/.*"status": "\([^"]*\)".*/\1/p' | head -n1)
+	case "$ASTATUS" in
+	done) break ;;
+	failed | interrupted) fail "axis campaign ended $ASTATUS" ;;
+	esac
+	sleep 0.1
+	i=$((i + 1))
+done
+[ "$ASTATUS" = "done" ] || fail "axis campaign stuck in state '$ASTATUS'"
+curl -fsS "$BASE/v1/campaigns/$ACAMP/results" >"$TMP/axis-results.json"
+grep -q '"width": *4' "$TMP/axis-results.json" || fail "axis campaign results lost the width-4 units"
+grep -q '"word"' "$TMP/axis-results.json" || fail "axis campaign results carry no word section"
+grep -q '"mport"' "$TMP/axis-results.json" || fail "axis campaign results carry no mport section"
+echo "smoke: width/ports campaign round-trip OK"
+
 # Graceful shutdown: SIGTERM must drain and exit 0.
 kill -TERM "$SRV_PID"
 i=0
